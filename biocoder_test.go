@@ -1,0 +1,181 @@
+package biocoder_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder"
+)
+
+func quickstart() *biocoder.BioSystem {
+	bs := biocoder.New()
+	sample := bs.NewFluid("Sample", biocoder.Microliters(10))
+	reagent := bs.NewFluid("Reagent", biocoder.Microliters(10))
+	c := bs.NewContainer("c")
+	bs.MeasureFluid(sample, c)
+	bs.MeasureFluid(reagent, c)
+	bs.Vortex(c, 2*time.Second)
+	bs.Drain(c, "")
+	bs.EndProtocol()
+	return bs
+}
+
+func replenishPCR() *biocoder.BioSystem {
+	bs := biocoder.New()
+	mix := bs.NewFluid("PCRMasterMix", biocoder.Microliters(10))
+	tube := bs.NewContainer("tube")
+	bs.MeasureFluid(mix, tube)
+	bs.StoreFor(tube, 95, 10*time.Second)
+	bs.Loop(3)
+	bs.StoreFor(tube, 95, 5*time.Second)
+	bs.Weigh(tube, "weightSensor")
+	bs.If("weightSensor", biocoder.LessThan, 3.57)
+	bs.MeasureFluid(mix, tube)
+	bs.Vortex(tube, time.Second)
+	bs.EndIf()
+	bs.StoreFor(tube, 68, 5*time.Second)
+	bs.EndLoop()
+	bs.Drain(tube, "PCR")
+	bs.EndProtocol()
+	return bs
+}
+
+func TestPublicPipeline(t *testing.T) {
+	prog, err := biocoder.Compile(quickstart(), biocoder.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, err := prog.Run(biocoder.RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dispensed != 2 || res.Collected != 1 {
+		t.Errorf("I/O = %d/%d, want 2/1", res.Dispensed, res.Collected)
+	}
+	if res.Time < 3*time.Second {
+		t.Errorf("time %v too short", res.Time)
+	}
+}
+
+// The §6.3.3 alternative: without live-range splitting, every CFG edge is
+// an in-place rename — Δ_E carries no transport cycles (§6.4.2).
+func TestNoLiveRangeSplittingEmptiesEdges(t *testing.T) {
+	prog, err := biocoder.Compile(replenishPCR(), biocoder.Options{NoLiveRangeSplitting: true})
+	if err != nil {
+		t.Fatalf("Compile(homed): %v", err)
+	}
+	for key, ec := range prog.Executable.Edges {
+		if ec.Seq.NumCycles != 0 {
+			t.Errorf("edge %v carries %d transport cycles; homed placement must empty Δ_E", key, ec.Seq.NumCycles)
+		}
+	}
+	// Contrast: the default (splitting) pipeline moves droplets on edges.
+	def, err := biocoder.Compile(replenishPCR(), biocoder.Options{})
+	if err != nil {
+		t.Fatalf("Compile(default): %v", err)
+	}
+	transported := 0
+	for _, ec := range def.Executable.Edges {
+		transported += ec.Seq.NumCycles
+	}
+	if transported == 0 {
+		t.Error("default pipeline should route droplets on at least one edge (sensor->heater)")
+	}
+
+	// Both must execute with identical outcomes.
+	script := map[string][]float64{"weightSensor": {4, 3, 4}}
+	r1, err := prog.Run(biocoder.RunOptions{Sensors: biocoder.NewScriptedSensors(script)})
+	if err != nil {
+		t.Fatalf("Run(homed): %v", err)
+	}
+	r2, err := def.Run(biocoder.RunOptions{Sensors: biocoder.NewScriptedSensors(script)})
+	if err != nil {
+		t.Fatalf("Run(default): %v", err)
+	}
+	if r1.Dispensed != r2.Dispensed || r1.Collected != r2.Collected {
+		t.Errorf("outcome mismatch: homed %d/%d vs default %d/%d",
+			r1.Dispensed, r1.Collected, r2.Dispensed, r2.Collected)
+	}
+}
+
+func TestSerialSchedulesSlower(t *testing.T) {
+	fast, err := biocoder.Compile(quickstart(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := biocoder.Compile(quickstart(), biocoder.Options{SerialSchedules: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fast.Run(biocoder.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := slow.Run(biocoder.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Time <= rf.Time {
+		t.Errorf("serial schedule should be slower: %v vs %v", rs.Time, rf.Time)
+	}
+}
+
+func TestParseScriptPublic(t *testing.T) {
+	bs, err := biocoder.ParseScript(`
+fluid F 10
+container c
+measure F into c
+vortex c 1s
+drain c
+`)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	prog, err := biocoder.Compile(bs, biocoder.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if _, err := prog.Run(biocoder.RunOptions{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, err := biocoder.ParseScript("bogus line\n"); err == nil {
+		t.Error("bad script accepted")
+	}
+}
+
+func TestRecorderAndRendererPublic(t *testing.T) {
+	prog, err := biocoder.Compile(quickstart(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := biocoder.NewRecorder(prog.Chip, 25)
+	if _, err := prog.Run(biocoder.RunOptions{FrameHook: rec.Hook}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no frames recorded")
+	}
+	_, _, rendered := rec.Frame(rec.Len() - 1)
+	if !strings.Contains(rendered, "\n") {
+		t.Error("rendered frame looks empty")
+	}
+	svg := biocoder.RenderSVG(prog.Chip, nil, nil)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Error("SVG rendering broken")
+	}
+}
+
+func TestExpressionBuildersPublic(t *testing.T) {
+	e := biocoder.And(
+		biocoder.Cmp("w", biocoder.LessThan, 3.57),
+		biocoder.Not(biocoder.Cmp("err", biocoder.GreaterThan, 0)))
+	if got := e.String(); got != "((w < 3.57) && !(err > 0))" {
+		t.Errorf("expression = %q", got)
+	}
+	sum := biocoder.Add(biocoder.V("a"), biocoder.Num(2))
+	v, err := sum.Eval(map[string]float64{"a": 3})
+	if err != nil || v != 5 {
+		t.Errorf("Eval = %g, %v", v, err)
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/assays"
+)
+
+func compileAssay(t *testing.T, name string) *biocoder.Compiled {
+	t.Helper()
+	a := assays.ByName(name)
+	if a == nil {
+		t.Fatalf("unknown assay %q", name)
+	}
+	prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// capture redirects stdout around f.
+func capture(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestPrintSummary(t *testing.T) {
+	prog := compileAssay(t, "PCR")
+	out := capture(t, func() { printSummary(prog) })
+	for _, want := range []string{"chip:", "19x15", "CFG:", "executable:", "tube"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintDelta(t *testing.T) {
+	prog := compileAssay(t, "PCR")
+	out := capture(t, func() { printDelta(prog) })
+	if !strings.Contains(out, "Δ_B") || !strings.Contains(out, "Δ_E") {
+		t.Errorf("delta dump missing sections:\n%s", out)
+	}
+	if !strings.Contains(out, "Σ_b1") {
+		t.Errorf("delta dump missing block sequences:\n%s", out)
+	}
+}
+
+func TestPrintScheduleAndPlacement(t *testing.T) {
+	prog := compileAssay(t, "Neurotransmitter sensing")
+	schedOut := capture(t, func() { printSchedule(prog) })
+	if !strings.Contains(schedOut, "cycles") || !strings.Contains(schedOut, "dispense") {
+		t.Errorf("schedule dump incomplete:\n%s", schedOut)
+	}
+	placeOut := capture(t, func() { printPlacement(prog) })
+	if !strings.Contains(placeOut, "slot") || !strings.Contains(placeOut, "port") {
+		t.Errorf("placement dump incomplete:\n%s", placeOut)
+	}
+}
+
+func TestLoadGraph(t *testing.T) {
+	if _, err := loadGraph("PCR", ""); err != nil {
+		t.Errorf("loadGraph(PCR): %v", err)
+	}
+	if _, err := loadGraph("", ""); err == nil {
+		t.Error("loadGraph with nothing should fail")
+	}
+	if _, err := loadGraph("PCR", "file.bio"); err == nil {
+		t.Error("loadGraph with both should fail")
+	}
+	if _, err := loadGraph("Unknown Assay", ""); err == nil {
+		t.Error("unknown assay should fail")
+	}
+	// From a BioScript file.
+	f, err := os.CreateTemp(t.TempDir(), "*.bio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("fluid F 10\ncontainer c\nmeasure F into c\ndrain c\n")
+	f.Close()
+	if _, err := loadGraph("", f.Name()); err != nil {
+		t.Errorf("loadGraph(file): %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+// Command bfsim compiles a bioassay and executes it on the cycle-accurate
+// DMFB simulator, reporting the simulated execution time, the execution
+// trace (blocks in order plus every condition evaluation, §7.1), and
+// optionally an ASCII "video" of the run.
+//
+// Usage:
+//
+//	bfsim -assay "PCR w/droplet replenishment" -scenario default
+//	bfsim -assay "Probabilistic PCR" -seed 7 -range amp=0:1
+//	bfsim -file protocol.bio -trace -video run.txt -every 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/cfg"
+	"biocoder/internal/parser"
+	"biocoder/internal/sensor"
+	"biocoder/internal/viz"
+)
+
+type rangeFlags []string
+
+func (r *rangeFlags) String() string     { return strings.Join(*r, ",") }
+func (r *rangeFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	assayName := flag.String("assay", "", "benchmark assay name (see bfc -list)")
+	file := flag.String("file", "", "BioScript source file")
+	exe := flag.String("exe", "", "pre-compiled executable written by bfc -o")
+	scenarioName := flag.String("scenario", "", "scripted scenario to force an outcome (benchmark assays only)")
+	seed := flag.Int64("seed", 0, "seed for the pseudo-random sensor model")
+	chipCfg := flag.String("chip", "", "chip configuration file")
+	trace := flag.Bool("trace", false, "print the execution trace")
+	contam := flag.Bool("contamination", false, "track residue and print the contamination report with a wash plan")
+	video := flag.String("video", "", "write an ASCII frame animation to this file")
+	every := flag.Int("every", 100, "keep every N-th frame in the video")
+	var ranges rangeFlags
+	flag.Var(&ranges, "range", "sensor range name=min:max (repeatable)")
+	var faults rangeFlags
+	flag.Var(&faults, "fault", "defective electrode x,y to compile around (repeatable)")
+	lose := flag.Int("lose-droplet", 0, "inject a transient droplet loss at this cycle and recover by re-execution (§8.4)")
+	flag.Parse()
+
+	faultCells, err := parseFaults(faults)
+	if err != nil {
+		fatal(err)
+	}
+
+	chip := arch.Default()
+	if *chipCfg != "" {
+		f, err := os.Open(*chipCfg)
+		if err != nil {
+			fatal(err)
+		}
+		var perr error
+		chip, perr = arch.ParseConfig(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+	}
+
+	var g *cfg.Graph
+	var assay *assays.Assay
+	var prog *biocoder.Compiled
+	switch {
+	case *exe != "":
+		f, err := os.Open(*exe)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = biocoder.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		chip = prog.Chip
+	case *assayName != "":
+		assay = assays.ByName(*assayName)
+		if assay == nil {
+			fatal(fmt.Errorf("unknown assay %q (try bfc -list)", *assayName))
+		}
+		var err error
+		g, err = assay.Build().Build()
+		if err != nil {
+			fatal(err)
+		}
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		bs, err := parser.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		g, err = bs.Build()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -assay, -file, or -exe"))
+	}
+
+	if prog == nil {
+		var err error
+		prog, err = biocoder.CompileGraphOptions(g, chip, biocoder.Options{FaultyElectrodes: faultCells})
+		if err != nil {
+			fatal(err)
+		}
+	} else if len(faultCells) > 0 {
+		fatal(fmt.Errorf("-fault applies at compile time; recompile with bfc instead of -exe"))
+	}
+
+	model, err := buildSensors(assay, *scenarioName, *seed, ranges)
+	if err != nil {
+		fatal(err)
+	}
+	opts := biocoder.RunOptions{Sensors: model, TrackContamination: *contam}
+
+	var rec *viz.Recorder
+	if *video != "" {
+		rec = viz.NewRecorder(chip, *every)
+		opts.FrameHook = rec.Hook
+	}
+
+	var res *biocoder.Result
+	if *lose > 0 {
+		rec, err := prog.RunWithRecovery(opts, []biocoder.Fault{{Cycle: *lose}}, 5)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("droplet lost and recovered: %d recovery(ies), %d cycles wasted\n",
+			rec.Recoveries, rec.LostTime)
+		res = rec.Result
+	} else {
+		var err error
+		res, err = prog.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("simulated execution time: %v (%d cycles)\n", res.Time, res.Cycles)
+	fmt.Printf("droplets dispensed: %d, collected: %d\n", res.Dispensed, res.Collected)
+	if *trace {
+		fmt.Println("\nexecution trace:")
+		for _, v := range res.Trace.Visits {
+			fmt.Printf("  %-10s %d cycles\n", v.Label, v.Cycles)
+		}
+		fmt.Println("conditions:")
+		for _, c := range res.Trace.Conditions {
+			fmt.Printf("  %-10s %-40s => %v\n", c.Block, c.Expr, c.Value)
+		}
+		fmt.Println("sensor readings:")
+		for _, r := range res.Trace.Readings {
+			fmt.Printf("  cycle %-9d %-20s (%s) = %.4f\n", r.Cycle, r.Variable, r.Device, r.Value)
+		}
+	}
+	if *contam && res.Contamination != nil {
+		c := res.Contamination
+		fmt.Printf("\ncontamination: %d dirty electrodes, %d cross-contamination incidents\n",
+			c.DirtyCells, len(c.Incidents))
+		for i, inc := range c.Incidents {
+			if i >= 10 {
+				fmt.Printf("  ... %d more\n", len(c.Incidents)-10)
+				break
+			}
+			fmt.Printf("  cycle %-9d %-14s at %v picked up %v\n", inc.Cycle, inc.Droplet, inc.Cell, inc.Residues)
+		}
+		var dirty []biocoder.Point
+		for p := range c.Residue {
+			dirty = append(dirty, p)
+		}
+		tour, err := biocoder.PlanWash(chip, dirty, nil)
+		if err != nil {
+			fmt.Printf("  wash plan: %v\n", err)
+		} else {
+			fmt.Printf("  wash plan: %d cycles from %s to %s cover all %d cells\n",
+				tour.Cycles(), tour.Source, tour.Drain, len(tour.Covered))
+		}
+	}
+	if rec != nil {
+		f, err := os.Create(*video)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteAnimation(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d frames to %s\n", rec.Len(), *video)
+	}
+}
+
+func parseFaults(specs []string) ([]biocoder.Point, error) {
+	var out []biocoder.Point
+	for _, s := range specs {
+		var x, y int
+		if _, err := fmt.Sscanf(s, "%d,%d", &x, &y); err != nil {
+			return nil, fmt.Errorf("bad -fault %q (want x,y)", s)
+		}
+		out = append(out, biocoder.Point{X: x, Y: y})
+	}
+	return out, nil
+}
+
+func buildSensors(assay *assays.Assay, scenario string, seed int64, ranges []string) (sensor.Model, error) {
+	uniform := sensor.NewUniform(seed)
+	if err := sensor.ParseRanges(uniform, ranges); err != nil {
+		return nil, err
+	}
+	if assay != nil {
+		for v, r := range assay.Ranges {
+			uniform.SetRange(v, r.Min, r.Max)
+		}
+	}
+	if scenario == "" {
+		return uniform, nil
+	}
+	if assay == nil {
+		return nil, fmt.Errorf("-scenario needs -assay")
+	}
+	for _, sc := range assay.Scenarios {
+		if sc.Name == scenario {
+			m := sensor.NewScripted(sc.Script)
+			m.Fallback = uniform
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("assay %q has no scenario %q", assay.Name, scenario)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfsim:", err)
+	os.Exit(1)
+}

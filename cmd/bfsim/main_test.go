@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"biocoder/internal/assays"
+	"biocoder/internal/sensor"
+)
+
+func TestParseFaults(t *testing.T) {
+	pts, err := parseFaults([]string{"3,4", "0,0"})
+	if err != nil {
+		t.Fatalf("parseFaults: %v", err)
+	}
+	if len(pts) != 2 || pts[0].X != 3 || pts[0].Y != 4 {
+		t.Errorf("parsed %v", pts)
+	}
+	if _, err := parseFaults([]string{"nonsense"}); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+}
+
+func TestBuildSensorsScenario(t *testing.T) {
+	a := assays.ByName("Probabilistic PCR")
+	m, err := buildSensors(a, "early-exit", 1, nil)
+	if err != nil {
+		t.Fatalf("buildSensors: %v", err)
+	}
+	if _, ok := m.(*sensor.Scripted); !ok {
+		t.Errorf("scenario should yield a scripted model, got %T", m)
+	}
+	// First scripted reading for amp is 0.8.
+	if v := m.Read("amp", "", 0); v != 0.8 {
+		t.Errorf("first scripted amp = %g, want 0.8", v)
+	}
+
+	if _, err := buildSensors(a, "no-such-scenario", 1, nil); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := buildSensors(nil, "early-exit", 1, nil); err == nil {
+		t.Error("scenario without assay accepted")
+	}
+}
+
+func TestBuildSensorsUniformWithRanges(t *testing.T) {
+	m, err := buildSensors(nil, "", 7, []string{"w=2:5"})
+	if err != nil {
+		t.Fatalf("buildSensors: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		v := m.Read("w", "", i)
+		if v < 2 || v > 5 {
+			t.Fatalf("reading %g outside configured range", v)
+		}
+	}
+	if _, err := buildSensors(nil, "", 7, []string{"bogus"}); err == nil {
+		t.Error("bad range spec accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Command bftable regenerates Table 1 of the paper: it compiles every
+// benchmark assay, runs each outcome scenario on the cycle-accurate
+// simulator with that scenario's scripted sensor readings, and prints the
+// paper-reported versus measured execution times side by side.
+//
+// Usage:
+//
+//	bftable            # markdown table
+//	bftable -tsv       # tab-separated (for plotting)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/assays"
+	"biocoder/internal/sensor"
+)
+
+func main() {
+	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of a table")
+	flag.Parse()
+
+	type row struct {
+		assay, scenario, source string
+		paper, measured         time.Duration
+	}
+	var rows []row
+
+	for _, a := range assays.All() {
+		prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bftable: %s: %v\n", a.Name, err)
+			os.Exit(1)
+		}
+		for _, sc := range a.Scenarios {
+			model := sensor.NewScripted(sc.Script)
+			model.Fallback = sensor.NewUniform(1)
+			res, err := prog.Run(biocoder.RunOptions{Sensors: model})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bftable: %s/%s: %v\n", a.Name, sc.Name, err)
+				os.Exit(1)
+			}
+			rows = append(rows, row{a.Name, sc.Name, a.Source, sc.PaperTime, res.Time})
+		}
+	}
+
+	if *tsv {
+		fmt.Println("benchmark\tscenario\tsource\tpaper_s\tmeasured_s")
+		for _, r := range rows {
+			fmt.Printf("%s\t%s\t%s\t%.0f\t%.1f\n",
+				r.assay, r.scenario, r.source, r.paper.Seconds(), r.measured.Seconds())
+		}
+		return
+	}
+
+	fmt.Println("Table 1. Benchmark assays and simulated execution times (paper vs this implementation)")
+	fmt.Println()
+	fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %-6s |\n",
+		"Benchmark", "Scenario", "Source", "Paper", "Measured", "Dev")
+	fmt.Printf("|%s|%s|%s|%s|%s|%s|\n",
+		dashes(32), dashes(12), dashes(10), dashes(14), dashes(14), dashes(8))
+	for _, r := range rows {
+		dev := (r.measured.Seconds() - r.paper.Seconds()) / r.paper.Seconds() * 100
+		fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %+5.1f%% |\n",
+			r.assay, r.scenario, r.source, fmtDur(r.paper), fmtDur(r.measured), dev)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	d = d.Round(time.Second)
+	m := int(d.Minutes())
+	s := int(d.Seconds()) - 60*m
+	return fmt.Sprintf("%dm %02ds", m, s)
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{405*time.Minute + 30*time.Second, "405m 30s"},
+		{7*time.Minute + 21*time.Second, "7m 21s"},
+		{59 * time.Second, "0m 59s"},
+		{11*time.Minute + 40*time.Second + 499*time.Millisecond, "11m 40s"},
+		{11*time.Minute + 40*time.Second + 501*time.Millisecond, "11m 41s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDashes(t *testing.T) {
+	if got := dashes(4); got != "----" {
+		t.Errorf("dashes(4) = %q", got)
+	}
+}

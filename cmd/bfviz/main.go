@@ -1,0 +1,156 @@
+// Command bfviz renders a simulated bioassay execution as a sequence of
+// frames — the repository's stand-in for the animated videos the paper's
+// simulator produces (§7.1). SVG frames can be stitched into a video with
+// any external tool; the ASCII format writes a single flip-book file.
+//
+// Usage:
+//
+//	bfviz -assay "PCR" -o frames/ -every 200 -format svg
+//	bfviz -exe compiled.bfx -o run.txt -format ascii -every 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"biocoder"
+	"biocoder/internal/assays"
+	"biocoder/internal/codegen"
+	"biocoder/internal/exec"
+	"biocoder/internal/sensor"
+	"biocoder/internal/viz"
+)
+
+func main() {
+	assayName := flag.String("assay", "", "benchmark assay name (see bfc -list)")
+	exe := flag.String("exe", "", "pre-compiled executable written by bfc -o")
+	scenarioName := flag.String("scenario", "", "scripted scenario (benchmark assays)")
+	seed := flag.Int64("seed", 0, "sensor seed")
+	out := flag.String("o", "frames", "output directory (svg) or file (ascii)")
+	every := flag.Int("every", 100, "keep every N-th frame")
+	format := flag.String("format", "svg", "frame format: svg|ascii|png")
+	flag.Parse()
+
+	var prog *biocoder.Compiled
+	var assay *assays.Assay
+	switch {
+	case *exe != "":
+		f, err := os.Open(*exe)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = biocoder.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *assayName != "":
+		assay = assays.ByName(*assayName)
+		if assay == nil {
+			fatal(fmt.Errorf("unknown assay %q", *assayName))
+		}
+		var err error
+		prog, err = biocoder.Compile(assay.Build(), biocoder.Options{})
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -assay or -exe"))
+	}
+
+	model := sensor.Model(sensor.NewUniform(*seed))
+	if assay != nil {
+		u := sensor.NewUniform(*seed)
+		for v, r := range assay.Ranges {
+			u.SetRange(v, r.Min, r.Max)
+		}
+		model = u
+		if *scenarioName != "" {
+			for _, sc := range assay.Scenarios {
+				if sc.Name == *scenarioName {
+					m := sensor.NewScripted(sc.Script)
+					m.Fallback = u
+					model = m
+				}
+			}
+		}
+	}
+
+	rec := viz.NewRecorder(prog.Chip, *every)
+	switch *format {
+	case "svg":
+		rec.Format = viz.SVG
+	case "png":
+		// PNG frames are rendered on the fly below; record positions via
+		// the default ASCII formatter only to keep labels/cycles.
+	}
+	var pngFrames []pngFrame
+	if *format == "png" {
+		rec.Format = func(chip *biocoder.Chip, frame codegen.Frame, droplets []*exec.Droplet) string {
+			pngFrames = append(pngFrames, pngFrame{frame: frame, droplets: droplets})
+			return ""
+		}
+	}
+	res, err := prog.Run(biocoder.RunOptions{Sensors: model, FrameHook: rec.Hook})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated %v in %d frames (1 frame per %d cycles)\n", res.Time, rec.Len(), *every)
+
+	switch *format {
+	case "ascii":
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteAnimation(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote flip-book to %s\n", *out)
+	case "svg":
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for i := 0; i < rec.Len(); i++ {
+			cycle, _, rendered := rec.Frame(i)
+			name := filepath.Join(*out, fmt.Sprintf("frame_%08d.svg", cycle))
+			if err := os.WriteFile(name, []byte(rendered), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d SVG frames to %s/\n", rec.Len(), *out)
+	case "png":
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, pf := range pngFrames {
+			cycle, _, _ := rec.Frame(i)
+			name := filepath.Join(*out, fmt.Sprintf("frame_%08d.png", cycle))
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			err = viz.WritePNG(f, prog.Chip, pf.frame, pf.droplets, prog.Topology.Faults)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d PNG frames to %s/\n", len(pngFrames), *out)
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+type pngFrame struct {
+	frame    codegen.Frame
+	droplets []*exec.Droplet
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfviz:", err)
+	os.Exit(1)
+}

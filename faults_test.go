@@ -1,0 +1,107 @@
+package biocoder_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder"
+)
+
+// Hard-fault avoidance (§8.4, static half): compilation must route and
+// place around known-defective electrodes, and fail cleanly when the
+// remaining resources no longer suffice (§6.6).
+
+func faultAssay() *biocoder.BioSystem {
+	bs := biocoder.New()
+	f := bs.NewFluid("F", biocoder.Microliters(10))
+	c := bs.NewContainer("c")
+	bs.MeasureFluid(f, c)
+	bs.Weigh(c, "w")
+	bs.If("w", biocoder.LessThan, 0.5)
+	bs.StoreFor(c, 95, 2*time.Second)
+	bs.EndIf()
+	bs.Vortex(c, time.Second)
+	bs.Drain(c, "")
+	bs.EndProtocol()
+	return bs
+}
+
+func TestFaultAvoidance(t *testing.T) {
+	faults := []biocoder.Point{
+		{X: 7, Y: 2},  // inside a plain module slot: the slot is dropped
+		{X: 5, Y: 7},  // on a street: droplets must route around it
+		{X: 0, Y: 1},  // input port inW1: the reservoir is unusable
+		{X: 18, Y: 2}, // output port outE1: likewise
+	}
+	prog, err := biocoder.Compile(faultAssay(), biocoder.Options{FaultyElectrodes: faults})
+	if err != nil {
+		t.Fatalf("Compile with faults: %v", err)
+	}
+	// Topology dropped the damaged slot.
+	if got, want := len(prog.Topology.Slots), 8; got != want {
+		t.Errorf("slots = %d, want %d (one dropped)", got, want)
+	}
+	// No droplet ever touches a fault, on either branch.
+	for _, script := range [][]float64{{0.1}, {0.9}} {
+		res, err := prog.Run(biocoder.RunOptions{
+			Sensors: biocoder.NewScriptedSensors(map[string][]float64{"w": script}),
+			FrameHook: func(cycle int, label string, frame biocoder.Frame, droplets []*biocoder.Droplet) {
+				for _, d := range droplets {
+					for _, f := range faults {
+						if d.Pos == f {
+							t.Errorf("droplet %s on faulty electrode %v at cycle %d", d.ID, f, cycle)
+						}
+					}
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		// The unusable ports were never used.
+		for _, bc := range prog.Executable.Blocks {
+			for _, ev := range bc.Seq.Events {
+				if ev.Port == "inW1" || ev.Port == "outE1" {
+					t.Errorf("event uses faulty port %s", ev.Port)
+				}
+			}
+		}
+		_ = res
+	}
+}
+
+func TestFaultsKillingAllHeaters(t *testing.T) {
+	// Faults inside both heater slots leave no heater: the assay (which
+	// heats) must fail to compile, at the scheduling stage.
+	faults := []biocoder.Point{{X: 2, Y: 5}, {X: 12, Y: 5}}
+	_, err := biocoder.Compile(faultAssay(), biocoder.Options{FaultyElectrodes: faults})
+	if err == nil {
+		t.Fatal("compilation should fail with no working heater")
+	}
+	if !strings.Contains(err.Error(), "exceeds chip resources") {
+		t.Errorf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestFaultsSurviveSerialization(t *testing.T) {
+	faults := []biocoder.Point{{X: 7, Y: 2}}
+	prog, err := biocoder.Compile(faultAssay(), biocoder.Options{FaultyElectrodes: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := prog.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := biocoder.Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(loaded.Topology.Faults) != 1 || loaded.Topology.Faults[0] != faults[0] {
+		t.Errorf("faults lost in serialization: %v", loaded.Topology.Faults)
+	}
+	if _, err := loaded.Run(biocoder.RunOptions{}); err != nil {
+		t.Fatalf("Run of loaded faulty-chip executable: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+package biocoder_test
+
+import (
+	"testing"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/place"
+)
+
+// Free placement (§6.3.1-6.3.2): arbitrary module rectangles under the
+// one-cell separation constraint, compiled and executed end to end.
+
+func TestFreePlacementEndToEnd(t *testing.T) {
+	build := func() *biocoder.BioSystem {
+		bs := biocoder.New()
+		f := bs.NewFluid("F", biocoder.Microliters(10))
+		g := bs.NewFluid("G", biocoder.Microliters(10))
+		a := bs.NewContainer("a")
+		b := bs.NewContainer("b")
+		bs.MeasureFluid(f, a)
+		bs.MeasureFluid(g, a) // merge in a 3x2 free module
+		bs.Vortex(a, 5*time.Second)
+		bs.MeasureFluid(f, b)
+		bs.Weigh(b, "w")
+		bs.If("w", biocoder.LessThan, 0.5)
+		bs.StoreFor(b, 95, 2*time.Second)
+		bs.EndIf()
+		bs.Drain(a, "")
+		bs.Drain(b, "")
+		bs.EndProtocol()
+		return bs
+	}
+	free, err := biocoder.Compile(build(), biocoder.Options{FreePlacement: true})
+	if err != nil {
+		t.Fatalf("Compile(free): %v", err)
+	}
+	// Assignments must be FreeSlot/port-based, never topology slots.
+	for _, bp := range free.Placement.Blocks {
+		for it, asn := range bp.Assign {
+			if asn.Slot >= 0 {
+				t.Errorf("free placement produced a topology slot for %v", it)
+			}
+		}
+	}
+	for _, script := range [][]float64{{0.1}, {0.9}} {
+		res, err := free.Run(biocoder.RunOptions{
+			Sensors: biocoder.NewScriptedSensors(map[string][]float64{"w": script}),
+		})
+		if err != nil {
+			t.Fatalf("Run(free, w=%v): %v", script, err)
+		}
+		if res.Dispensed != 3 || res.Collected != 2 {
+			t.Errorf("free run I/O = %d/%d, want 3/2", res.Dispensed, res.Collected)
+		}
+	}
+
+	// Same protocol under the virtual topology: same observable outcome.
+	vt, err := biocoder.Compile(build(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFree, err := free.Run(biocoder.RunOptions{Sensors: biocoder.NewScriptedSensors(map[string][]float64{"w": {0.9}})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rVT, err := vt.Run(biocoder.RunOptions{Sensors: biocoder.NewScriptedSensors(map[string][]float64{"w": {0.9}})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFree.Dispensed != rVT.Dispensed || rFree.Collected != rVT.Collected {
+		t.Errorf("placers disagree on outcome: %d/%d vs %d/%d",
+			rFree.Dispensed, rFree.Collected, rVT.Dispensed, rVT.Collected)
+	}
+}
+
+func TestFreePlacementSeparation(t *testing.T) {
+	// Three concurrent long mixes: their free rectangles must respect the
+	// one-cell separation at every instant (place.Check enforces (2)-(4)).
+	bs := biocoder.New()
+	f := bs.NewFluid("F", biocoder.Microliters(10))
+	for _, n := range []string{"a", "b", "c"} {
+		c := bs.NewContainer(n)
+		bs.MeasureFluid(f, c)
+		bs.Vortex(c, 20*time.Second)
+		bs.Drain(c, "")
+	}
+	bs.EndProtocol()
+	prog, err := biocoder.Compile(bs, biocoder.Options{FreePlacement: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := prog.Placement.Check(); err != nil {
+		t.Fatalf("placement check: %v", err)
+	}
+	if _, err := prog.Run(biocoder.RunOptions{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFreePlacementSplitAndDilution(t *testing.T) {
+	bs := biocoder.New()
+	stock := bs.NewFluid("Stock", biocoder.Microliters(8))
+	buffer := bs.NewFluid("Buffer", biocoder.Microliters(8))
+	cur := bs.NewContainer("cur")
+	spare := bs.NewContainer("spare")
+	if _, err := biocoder.SynthesizeDilution(bs, stock, buffer, cur, spare, 0.25, 4, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	bs.Drain(cur, "")
+	bs.EndProtocol()
+	prog, err := biocoder.Compile(bs, biocoder.Options{FreePlacement: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if _, err := prog.Run(biocoder.RunOptions{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFreeResourcesConservative(t *testing.T) {
+	prog, err := biocoder.Compile(quickstart(), biocoder.Options{FreePlacement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := place.FreeResources(prog.Topology)
+	if res.Sensors != 4 || res.Heaters != 2 {
+		t.Errorf("free resources devices = %d/%d, want 4/2", res.Sensors, res.Heaters)
+	}
+	if res.Slots < 3 {
+		t.Errorf("free slots estimate %d suspiciously small", res.Slots)
+	}
+}

@@ -1,0 +1,146 @@
+package biocoder_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"biocoder"
+)
+
+// randomProtocol generates a structurally valid random protocol: a bounded
+// mix of dispenses, merges, mixes, heats, senses, conditionals and loops,
+// with every container drained at the end. It mirrors the builder's
+// container discipline so the generated program is always well-formed —
+// the property under test is that the *compiler and simulator* accept every
+// well-formed program, not that the builder rejects bad ones.
+func randomProtocol(r *rand.Rand) *biocoder.BioSystem {
+	bs := biocoder.New()
+	fluids := []*biocoder.Fluid{
+		bs.NewFluid("FluidA", biocoder.Microliters(10)),
+		bs.NewFluid("FluidB", biocoder.Microliters(8)),
+	}
+	nCont := 1 + r.Intn(2)
+	containers := make([]*biocoder.Container, nCont)
+	filled := make([]bool, nCont)
+	for i := range containers {
+		containers[i] = bs.NewContainer(fmt.Sprintf("c%d", i))
+	}
+	sensed := false
+	dur := func() time.Duration {
+		return time.Duration(1+r.Intn(10)) * 100 * time.Millisecond
+	}
+
+	// A state-preserving op on a filled container (safe inside loops and
+	// conditional arms).
+	preserving := func(i int) {
+		switch r.Intn(4) {
+		case 0:
+			bs.Vortex(containers[i], dur())
+		case 1:
+			bs.StoreFor(containers[i], 37+float64(r.Intn(60)), dur())
+		case 2:
+			bs.Weigh(containers[i], "w")
+			sensed = true
+		case 3:
+			bs.MeasureFluid(fluids[r.Intn(len(fluids))], containers[i]) // merge
+		}
+	}
+	anyFilled := func() int {
+		for i, f := range filled {
+			if f {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// Always start with one dispense so the protocol is never empty.
+	bs.MeasureFluid(fluids[0], containers[0])
+	filled[0] = true
+
+	steps := 3 + r.Intn(8)
+	for s := 0; s < steps; s++ {
+		switch r.Intn(6) {
+		case 0, 1: // dispense into an empty container
+			for i := range filled {
+				if !filled[i] {
+					bs.MeasureFluid(fluids[r.Intn(len(fluids))], containers[i])
+					filled[i] = true
+					break
+				}
+			}
+		case 2, 3: // work on a filled container
+			if i := anyFilled(); i >= 0 {
+				preserving(i)
+			}
+		case 4: // conditional with state-preserving arms
+			if i := anyFilled(); i >= 0 && sensed {
+				bs.If("w", biocoder.LessThan, 0.5)
+				preserving(i)
+				if r.Intn(2) == 0 {
+					bs.Else()
+					preserving(i)
+				}
+				bs.EndIf()
+			}
+		case 5: // bounded loop with a state-preserving body
+			if i := anyFilled(); i >= 0 {
+				bs.Loop(1 + r.Intn(3))
+				preserving(i)
+				bs.EndLoop()
+			}
+		}
+	}
+	for i := range filled {
+		if filled[i] {
+			bs.Drain(containers[i], "")
+		}
+	}
+	bs.EndProtocol()
+	return bs
+}
+
+// TestFuzzPipeline: every well-formed protocol must compile and simulate
+// without error under each pipeline variant, and the interpreter's own
+// conservation checks (droplets never lost, frames always consistent) must
+// hold along the way.
+func TestFuzzPipeline(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	variants := []struct {
+		name string
+		opt  biocoder.Options
+	}{
+		{"default", biocoder.Options{}},
+		{"serial", biocoder.Options{SerialSchedules: true}},
+		{"folded", biocoder.Options{FoldEdges: true}},
+		{"homed", biocoder.Options{NoLiveRangeSplitting: true}},
+		{"free", biocoder.Options{FreePlacement: true}},
+	}
+	for seed := 0; seed < n; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		for _, v := range variants {
+			bs := randomProtocol(rand.New(rand.NewSource(int64(seed))))
+			prog, err := biocoder.Compile(bs, v.opt)
+			if err != nil {
+				t.Fatalf("seed %d variant %s: compile: %v", seed, v.name, err)
+			}
+			res, err := prog.Run(biocoder.RunOptions{
+				Sensors:            biocoder.NewUniformSensors(int64(seed)),
+				TrackContamination: seed%4 == 0,
+			})
+			if err != nil {
+				t.Fatalf("seed %d variant %s: run: %v", seed, v.name, err)
+			}
+			if res.Collected == 0 || res.Dispensed < res.Collected {
+				t.Errorf("seed %d variant %s: implausible I/O %d/%d",
+					seed, v.name, res.Dispensed, res.Collected)
+			}
+		}
+		_ = r
+	}
+}

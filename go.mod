@@ -1,0 +1,3 @@
+module biocoder
+
+go 1.22

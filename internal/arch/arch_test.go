@@ -1,0 +1,262 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPointManhattan(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want int
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 7},
+		{Point{5, 2}, Point{1, 2}, 4},
+		{Point{-1, -1}, Point{1, 1}, 4},
+	}
+	for _, c := range cases {
+		if got := c.p.Manhattan(c.q); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+		if got := c.q.Manhattan(c.p); got != c.want {
+			t.Errorf("Manhattan not symmetric for %v,%v", c.p, c.q)
+		}
+	}
+}
+
+func TestPointAdjacent(t *testing.T) {
+	p := Point{3, 3}
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			if !p.Adjacent(p.Add(dx, dy)) {
+				t.Errorf("%v should be adjacent to %v", p, p.Add(dx, dy))
+			}
+		}
+	}
+	if p.Adjacent(Point{5, 3}) || p.Adjacent(Point{3, 1}) {
+		t.Errorf("distance-2 cells must not be adjacent")
+	}
+}
+
+func TestRectContainsAndCells(t *testing.T) {
+	r := Rect{X: 2, Y: 3, W: 3, H: 2}
+	cells := r.Cells()
+	if len(cells) != r.Area() {
+		t.Fatalf("Cells() returned %d cells, want %d", len(cells), r.Area())
+	}
+	seen := map[Point]bool{}
+	for _, c := range cells {
+		if !r.Contains(c) {
+			t.Errorf("cell %v from Cells() not contained in %v", c, r)
+		}
+		if seen[c] {
+			t.Errorf("duplicate cell %v", c)
+		}
+		seen[c] = true
+	}
+	for _, out := range []Point{{1, 3}, {5, 3}, {2, 2}, {2, 5}} {
+		if r.Contains(out) {
+			t.Errorf("%v should not contain %v", r, out)
+		}
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := Rect{0, 0, 3, 3}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{2, 2, 2, 2}, true},
+		{Rect{3, 0, 2, 2}, false}, // touching edges do not overlap
+		{Rect{0, 3, 3, 1}, false},
+		{Rect{-1, -1, 2, 2}, true},
+		{Rect{1, 1, 1, 1}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v,%v", a, c.b)
+		}
+	}
+}
+
+// The paper's placement constraint (4) says two modules are compatible iff
+// one's rectangle expanded by the one-cell buffer does not overlap the other.
+// Expanding either rectangle must give the same answer.
+func TestExpandSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := Rect{int(ax), int(ay), int(aw%6) + 1, int(ah%6) + 1}
+		b := Rect{int(bx), int(by), int(bw%6) + 1, int(bh%6) + 1}
+		return a.Expand(1).Overlaps(b) == b.Expand(1).Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Rect{2, 2, 2, 2}
+	e := r.Expand(1)
+	want := Rect{1, 1, 4, 4}
+	if e != want {
+		t.Errorf("Expand(1) = %v, want %v", e, want)
+	}
+	if !e.Contains(Point{1, 1}) || !e.Contains(Point{4, 4}) {
+		t.Errorf("expanded rect misses corners")
+	}
+}
+
+func TestDefaultChipValid(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+	if c.Cols != 19 || c.Rows != 15 {
+		t.Errorf("Default dims = %dx%d, want 19x15", c.Cols, c.Rows)
+	}
+	if got := len(c.DevicesOf(Sensor)); got != 4 {
+		t.Errorf("Default has %d sensors, want 4 (paper §7.2)", got)
+	}
+	if got := len(c.DevicesOf(Heater)); got != 2 {
+		t.Errorf("Default has %d heaters, want 2 (paper §7.2)", got)
+	}
+	if got := len(c.Ports); got != 14 {
+		t.Errorf("Default has %d ports, want 14 (paper §7.2)", got)
+	}
+	if c.CyclePeriod != 10*time.Millisecond {
+		t.Errorf("Default cycle = %v, want 10ms (paper §7.2)", c.CyclePeriod)
+	}
+}
+
+func TestSmallChipValid(t *testing.T) {
+	if err := Small().Validate(); err != nil {
+		t.Fatalf("Small() invalid: %v", err)
+	}
+}
+
+func TestLargeChipValid(t *testing.T) {
+	c := Large()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Large() invalid: %v", err)
+	}
+	if len(c.DevicesOf(Sensor)) != 4 || len(c.DevicesOf(Heater)) != 4 {
+		t.Errorf("Large devices = %d sensors, %d heaters; want 4/4",
+			len(c.DevicesOf(Sensor)), len(c.DevicesOf(Heater)))
+	}
+}
+
+func TestValidateRejectsBadChips(t *testing.T) {
+	cases := []struct {
+		name string
+		chip Chip
+	}{
+		{"zero dims", Chip{CyclePeriod: time.Millisecond}},
+		{"zero cycle", Chip{Cols: 4, Rows: 4}},
+		{"device off chip", Chip{Cols: 4, Rows: 4, CyclePeriod: time.Millisecond,
+			Devices: []Device{{Kind: Sensor, Name: "s", Loc: Rect{3, 3, 2, 2}}}}},
+		{"unnamed device", Chip{Cols: 4, Rows: 4, CyclePeriod: time.Millisecond,
+			Devices: []Device{{Kind: Sensor, Loc: Rect{0, 0, 1, 1}}}}},
+		{"duplicate names", Chip{Cols: 4, Rows: 4, CyclePeriod: time.Millisecond,
+			Devices: []Device{
+				{Kind: Sensor, Name: "x", Loc: Rect{0, 0, 1, 1}},
+				{Kind: Heater, Name: "x", Loc: Rect{2, 2, 1, 1}},
+			}}},
+		{"port off side", Chip{Cols: 4, Rows: 4, CyclePeriod: time.Millisecond,
+			Ports: []Port{{Name: "p", Kind: Input, Side: West, Cell: Point{1, 1}}}}},
+		{"port off chip", Chip{Cols: 4, Rows: 4, CyclePeriod: time.Millisecond,
+			Ports: []Port{{Name: "p", Kind: Input, Side: West, Cell: Point{0, 9}}}}},
+	}
+	for _, c := range cases {
+		if err := c.chip.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid chip", c.name)
+		}
+	}
+}
+
+func TestCyclesRounding(t *testing.T) {
+	c := Default()
+	if got := c.Cycles(0); got != 0 {
+		t.Errorf("Cycles(0) = %d, want 0", got)
+	}
+	if got := c.Cycles(10 * time.Millisecond); got != 1 {
+		t.Errorf("Cycles(10ms) = %d, want 1", got)
+	}
+	if got := c.Cycles(11 * time.Millisecond); got != 2 {
+		t.Errorf("Cycles(11ms) = %d, want 2 (round up)", got)
+	}
+	if got := c.Cycles(time.Second); got != 100 {
+		t.Errorf("Cycles(1s) = %d, want 100", got)
+	}
+	if got := c.Duration(100); got != time.Second {
+		t.Errorf("Duration(100) = %v, want 1s", got)
+	}
+}
+
+func TestInputFor(t *testing.T) {
+	c := &Chip{
+		Cols: 5, Rows: 5, CyclePeriod: time.Millisecond,
+		Ports: []Port{
+			{Name: "a", Kind: Input, Side: West, Cell: Point{0, 1}, Fluid: "PCRMix"},
+			{Name: "b", Kind: Input, Side: West, Cell: Point{0, 3}},
+			{Name: "o", Kind: Output, Side: East, Cell: Point{4, 2}},
+		},
+	}
+	if p, ok := c.InputFor("PCRMix"); !ok || p.Name != "a" {
+		t.Errorf("InputFor(PCRMix) = %v,%v; want port a", p, ok)
+	}
+	if p, ok := c.InputFor("Template"); !ok || p.Name != "b" {
+		t.Errorf("InputFor(Template) = %v,%v; want fallback port b", p, ok)
+	}
+	c.Ports = c.Ports[:1]
+	if _, ok := c.InputFor("Template"); ok {
+		t.Errorf("InputFor should fail with no matching or unbound input")
+	}
+}
+
+func TestDeviceLookup(t *testing.T) {
+	c := Default()
+	d, ok := c.Device("heater1")
+	if !ok || d.Kind != Heater {
+		t.Fatalf("Device(heater1) = %v,%v", d, ok)
+	}
+	if _, ok := c.Device("nope"); ok {
+		t.Errorf("Device(nope) should not exist")
+	}
+	if _, ok := c.Port("outE1"); !ok {
+		t.Errorf("Port(outE1) should exist")
+	}
+}
+
+func TestSensorAndHeaterCells(t *testing.T) {
+	c := Default()
+	sc := c.SensorCells()
+	if len(sc) != 4 {
+		t.Errorf("SensorCells = %v, want 4 cells", sc)
+	}
+	hc := c.HeaterCells()
+	if len(hc) != 8 { // two 2x2 heaters
+		t.Errorf("HeaterCells returned %d cells, want 8", len(hc))
+	}
+	for i := 1; i < len(hc); i++ {
+		if hc[i].Y < hc[i-1].Y || (hc[i].Y == hc[i-1].Y && hc[i].X <= hc[i-1].X) {
+			t.Errorf("HeaterCells not sorted: %v", hc)
+		}
+	}
+}
+
+func TestFitsOnChip(t *testing.T) {
+	c := Small()
+	if !c.FitsOnChip(Rect{0, 0, 9, 9}) {
+		t.Errorf("full-array rect should fit")
+	}
+	for _, r := range []Rect{{-1, 0, 2, 2}, {8, 8, 2, 2}, {0, 0, 10, 1}} {
+		if c.FitsOnChip(r) {
+			t.Errorf("%v should not fit on 9x9 chip", r)
+		}
+	}
+}

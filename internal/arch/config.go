@@ -1,0 +1,171 @@
+package arch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The textual chip-configuration format mirrors the configuration files of
+// the UCR simulator the paper builds on: one directive per line, '#' starts
+// a comment.
+//
+//	chip   <cols> <rows>
+//	cycle  <duration>              # e.g. 10ms
+//	sensor <name> <x> <y> <w> <h>
+//	heater <name> <x> <y> <w> <h>
+//	input  <name> <side> <x> <y> [fluid]
+//	output <name> <side> <x> <y>
+
+// ParseConfig reads a chip description from r.
+func ParseConfig(r io.Reader) (*Chip, error) {
+	c := &Chip{CyclePeriod: 10 * time.Millisecond}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseDirective(c, fields); err != nil {
+			return nil, fmt.Errorf("arch: config line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("arch: reading config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseDirective(c *Chip, fields []string) error {
+	switch fields[0] {
+	case "chip":
+		if len(fields) != 3 {
+			return fmt.Errorf("chip wants <cols> <rows>, got %d args", len(fields)-1)
+		}
+		cols, err := atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		rows, err := atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		c.Cols, c.Rows = cols, rows
+		return nil
+	case "cycle":
+		if len(fields) != 2 {
+			return fmt.Errorf("cycle wants <duration>")
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad cycle duration %q: %w", fields[1], err)
+		}
+		c.CyclePeriod = d
+		return nil
+	case "sensor", "heater":
+		if len(fields) != 6 {
+			return fmt.Errorf("%s wants <name> <x> <y> <w> <h>", fields[0])
+		}
+		var loc Rect
+		var err error
+		if loc.X, err = atoi(fields[2]); err != nil {
+			return err
+		}
+		if loc.Y, err = atoi(fields[3]); err != nil {
+			return err
+		}
+		if loc.W, err = atoi(fields[4]); err != nil {
+			return err
+		}
+		if loc.H, err = atoi(fields[5]); err != nil {
+			return err
+		}
+		kind := Sensor
+		if fields[0] == "heater" {
+			kind = Heater
+		}
+		c.Devices = append(c.Devices, Device{Kind: kind, Name: fields[1], Loc: loc})
+		return nil
+	case "input", "output":
+		if len(fields) < 5 || len(fields) > 6 {
+			return fmt.Errorf("%s wants <name> <side> <x> <y> [fluid]", fields[0])
+		}
+		side, err := parseSide(fields[2])
+		if err != nil {
+			return err
+		}
+		x, err := atoi(fields[3])
+		if err != nil {
+			return err
+		}
+		y, err := atoi(fields[4])
+		if err != nil {
+			return err
+		}
+		p := Port{Name: fields[1], Side: side, Cell: Point{x, y}}
+		if fields[0] == "output" {
+			p.Kind = Output
+			if len(fields) == 6 {
+				return fmt.Errorf("output ports take no fluid")
+			}
+		} else if len(fields) == 6 {
+			p.Fluid = fields[5]
+		}
+		c.Ports = append(c.Ports, p)
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+func atoi(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+func parseSide(s string) (Side, error) {
+	switch s {
+	case "north":
+		return North, nil
+	case "south":
+		return South, nil
+	case "east":
+		return East, nil
+	case "west":
+		return West, nil
+	}
+	return 0, fmt.Errorf("bad side %q (want north/south/east/west)", s)
+}
+
+// WriteConfig serializes c in the format accepted by ParseConfig.
+func WriteConfig(w io.Writer, c *Chip) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "chip %d %d\n", c.Cols, c.Rows)
+	fmt.Fprintf(bw, "cycle %s\n", c.CyclePeriod)
+	for _, d := range c.Devices {
+		fmt.Fprintf(bw, "%s %s %d %d %d %d\n", d.Kind, d.Name, d.Loc.X, d.Loc.Y, d.Loc.W, d.Loc.H)
+	}
+	for _, p := range c.Ports {
+		if p.Kind == Input && p.Fluid != "" {
+			fmt.Fprintf(bw, "%s %s %s %d %d %s\n", p.Kind, p.Name, p.Side, p.Cell.X, p.Cell.Y, p.Fluid)
+		} else {
+			fmt.Fprintf(bw, "%s %s %s %d %d\n", p.Kind, p.Name, p.Side, p.Cell.X, p.Cell.Y)
+		}
+	}
+	return bw.Flush()
+}

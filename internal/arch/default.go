@@ -1,0 +1,104 @@
+package arch
+
+import "time"
+
+// Default returns the evaluation chip of the paper (§7.2): a 15x19 DMFB with
+// four integrated sensors, two integrated heaters, and fourteen I/O
+// reservoirs on the perimeter (five west, five north, four east), driven with
+// a 10 ms actuation cycle.
+//
+// The geometry is chosen so that devices sit inside virtual-topology module
+// slots (see internal/place) and every port cell lies on a routing street:
+// the array is 19 columns by 15 rows, module slots are 4x3 with one-cell
+// streets between them.
+func Default() *Chip {
+	c := &Chip{
+		Cols:        19,
+		Rows:        15,
+		CyclePeriod: 10 * time.Millisecond,
+		Devices: []Device{
+			{Kind: Sensor, Name: "sensor1", Loc: Rect{X: 2, Y: 2, W: 1, H: 1}},
+			{Kind: Sensor, Name: "sensor2", Loc: Rect{X: 12, Y: 2, W: 1, H: 1}},
+			{Kind: Sensor, Name: "sensor3", Loc: Rect{X: 2, Y: 10, W: 1, H: 1}},
+			{Kind: Sensor, Name: "sensor4", Loc: Rect{X: 12, Y: 10, W: 1, H: 1}},
+			{Kind: Heater, Name: "heater1", Loc: Rect{X: 2, Y: 5, W: 2, H: 2}},
+			{Kind: Heater, Name: "heater2", Loc: Rect{X: 12, Y: 5, W: 2, H: 2}},
+		},
+		Ports: []Port{
+			{Name: "inW1", Kind: Input, Side: West, Cell: Point{0, 1}},
+			{Name: "inW2", Kind: Input, Side: West, Cell: Point{0, 4}},
+			{Name: "inW3", Kind: Input, Side: West, Cell: Point{0, 7}},
+			{Name: "inW4", Kind: Input, Side: West, Cell: Point{0, 10}},
+			{Name: "inW5", Kind: Input, Side: West, Cell: Point{0, 13}},
+			{Name: "inN1", Kind: Input, Side: North, Cell: Point{2, 0}},
+			{Name: "inN2", Kind: Input, Side: North, Cell: Point{5, 0}},
+			{Name: "inN3", Kind: Input, Side: North, Cell: Point{8, 0}},
+			{Name: "inN4", Kind: Input, Side: North, Cell: Point{11, 0}},
+			{Name: "inN5", Kind: Input, Side: North, Cell: Point{14, 0}},
+			{Name: "outE1", Kind: Output, Side: East, Cell: Point{18, 2}},
+			{Name: "outE2", Kind: Output, Side: East, Cell: Point{18, 5}},
+			{Name: "outE3", Kind: Output, Side: East, Cell: Point{18, 8}},
+			{Name: "outE4", Kind: Output, Side: East, Cell: Point{18, 11}},
+		},
+	}
+	return c
+}
+
+// Small returns a compact 9x9 chip with one sensor, one heater, two inputs
+// and one output. It keeps unit tests fast and makes resource-exhaustion
+// scenarios easy to trigger.
+func Small() *Chip {
+	return &Chip{
+		Cols:        9,
+		Rows:        9,
+		CyclePeriod: 10 * time.Millisecond,
+		Devices: []Device{
+			{Kind: Sensor, Name: "sensor1", Loc: Rect{X: 2, Y: 2, W: 1, H: 1}},
+			{Kind: Heater, Name: "heater1", Loc: Rect{X: 6, Y: 2, W: 1, H: 1}},
+		},
+		Ports: []Port{
+			{Name: "in1", Kind: Input, Side: West, Cell: Point{0, 2}},
+			{Name: "in2", Kind: Input, Side: West, Cell: Point{0, 6}},
+			{Name: "out1", Kind: Output, Side: East, Cell: Point{8, 4}},
+		},
+	}
+}
+
+// Large returns a 33x33 research-scale chip (larger arrays up to 16,800
+// electrodes have been reported; this size keeps simulation fast while
+// exercising scalability): 6x8 module slots, four sensors, four heaters,
+// and generous perimeter I/O.
+func Large() *Chip {
+	c := &Chip{
+		Cols:        33,
+		Rows:        33,
+		CyclePeriod: 10 * time.Millisecond,
+		Devices: []Device{
+			{Kind: Sensor, Name: "sensor1", Loc: Rect{X: 2, Y: 2, W: 1, H: 1}},
+			{Kind: Sensor, Name: "sensor2", Loc: Rect{X: 27, Y: 2, W: 1, H: 1}},
+			{Kind: Sensor, Name: "sensor3", Loc: Rect{X: 2, Y: 26, W: 1, H: 1}},
+			{Kind: Sensor, Name: "sensor4", Loc: Rect{X: 27, Y: 26, W: 1, H: 1}},
+			{Kind: Heater, Name: "heater1", Loc: Rect{X: 2, Y: 13, W: 2, H: 2}},
+			{Kind: Heater, Name: "heater2", Loc: Rect{X: 27, Y: 13, W: 2, H: 2}},
+			{Kind: Heater, Name: "heater3", Loc: Rect{X: 12, Y: 2, W: 2, H: 2}},
+			{Kind: Heater, Name: "heater4", Loc: Rect{X: 12, Y: 26, W: 2, H: 2}},
+		},
+		Ports: []Port{
+			{Name: "inW1", Kind: Input, Side: West, Cell: Point{0, 4}},
+			{Name: "inW2", Kind: Input, Side: West, Cell: Point{0, 10}},
+			{Name: "inW3", Kind: Input, Side: West, Cell: Point{0, 16}},
+			{Name: "inW4", Kind: Input, Side: West, Cell: Point{0, 22}},
+			{Name: "inW5", Kind: Input, Side: West, Cell: Point{0, 28}},
+			{Name: "inN1", Kind: Input, Side: North, Cell: Point{4, 0}},
+			{Name: "inN2", Kind: Input, Side: North, Cell: Point{10, 0}},
+			{Name: "inN3", Kind: Input, Side: North, Cell: Point{16, 0}},
+			{Name: "inN4", Kind: Input, Side: North, Cell: Point{22, 0}},
+			{Name: "inN5", Kind: Input, Side: North, Cell: Point{28, 0}},
+			{Name: "outE1", Kind: Output, Side: East, Cell: Point{32, 6}},
+			{Name: "outE2", Kind: Output, Side: East, Cell: Point{32, 14}},
+			{Name: "outE3", Kind: Output, Side: East, Cell: Point{32, 22}},
+			{Name: "outS1", Kind: Output, Side: South, Cell: Point{16, 32}},
+		},
+	}
+	return c
+}

@@ -1,0 +1,146 @@
+package assays
+
+import (
+	"fmt"
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/sensor"
+)
+
+// runScenario compiles the assay and executes one scenario.
+func runScenario(t testing.TB, a *Assay, sc Scenario) *biocoder.Result {
+	t.Helper()
+	prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+	if err != nil {
+		t.Fatalf("%s: compile: %v", a.Name, err)
+	}
+	model := sensor.NewScripted(sc.Script)
+	model.Fallback = sensor.NewUniform(1)
+	res, err := prog.Run(biocoder.RunOptions{Sensors: model})
+	if err != nil {
+		t.Fatalf("%s/%s: run: %v", a.Name, sc.Name, err)
+	}
+	return res
+}
+
+// TestTable1Shape verifies every Table 1 row lands near the paper's
+// reported execution time. Absolute agreement is not expected from a
+// reimplemented substrate; the contract is ±10% per row plus the ordering
+// relations called out in DESIGN.md.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 reproduction is slow")
+	}
+	measured := map[string]float64{} // "assay/scenario" -> seconds
+	for _, a := range All() {
+		for _, sc := range a.Scenarios {
+			res := runScenario(t, a, sc)
+			got := res.Time.Seconds()
+			want := sc.PaperTime.Seconds()
+			measured[a.Name+"/"+sc.Name] = got
+			dev := (got - want) / want
+			t.Logf("%-32s %-10s paper=%8.0fs measured=%8.1fs dev=%+5.1f%%",
+				a.Name, sc.Name, want, got, 100*dev)
+			if dev > 0.10 || dev < -0.10 {
+				t.Errorf("%s/%s: measured %v deviates more than 10%% from paper %v",
+					a.Name, sc.Name, res.Time, sc.PaperTime)
+			}
+		}
+	}
+	// Shape relations (see DESIGN.md).
+	ratio := measured["Opiate detection immunoassay/positive"] / measured["Opiate detection immunoassay/negative"]
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("opiate positive/negative ratio = %.2f, want ≈4 (paper: 405m30s vs 101m48s)", ratio)
+	}
+	if measured["Probabilistic PCR/full"] <= measured["Probabilistic PCR/early-exit"] {
+		t.Error("probabilistic PCR full run must exceed the early exit")
+	}
+	if measured["PCR w/droplet replenishment/default"] <= 2*measured["PCR/default"] {
+		t.Error("replenished PCR must far exceed vanilla PCR (≈40m vs ≈11m)")
+	}
+}
+
+func TestAssayDefinitions(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("suite has %d assays, want 6 (Table 1)", len(all))
+	}
+	rows := 0
+	for _, a := range all {
+		if a.Name == "" || a.Source == "" || a.Record == nil {
+			t.Errorf("assay %+v incomplete", a.Name)
+		}
+		if len(a.Scenarios) == 0 {
+			t.Errorf("assay %s has no scenarios", a.Name)
+		}
+		rows += len(a.Scenarios)
+		if ByName(a.Name) != a && ByName(a.Name) == nil {
+			t.Errorf("ByName(%q) failed", a.Name)
+		}
+		// Every assay must at least build and lower.
+		if _, err := a.Build().Build(); err != nil {
+			t.Errorf("assay %s does not lower: %v", a.Name, err)
+		}
+	}
+	if rows != 8 {
+		t.Errorf("suite has %d Table 1 rows, want 8", rows)
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of unknown assay should be nil")
+	}
+}
+
+// Every assay must compile on the default chip.
+func TestAssaysCompile(t *testing.T) {
+	for _, a := range All() {
+		if _, err := biocoder.Compile(a.Build(), biocoder.Options{}); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+// The feedback-free assays must execute the same block sequence on every
+// run regardless of sensor noise.
+func TestFeedbackFreeAssaysDeterministic(t *testing.T) {
+	for _, name := range []string{"Image probe synthesis", "Neurotransmitter sensing", "PCR"} {
+		a := ByName(name)
+		prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r1, err := prog.Run(biocoder.RunOptions{Sensors: sensor.NewUniform(1)})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r2, err := prog.Run(biocoder.RunOptions{Sensors: sensor.NewUniform(99)})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r1.Time != r2.Time {
+			t.Errorf("%s: execution time depends on sensor noise: %v vs %v", name, r1.Time, r2.Time)
+		}
+		if fmt.Sprint(r1.Trace.Visits) != fmt.Sprint(r2.Trace.Visits) {
+			t.Errorf("%s: block sequence depends on sensor noise", name)
+		}
+	}
+}
+
+// With random sensors (the paper's mode), probabilistic PCR must terminate
+// either way without error.
+func TestProbabilisticPCRRandomSensors(t *testing.T) {
+	a := ProbabilisticPCR()
+	prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		u := sensor.NewUniform(seed)
+		for v, r := range a.Ranges {
+			u.SetRange(v, r.Min, r.Max)
+		}
+		if _, err := prog.Run(biocoder.RunOptions{Sensors: u}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package assays
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/sensor"
+)
+
+// The BioScript sources under scripts/ express the same benchmark suite
+// through the text front end. They must compile, and their simulated
+// execution times must agree closely with the Go-builder versions (small
+// structural differences are allowed: the scripts use LOOPs where the Go
+// versions unroll, so CFG shapes — and loop-header cycles — differ).
+
+var scriptFor = map[string]struct {
+	file     string
+	scenario string // scenario whose script drives the comparison run
+}{
+	"Opiate detection immunoassay": {"opiate.bio", "positive"},
+	"Probabilistic PCR":            {"probabilistic_pcr.bio", "full"},
+	"PCR w/droplet replenishment":  {"pcr_replenish.bio", "default"},
+	"Image probe synthesis":        {"image_probe.bio", "default"},
+	"Neurotransmitter sensing":     {"neurotransmitter.bio", "default"},
+	"PCR":                          {"pcr.bio", "default"},
+}
+
+func TestBioScriptSuiteMatchesBuilders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("script suite comparison is slow")
+	}
+	for _, a := range All() {
+		entry, ok := scriptFor[a.Name]
+		if !ok {
+			t.Errorf("no BioScript source for %q", a.Name)
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("scripts", entry.file))
+		if err != nil {
+			t.Fatalf("%s: %v", entry.file, err)
+		}
+		bs, err := biocoder.ParseScript(string(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", entry.file, err)
+		}
+		scripted, err := biocoder.Compile(bs, biocoder.Options{})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", entry.file, err)
+		}
+		builder, err := biocoder.Compile(a.Build(), biocoder.Options{})
+		if err != nil {
+			t.Fatalf("%s: compile builder: %v", a.Name, err)
+		}
+
+		var sc *Scenario
+		for i := range a.Scenarios {
+			if a.Scenarios[i].Name == entry.scenario {
+				sc = &a.Scenarios[i]
+			}
+		}
+		if sc == nil {
+			t.Fatalf("%s: no scenario %q", a.Name, entry.scenario)
+		}
+		run := func(p *biocoder.Compiled) float64 {
+			m := sensor.NewScripted(sc.Script)
+			m.Fallback = sensor.NewUniform(1)
+			res, err := p.Run(biocoder.RunOptions{Sensors: m})
+			if err != nil {
+				t.Fatalf("%s: run: %v", a.Name, err)
+			}
+			return res.Time.Seconds()
+		}
+		got, want := run(scripted), run(builder)
+		dev := (got - want) / want
+		if dev > 0.02 || dev < -0.02 {
+			t.Errorf("%s: script time %.1fs deviates %.2f%% from builder %.1fs",
+				a.Name, got, 100*dev, want)
+		}
+		t.Logf("%-32s script %.1fs builder %.1fs (%+.2f%%)", a.Name, got, want, 100*dev)
+	}
+}
+
+func TestBioScriptSourcesParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("scripts", "*.bio"))
+	if err != nil || len(files) != 6 {
+		t.Fatalf("script files = %v (%v)", files, err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := biocoder.ParseScript(string(src)); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}

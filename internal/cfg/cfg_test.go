@@ -1,0 +1,276 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder/internal/ir"
+)
+
+// testIR provides terse instruction constructors for building test graphs.
+func fid(name string) ir.FluidID { return ir.FluidID{Name: name} }
+
+func dispense(g *Graph, b *Block, fluid, dst string) {
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		ID: g.NewInstrID(), Kind: ir.Dispense,
+		Results: []ir.FluidID{fid(dst)}, FluidType: fluid, Volume: 10,
+	})
+}
+
+func mix(g *Graph, b *Block, dst string, srcs ...string) {
+	args := make([]ir.FluidID, len(srcs))
+	for i, s := range srcs {
+		args[i] = fid(s)
+	}
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		ID: g.NewInstrID(), Kind: ir.Mix,
+		Args: args, Results: []ir.FluidID{fid(dst)}, Duration: time.Second,
+	})
+}
+
+func heat(g *Graph, b *Block, dst, src string) {
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		ID: g.NewInstrID(), Kind: ir.Heat,
+		Args: []ir.FluidID{fid(src)}, Results: []ir.FluidID{fid(dst)},
+		Temp: 95, Duration: 20 * time.Second,
+	})
+}
+
+func sense(g *Graph, b *Block, dst, src, sensorVar string) {
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		ID: g.NewInstrID(), Kind: ir.Sense,
+		Args: []ir.FluidID{fid(src)}, Results: []ir.FluidID{fid(dst)},
+		SensorVar: sensorVar, Duration: 5 * time.Second,
+	})
+}
+
+func output(g *Graph, b *Block, src string) {
+	b.Instrs = append(b.Instrs, &ir.Instr{
+		ID: g.NewInstrID(), Kind: ir.Output,
+		Args: []ir.FluidID{fid(src)},
+	})
+}
+
+// diamond builds the PCR-replenishment-style fragment of Fig. 13(a):
+//
+//	b1: tube = sense(tube);  if w < 3.57 → b2 else → b3
+//	b2: new = dispense; tube = mix(tube, new)        (replenish)
+//	b3: tube = heat(tube); output(tube)
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	b1 := g.NewBlock("b1")
+	b2 := g.NewBlock("b2")
+	b3 := g.NewBlock("b3")
+	dispense(g, b1, "PCRMix", "tube")
+	sense(g, b1, "tube", "tube", "w")
+	b1.Branch = ir.Cmp("w", ir.Lt, 3.57)
+	dispense(g, b2, "PCRMix", "new")
+	mix(g, b2, "tube", "tube", "new")
+	heat(g, b3, "tube", "tube")
+	output(g, b3, "tube")
+	g.AddEdge(g.Entry, b1)
+	g.AddEdge(b1, b2) // true: replenish
+	g.AddEdge(b1, b3) // false: finish
+	g.AddEdge(b2, b3)
+	g.AddEdge(b3, g.Exit)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("diamond graph invalid: %v", err)
+	}
+	return g
+}
+
+// loopGraph builds a simple while-loop:
+//
+//	pre:  tube = dispense
+//	head: tube = sense(tube); if w < 3 → body else → done
+//	body: tube = heat(tube) → head
+//	done: output(tube)
+func loopGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	pre := g.NewBlock("pre")
+	head := g.NewBlock("head")
+	body := g.NewBlock("body")
+	done := g.NewBlock("done")
+	dispense(g, pre, "Sample", "tube")
+	sense(g, head, "tube", "tube", "w")
+	head.Branch = ir.Cmp("w", ir.Lt, 3)
+	heat(g, body, "tube", "tube")
+	output(g, done, "tube")
+	g.AddEdge(g.Entry, pre)
+	g.AddEdge(pre, head)
+	g.AddEdge(head, body)
+	g.AddEdge(head, done)
+	g.AddEdge(body, head)
+	g.AddEdge(done, g.Exit)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("loop graph invalid: %v", err)
+	}
+	return g
+}
+
+func blockByLabel(t *testing.T, g *Graph, label string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		if b.Label == label {
+			return b
+		}
+	}
+	t.Fatalf("no block %q", label)
+	return nil
+}
+
+func TestValidateDetectsStructuralErrors(t *testing.T) {
+	t.Run("unreachable block", func(t *testing.T) {
+		g := New()
+		b := g.NewBlock("island")
+		output(g, b, "x")
+		g.AddEdge(g.Entry, g.Exit)
+		if err := g.Validate(); err == nil {
+			t.Error("unreachable block not detected")
+		}
+	})
+	t.Run("no path to exit", func(t *testing.T) {
+		g := New()
+		b := g.NewBlock("deadend")
+		g.AddEdge(g.Entry, b)
+		g.AddEdge(g.Entry, g.Exit)
+		if err := g.Validate(); err == nil {
+			t.Error("dead-end block not detected")
+		}
+	})
+	t.Run("branch arity", func(t *testing.T) {
+		g := New()
+		b := g.NewBlock("b")
+		b.Branch = ir.Cmp("w", ir.Lt, 1)
+		g.AddEdge(g.Entry, b)
+		g.AddEdge(b, g.Exit)
+		if err := g.Validate(); err == nil {
+			t.Error("branch with one successor not detected")
+		}
+	})
+	t.Run("two successors without branch", func(t *testing.T) {
+		g := New()
+		a := g.NewBlock("a")
+		b := g.NewBlock("b")
+		g.AddEdge(g.Entry, a)
+		g.AddEdge(a, b)
+		g.AddEdge(a, g.Exit)
+		g.AddEdge(b, g.Exit)
+		if err := g.Validate(); err == nil {
+			t.Error("unconditional block with two successors not detected")
+		}
+	})
+}
+
+func TestValidateDetectsFluidErrors(t *testing.T) {
+	t.Run("use before def", func(t *testing.T) {
+		g := New()
+		b := g.NewBlock("b")
+		output(g, b, "ghost")
+		g.AddEdge(g.Entry, b)
+		g.AddEdge(b, g.Exit)
+		if err := g.Validate(); err == nil {
+			t.Error("use of undefined fluid not detected")
+		}
+	})
+	t.Run("double consumption", func(t *testing.T) {
+		g := New()
+		b := g.NewBlock("b")
+		dispense(g, b, "Water", "a")
+		output(g, b, "a")
+		output(g, b, "a") // droplet already consumed
+		g.AddEdge(g.Entry, b)
+		g.AddEdge(b, g.Exit)
+		if err := g.Validate(); err == nil {
+			t.Error("double consumption not detected (droplets cannot be copied, §3)")
+		}
+	})
+	t.Run("leaked droplet", func(t *testing.T) {
+		g := New()
+		b := g.NewBlock("b")
+		dispense(g, b, "Water", "a") // never consumed or output
+		g.AddEdge(g.Entry, b)
+		g.AddEdge(b, g.Exit)
+		if err := g.Validate(); err == nil {
+			t.Error("leaked droplet not detected")
+		}
+	})
+	t.Run("def on one path only", func(t *testing.T) {
+		g := New()
+		b1 := g.NewBlock("b1")
+		b2 := g.NewBlock("b2")
+		b3 := g.NewBlock("b3")
+		dispense(g, b1, "Water", "w")
+		sense(g, b1, "w", "w", "s")
+		b1.Branch = ir.Cmp("s", ir.Lt, 1)
+		dispense(g, b2, "Oil", "x") // x defined only on the then-path
+		mix(g, b2, "w", "w", "x")
+		heat(g, b3, "w", "w")
+		output(g, b3, "w")
+		// b3 also consumes x, which b2 defines but the b1→b3 edge does not.
+		output(g, b3, "x")
+		g.AddEdge(g.Entry, b1)
+		g.AddEdge(b1, b2)
+		g.AddEdge(b1, b3)
+		g.AddEdge(b2, b3)
+		g.AddEdge(b3, g.Exit)
+		if err := g.Validate(); err == nil {
+			t.Error("partially-defined fluid not detected")
+		}
+	})
+}
+
+func TestEdges(t *testing.T) {
+	g := diamond(t)
+	edges := g.Edges()
+	if len(edges) != 5 {
+		t.Fatalf("got %d edges, want 5", len(edges))
+	}
+	var critical []Edge
+	for _, e := range edges {
+		if e.Critical() {
+			critical = append(critical, e)
+		}
+	}
+	// b1→b3 is the only critical edge: b1 branches and b3 joins.
+	if len(critical) != 1 || critical[0].From.Label != "b1" || critical[0].To.Label != "b3" {
+		t.Errorf("critical edges = %v, want exactly b1→b3", critical)
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	g := diamond(t)
+	rpo := g.ReversePostorder()
+	pos := map[string]int{}
+	for i, b := range rpo {
+		pos[b.Label] = i
+	}
+	if pos["entry"] != 0 {
+		t.Errorf("entry not first in RPO")
+	}
+	if !(pos["b1"] < pos["b2"] && pos["b1"] < pos["b3"] && pos["b3"] < pos["exit"]) {
+		t.Errorf("RPO order wrong: %v", pos)
+	}
+}
+
+func TestFluidNames(t *testing.T) {
+	g := diamond(t)
+	names := g.FluidNames()
+	want := []string{"new", "tube"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Errorf("FluidNames = %v, want %v", names, want)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := diamond(t)
+	s := g.String()
+	for _, want := range []string{"b1:", "if (w < 3.57) goto b2 else b3", "goto exit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

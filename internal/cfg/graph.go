@@ -1,0 +1,293 @@
+// Package cfg implements the control-flow-graph layer of the compiler:
+// basic blocks holding hybrid-IR instruction lists, the CFG with unique
+// entry/exit nodes (paper §4), liveness analysis extended to fluidic
+// variables (§6.1), and conversion to SSI form with maximal live-range
+// splitting (§6.3.4): φ-functions split every live-in variable at block
+// entries and π-functions split every live-out variable at block exits.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"biocoder/internal/ir"
+)
+
+// Phi is a φ-function placed at a block entry. It merges one source version
+// per predecessor into a fresh definition. After fusion with the
+// predecessors' π-copies (§6.4.3 shows the composition f17←f12←f10 collapses
+// to f17←f10), Srcs holds the version live at the end of each predecessor.
+type Phi struct {
+	Dst  ir.FluidID
+	Srcs map[int]ir.FluidID // predecessor block ID -> source version
+}
+
+// Copy is one droplet transfer dst ← src implied by a CFG edge.
+type Copy struct {
+	Dst, Src ir.FluidID
+}
+
+// Block is a basic block: a straight-line DAG of hybrid-IR operations
+// (paper §4 represents each block as a DAG; we keep the topologically
+// sorted instruction list and let the scheduler recover the DAG from
+// def-use relations).
+type Block struct {
+	ID    int
+	Label string
+
+	// Phis are the φ-functions at block entry (populated by ToSSI).
+	Phis []Phi
+	// Instrs is the ordered operation list.
+	Instrs []*ir.Instr
+
+	// Branch, when non-nil, is the dry condition evaluated at block exit;
+	// Succs[0] is taken when true, Succs[1] when false. When nil the
+	// block has at most one successor.
+	Branch ir.Expr
+
+	Succs []*Block
+	Preds []*Block
+}
+
+// Then returns the successor taken when Branch evaluates true.
+func (b *Block) Then() *Block { return b.Succs[0] }
+
+// Else returns the successor taken when Branch evaluates false.
+func (b *Block) Else() *Block { return b.Succs[1] }
+
+// Graph is a control flow graph G = (a, z, B, E): Entry and Exit are the
+// unique virtual entry/exit blocks; they carry no instructions and compile
+// to empty activation sequences (paper §4).
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // all blocks including Entry and Exit, in creation order
+
+	nextBlockID int
+	nextInstrID int
+}
+
+// New returns a graph containing only the virtual entry and exit blocks.
+func New() *Graph {
+	g := &Graph{}
+	g.Entry = g.NewBlock("entry")
+	g.Exit = g.NewBlock("exit")
+	return g
+}
+
+// NewBlock appends a fresh empty block labeled label.
+func (g *Graph) NewBlock(label string) *Block {
+	b := &Block{ID: g.nextBlockID, Label: label}
+	g.nextBlockID++
+	g.Blocks = append(g.Blocks, b)
+	return b
+}
+
+// NewInstrID hands out program-unique instruction IDs.
+func (g *Graph) NewInstrID() int {
+	id := g.nextInstrID
+	g.nextInstrID++
+	return id
+}
+
+// AddEdge links from → to. For conditional blocks callers must add the
+// true-successor first.
+func (g *Graph) AddEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// Edge is a directed control-flow edge.
+type Edge struct {
+	From, To *Block
+}
+
+// Edges returns every edge in deterministic (creation) order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			out = append(out, Edge{b, s})
+		}
+	}
+	return out
+}
+
+// Critical reports whether edge e is a critical edge: its source has
+// multiple successors and its target multiple predecessors. A traditional
+// compiler must split such edges to hold code; a DMFB executable instead
+// attaches activation sequences directly to edges (paper §6.4.4).
+func (e Edge) Critical() bool {
+	return len(e.From.Succs) > 1 && len(e.To.Preds) > 1
+}
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder, a convenient iteration order for forward dataflow problems.
+func (g *Graph) ReversePostorder() []*Block {
+	var post []*Block
+	visited := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		visited[b.ID] = true
+		for _, s := range b.Succs {
+			if !visited[s.ID] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// FluidNames returns the sorted set of fluidic variable base names
+// appearing anywhere in the graph.
+func (g *Graph) FluidNames() []string {
+	set := map[string]bool{}
+	for _, b := range g.Blocks {
+		for _, phi := range b.Phis {
+			set[phi.Dst.Name] = true
+		}
+		for _, in := range b.Instrs {
+			for _, f := range in.Args {
+				set[f.Name] = true
+			}
+			for _, f := range in.Results {
+				set[f.Name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EdgeCopies returns the droplet copies implied by the edge from → to after
+// SSI conversion: for every φ at the head of to, the source version live at
+// the end of from is transferred into the φ destination. Copies whose
+// source and destination droplets end up placed at the same location need
+// no transport — the droplet is renamed in place (paper Fig. 13(b)).
+func EdgeCopies(from, to *Block) []Copy {
+	var out []Copy
+	for _, phi := range to.Phis {
+		src, ok := phi.Srcs[from.ID]
+		if !ok {
+			continue
+		}
+		out = append(out, Copy{Dst: phi.Dst, Src: src})
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the graph: entry/exit
+// shape, branch arity, reachability, instruction well-formedness, and
+// fluid-usage discipline (defs reach uses on every path; droplets are
+// consumed exactly once and never leak at block exits).
+func (g *Graph) Validate() error {
+	if g.Entry == nil || g.Exit == nil {
+		return fmt.Errorf("cfg: graph missing entry or exit")
+	}
+	if len(g.Entry.Preds) != 0 {
+		return fmt.Errorf("cfg: entry block has predecessors")
+	}
+	if len(g.Exit.Succs) != 0 {
+		return fmt.Errorf("cfg: exit block has successors")
+	}
+	if len(g.Entry.Instrs) != 0 || len(g.Exit.Instrs) != 0 {
+		return fmt.Errorf("cfg: entry/exit blocks must be empty (paper §4)")
+	}
+	for _, b := range g.Blocks {
+		if b.Branch != nil && len(b.Succs) != 2 {
+			return fmt.Errorf("cfg: block %s has a branch but %d successors", b.Label, len(b.Succs))
+		}
+		if b.Branch == nil && len(b.Succs) > 1 {
+			return fmt.Errorf("cfg: block %s has %d successors but no branch", b.Label, len(b.Succs))
+		}
+		for _, in := range b.Instrs {
+			if err := in.Validate(); err != nil {
+				return fmt.Errorf("cfg: block %s: %w", b.Label, err)
+			}
+		}
+	}
+	// Every block must lie on a path from entry to exit (paper §4).
+	fromEntry := reachable(g.Entry, func(b *Block) []*Block { return b.Succs })
+	toExit := reachable(g.Exit, func(b *Block) []*Block { return b.Preds })
+	for _, b := range g.Blocks {
+		if !fromEntry[b.ID] {
+			return fmt.Errorf("cfg: block %s unreachable from entry", b.Label)
+		}
+		if !toExit[b.ID] {
+			return fmt.Errorf("cfg: block %s cannot reach exit", b.Label)
+		}
+	}
+	return g.checkFluidUsage()
+}
+
+func reachable(start *Block, next func(*Block) []*Block) map[int]bool {
+	seen := map[int]bool{start.ID: true}
+	stack := []*Block{start}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range next(b) {
+			if !seen[n.ID] {
+				seen[n.ID] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return seen
+}
+
+// checkFluidUsage verifies the conservation discipline of §3: droplets
+// cannot be copied, so within a block each fluidic variable version is
+// consumed at most once between definitions, every use is reached by a
+// definition on all paths, and no droplet is silently dropped — whatever a
+// block leaves unconsumed must be live-out (eventually output or carried
+// to a successor).
+func (g *Graph) checkFluidUsage() error {
+	live := ComputeLiveness(g)
+	if in := live.In[g.Entry.ID]; len(in) > 0 {
+		return fmt.Errorf("cfg: fluids %v are used without a definition on some path from entry", in.Sorted())
+	}
+	for _, b := range g.Blocks {
+		avail := map[ir.FluidID]bool{}
+		for f := range live.In[b.ID] {
+			avail[f] = true
+		}
+		for _, phi := range b.Phis {
+			avail[phi.Dst] = true
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !avail[a] {
+					return fmt.Errorf("cfg: block %s: %s consumes %s which is not available (undefined or already consumed)", b.Label, in, a)
+				}
+				delete(avail, a)
+			}
+			for _, r := range in.Results {
+				if avail[r] {
+					return fmt.Errorf("cfg: block %s: %s redefines live droplet %s", b.Label, in, r)
+				}
+				avail[r] = true
+			}
+		}
+		for f := range live.Out[b.ID] {
+			if !avail[f] {
+				return fmt.Errorf("cfg: block %s: live-out fluid %s is not available at block exit", b.Label, f)
+			}
+		}
+		for f := range avail {
+			if !live.Out[b.ID][f] {
+				return fmt.Errorf("cfg: block %s: droplet %s is leaked (neither consumed, output, nor live-out)", b.Label, f)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package cfg
+
+import (
+	"sort"
+
+	"biocoder/internal/ir"
+)
+
+// Set is a set of fluidic variable versions.
+type Set map[ir.FluidID]bool
+
+// Sorted returns the members of s ordered by name then version, for
+// deterministic output.
+func (s Set) Sorted() []ir.FluidID {
+	out := make([]ir.FluidID, 0, len(s))
+	for f := range s {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Ver < out[j].Ver
+	})
+	return out
+}
+
+func (s Set) clone() Set {
+	c := make(Set, len(s))
+	for f := range s {
+		c[f] = true
+	}
+	return c
+}
+
+func (s Set) equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for f := range s {
+		if !t[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// Liveness holds the per-block live-in/live-out sets for fluidic variables.
+// Liveness for fluids is no different in principle from a traditional
+// compiler's (paper §6.1); the only twist is φ-semantics after SSI
+// conversion: a φ destination is defined at the head of its block and its
+// sources are live-out of the corresponding predecessors.
+type Liveness struct {
+	In, Out map[int]Set
+	// UEVar and Kill are the upward-exposed-use and definition summary
+	// sets, exposed for tests and for the scheduler's storage insertion.
+	UEVar, Kill map[int]Set
+}
+
+// ComputeLiveness solves the backward dataflow problem
+//
+//	Out[b] = ∪_{s ∈ succ(b)} (In[s] ∪ φSrcs(s, b))
+//	In[b]  = UEVar[b] ∪ (Out[b] \ Kill[b])
+//
+// by iteration to a fixed point.
+func ComputeLiveness(g *Graph) *Liveness {
+	lv := &Liveness{
+		In:    map[int]Set{},
+		Out:   map[int]Set{},
+		UEVar: map[int]Set{},
+		Kill:  map[int]Set{},
+	}
+	for _, b := range g.Blocks {
+		ue, kill := Set{}, Set{}
+		for _, phi := range b.Phis {
+			kill[phi.Dst] = true
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !kill[a] {
+					ue[a] = true
+				}
+			}
+			for _, r := range in.Results {
+				kill[r] = true
+			}
+		}
+		lv.UEVar[b.ID], lv.Kill[b.ID] = ue, kill
+		lv.In[b.ID], lv.Out[b.ID] = Set{}, Set{}
+	}
+
+	// Iterate over blocks in postorder-ish reverse creation order; the
+	// fixed-point loop makes correctness independent of the order.
+	for changed := true; changed; {
+		changed = false
+		for i := len(g.Blocks) - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			out := Set{}
+			for _, s := range b.Succs {
+				for f := range lv.In[s.ID] {
+					out[f] = true
+				}
+				for _, phi := range s.Phis {
+					if src, ok := phi.Srcs[b.ID]; ok {
+						out[src] = true
+					}
+				}
+			}
+			in := lv.UEVar[b.ID].clone()
+			kill := lv.Kill[b.ID]
+			for f := range out {
+				if !kill[f] {
+					in[f] = true
+				}
+			}
+			if !out.equal(lv.Out[b.ID]) || !in.equal(lv.In[b.ID]) {
+				lv.Out[b.ID], lv.In[b.ID] = out, in
+				changed = true
+			}
+		}
+	}
+	return lv
+}

@@ -1,0 +1,132 @@
+package cfg
+
+import (
+	"testing"
+
+	"biocoder/internal/ir"
+)
+
+func has(s Set, name string) bool {
+	for f := range s {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLivenessDiamond(t *testing.T) {
+	g := diamond(t)
+	lv := ComputeLiveness(g)
+	b1 := blockByLabel(t, g, "b1")
+	b2 := blockByLabel(t, g, "b2")
+	b3 := blockByLabel(t, g, "b3")
+
+	if len(lv.In[b1.ID]) != 0 {
+		t.Errorf("LiveIn(b1) = %v, want empty", lv.In[b1.ID].Sorted())
+	}
+	if !has(lv.Out[b1.ID], "tube") {
+		t.Errorf("tube must be live-out of b1")
+	}
+	if !has(lv.In[b2.ID], "tube") || has(lv.In[b2.ID], "new") {
+		t.Errorf("LiveIn(b2) = %v, want exactly tube", lv.In[b2.ID].Sorted())
+	}
+	if !has(lv.In[b3.ID], "tube") {
+		t.Errorf("tube must be live-in to b3")
+	}
+	if len(lv.Out[b3.ID]) != 0 {
+		t.Errorf("LiveOut(b3) = %v, want empty (all droplets output)", lv.Out[b3.ID].Sorted())
+	}
+	if len(lv.In[g.Entry.ID]) != 0 || len(lv.Out[g.Exit.ID]) != 0 {
+		t.Errorf("entry live-in and exit live-out must be empty")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	g := loopGraph(t)
+	lv := ComputeLiveness(g)
+	head := blockByLabel(t, g, "head")
+	body := blockByLabel(t, g, "body")
+	pre := blockByLabel(t, g, "pre")
+
+	// tube is loop-carried: live around the back edge.
+	if !has(lv.In[head.ID], "tube") {
+		t.Errorf("tube must be live-in to loop head")
+	}
+	if !has(lv.Out[body.ID], "tube") || !has(lv.In[body.ID], "tube") {
+		t.Errorf("tube must be live through loop body")
+	}
+	if !has(lv.Out[pre.ID], "tube") {
+		t.Errorf("tube must be live-out of preheader")
+	}
+	if has(lv.In[pre.ID], "tube") {
+		t.Errorf("tube must not be live-in to its defining block")
+	}
+}
+
+// A use that kills the variable (wet use without redefinition) ends the
+// live range: nothing is live after an output.
+func TestKillEndsLiveRange(t *testing.T) {
+	g := New()
+	b1 := g.NewBlock("b1")
+	b2 := g.NewBlock("b2")
+	dispense(g, b1, "Water", "a")
+	output(g, b1, "a")
+	dispense(g, b2, "Oil", "z")
+	output(g, b2, "z")
+	g.AddEdge(g.Entry, b1)
+	g.AddEdge(b1, b2)
+	g.AddEdge(b2, g.Exit)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+	if len(lv.Out[b1.ID]) != 0 {
+		t.Errorf("LiveOut(b1) = %v, want empty after killing use", lv.Out[b1.ID].Sorted())
+	}
+}
+
+// Liveness after SSI conversion must account for φ semantics: φ sources are
+// live-out of predecessors; φ destinations are not live-in.
+func TestLivenessWithPhis(t *testing.T) {
+	g := diamond(t)
+	if err := ToSSI(g); err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+	b1 := blockByLabel(t, g, "b1")
+	b3 := blockByLabel(t, g, "b3")
+	if len(b3.Phis) != 1 {
+		t.Fatalf("b3 should have one φ, has %d", len(b3.Phis))
+	}
+	phi := b3.Phis[0]
+	src := phi.Srcs[b1.ID]
+	if !lv.Out[b1.ID][src] {
+		t.Errorf("φ source %s must be live-out of b1; out = %v", src, lv.Out[b1.ID].Sorted())
+	}
+	if lv.In[b3.ID][phi.Dst] {
+		t.Errorf("φ destination %s must not be live-in to b3", phi.Dst)
+	}
+	// After maximal splitting, no version is live across a block body:
+	// live-in of every block is empty (φ dsts replace live-ins).
+	for _, b := range g.Blocks {
+		if len(lv.In[b.ID]) != 0 {
+			t.Errorf("post-SSI LiveIn(%s) = %v, want empty", b.Label, lv.In[b.ID].Sorted())
+		}
+	}
+}
+
+func TestSetSorted(t *testing.T) {
+	s := Set{
+		{Name: "b", Ver: 2}: true,
+		{Name: "a", Ver: 9}: true,
+		{Name: "b", Ver: 1}: true,
+	}
+	got := s.Sorted()
+	want := []ir.FluidID{{Name: "a", Ver: 9}, {Name: "b", Ver: 1}, {Name: "b", Ver: 2}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the graph in a compact textual form, one block per
+// paragraph, suitable for golden tests and the bfc -emit=cfg/-emit=ssi
+// dumps (the SSI dump is this repository's analogue of the paper's Fig. 11).
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		writeBlock(&sb, b)
+	}
+	return sb.String()
+}
+
+func writeBlock(sb *strings.Builder, b *Block) {
+	fmt.Fprintf(sb, "%s:\n", b.Label)
+	for _, phi := range b.Phis {
+		srcs := make([]string, 0, len(phi.Srcs))
+		ids := make([]int, 0, len(phi.Srcs))
+		for id := range phi.Srcs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			srcs = append(srcs, phi.Srcs[id].String())
+		}
+		fmt.Fprintf(sb, "  %s = φ(%s)\n", phi.Dst, strings.Join(srcs, ", "))
+	}
+	for _, in := range b.Instrs {
+		fmt.Fprintf(sb, "  %s\n", in)
+	}
+	switch {
+	case b.Branch != nil:
+		fmt.Fprintf(sb, "  if %s goto %s else %s\n", b.Branch, b.Then().Label, b.Else().Label)
+	case len(b.Succs) == 1:
+		fmt.Fprintf(sb, "  goto %s\n", b.Succs[0].Label)
+	}
+}

@@ -1,0 +1,137 @@
+package cfg
+
+import (
+	"fmt"
+
+	"biocoder/internal/ir"
+)
+
+// ToSSI converts g, in place, to the SSI-style form of §6.3.4: the live
+// range of every fluidic variable is split at every block boundary it
+// crosses. Each block that has a variable live-in receives a φ-function
+// defining a fresh version; the matching π-copies at predecessor exits are
+// fused into the φ sources (§6.4.3 sanctions implementing the π∘φ
+// composition as a single copy). Every definition inside a block also gets
+// a fresh version, so after conversion each version is defined exactly once
+// and no version is referenced outside its defining block except as a φ
+// source on an outgoing edge.
+//
+// ToSSI must run on a validated graph before scheduling (paper §6.3.4:
+// live-range splitting happens "before basic block scheduling").
+func ToSSI(g *Graph) error {
+	for _, b := range g.Blocks {
+		if len(b.Phis) > 0 {
+			return fmt.Errorf("cfg: block %s already has φ-functions; ToSSI must run once", b.Label)
+		}
+	}
+	live := ComputeLiveness(g)
+	nextVer := map[string]int{}
+	fresh := func(name string) ir.FluidID {
+		nextVer[name]++
+		return ir.FluidID{Name: name, Ver: nextVer[name]}
+	}
+
+	// exitVersion[blockID][name] is the version holding the droplet of
+	// `name` at the end of the block, filled during renaming.
+	exitVersion := map[int]map[string]ir.FluidID{}
+
+	// Insert φ-functions and rename block bodies. Blocks are processed in
+	// creation order and live-in variables in sorted order so version
+	// numbering is deterministic.
+	for _, b := range g.Blocks {
+		if b == g.Entry && len(live.In[b.ID]) > 0 {
+			return fmt.Errorf("cfg: fluids %v are live-in to entry: used without a definition on some path", live.In[b.ID].Sorted())
+		}
+		cur := map[string]ir.FluidID{}
+		for _, f := range live.In[b.ID].Sorted() {
+			dst := fresh(f.Name)
+			b.Phis = append(b.Phis, Phi{Dst: dst, Srcs: map[int]ir.FluidID{}})
+			cur[f.Name] = dst
+		}
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				v, ok := cur[a.Name]
+				if !ok {
+					return fmt.Errorf("cfg: block %s: use of %s with no reaching definition", b.Label, a)
+				}
+				in.Args[i] = v
+				delete(cur, a.Name) // wet uses kill their argument
+			}
+			for i, r := range in.Results {
+				v := fresh(r.Name)
+				in.Results[i] = v
+				cur[r.Name] = v
+			}
+		}
+		exit := make(map[string]ir.FluidID, len(cur))
+		for n, v := range cur {
+			exit[n] = v
+		}
+		exitVersion[b.ID] = exit
+	}
+
+	// Fill φ sources from predecessor exit versions.
+	for _, b := range g.Blocks {
+		for i := range b.Phis {
+			phi := &b.Phis[i]
+			for _, p := range b.Preds {
+				src, ok := exitVersion[p.ID][phi.Dst.Name]
+				if !ok {
+					return fmt.Errorf("cfg: block %s: φ for %s has no source on edge from %s", b.Label, phi.Dst.Name, p.Label)
+				}
+				phi.Srcs[p.ID] = src
+			}
+		}
+	}
+	return nil
+}
+
+// IsSSI reports whether every fluid version in g is defined exactly once
+// (by a φ or an instruction result) and every instruction argument refers
+// to a version defined earlier in the same block — the block-locality
+// property that lets each basic block be placed independently (§6.3.4).
+func IsSSI(g *Graph) error {
+	defined := map[ir.FluidID]int{} // version -> defining block ID
+	for _, b := range g.Blocks {
+		for _, phi := range b.Phis {
+			if _, dup := defined[phi.Dst]; dup {
+				return fmt.Errorf("cfg: version %s defined more than once", phi.Dst)
+			}
+			defined[phi.Dst] = b.ID
+		}
+		for _, in := range b.Instrs {
+			for _, r := range in.Results {
+				if _, dup := defined[r]; dup {
+					return fmt.Errorf("cfg: version %s defined more than once", r)
+				}
+				defined[r] = b.ID
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		local := map[ir.FluidID]bool{}
+		for _, phi := range b.Phis {
+			local[phi.Dst] = true
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !local[a] {
+					return fmt.Errorf("cfg: block %s: %s references %s defined outside the block", b.Label, in, a)
+				}
+			}
+			for _, r := range in.Results {
+				local[r] = true
+			}
+		}
+		for _, phi := range b.Phis {
+			for predID, src := range phi.Srcs {
+				if db, ok := defined[src]; !ok {
+					return fmt.Errorf("cfg: φ source %s undefined", src)
+				} else if db != predID {
+					return fmt.Errorf("cfg: φ source %s not defined in predecessor block %d", src, predID)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package codegen
+
+import (
+	"fmt"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/ir"
+	"biocoder/internal/place"
+	"biocoder/internal/sched"
+)
+
+// Anchor geometry is derived from the placement Assignment's rectangle, so
+// the code generator works identically over virtual-topology slots (whose
+// rect includes the module's own buffer ring) and free-placed modules
+// (whose keep-out lives outside the rect, paper §6.3.1).
+
+// interiorOf returns a module's work region: the rect inset by one cell
+// when the rect is large enough to afford its own ring (virtual-topology
+// slots), or the rect itself otherwise (free-placed modules, whose one-cell
+// separation is enforced between rects by constraint (4)).
+func interiorOf(r arch.Rect) arch.Rect {
+	in := r.Expand(-1)
+	if in.W < 1 || in.H < 1 {
+		return r
+	}
+	return in
+}
+
+// anchorOf is the rest position of a droplet in a module: a device cell for
+// sense/heat assignments (the droplet must sit on the device), else a cell
+// on the module's middle row chosen to coincide with the first staging cell
+// so merges, splits, and pattern starts line up without teleporting.
+func anchorOf(chip *arch.Chip, asn place.Assignment) arch.Point {
+	in := interiorOf(asn.Rect)
+	if asn.Device != "" {
+		if d, ok := chip.Device(asn.Device); ok {
+			for _, c := range d.Loc.Cells() {
+				if in.Contains(c) {
+					return c
+				}
+			}
+			for _, c := range d.Loc.Cells() {
+				if asn.Rect.Contains(c) {
+					return c
+				}
+			}
+		}
+	}
+	if in != asn.Rect {
+		// Virtual-topology slot: first interior cell (which is also the
+		// first staging cell of the middle row).
+		return arch.Point{X: in.X, Y: in.Y}
+	}
+	// Free-placed module: the rect is the work area; anchor on the middle
+	// row, one cell in when width affords it.
+	x := asn.Rect.X
+	if asn.Rect.W >= 3 {
+		x++
+	}
+	return arch.Point{X: x, Y: asn.Rect.Y + asn.Rect.H/2}
+}
+
+// mixCellsOf returns the actuation cycle of a mix pattern: a closed tour of
+// the module's work cells in which consecutive cells (including the wrap
+// from last back to first) are orthogonally adjacent, starting at the
+// module anchor. Single-cell work areas degenerate to holding in place.
+func mixCellsOf(chip *arch.Chip, asn place.Assignment) []arch.Point {
+	in := interiorOf(asn.Rect)
+	var cycle []arch.Point
+	switch {
+	case in.W == 1 && in.H == 1:
+		cycle = []arch.Point{{X: in.X, Y: in.Y}}
+	case in.W == 1 || in.H == 1:
+		// Ping-pong along the strip: a,b,...,z,...,b closes the loop.
+		cells := in.Cells()
+		cycle = append(cycle, cells...)
+		for i := len(cells) - 2; i >= 1; i-- {
+			cycle = append(cycle, cells[i])
+		}
+	default:
+		// Perimeter tour of the work area (every step adjacent, closed).
+		x0, y0, x1, y1 := in.X, in.Y, in.X+in.W-1, in.Y+in.H-1
+		for x := x0; x <= x1; x++ {
+			cycle = append(cycle, arch.Point{X: x, Y: y0})
+		}
+		for y := y0 + 1; y <= y1; y++ {
+			cycle = append(cycle, arch.Point{X: x1, Y: y})
+		}
+		for x := x1 - 1; x >= x0; x-- {
+			cycle = append(cycle, arch.Point{X: x, Y: y1})
+		}
+		for y := y1 - 1; y >= y0+1; y-- {
+			cycle = append(cycle, arch.Point{X: x0, Y: y})
+		}
+	}
+	// Rotate so the tour starts at the anchor, keeping op transitions
+	// (merge at anchor → pattern start) teleport-free.
+	anchor := anchorOf(chip, asn)
+	for i, c := range cycle {
+		if c == anchor {
+			return append(append([]arch.Point(nil), cycle[i:]...), cycle[:i]...)
+		}
+	}
+	return []arch.Point{anchor} // anchor off-tour: hold in place
+}
+
+// stagingCellsOf returns n distinct arrival cells for droplets merging in a
+// module, spread along the middle row so the incoming droplets do not
+// collide before the merge event fuses them.
+func stagingCellsOf(asn place.Assignment, n int) ([]arch.Point, error) {
+	loc := asn.Rect
+	ymid := loc.Y + loc.H/2
+	var cells []arch.Point
+	lo, hi := loc.X+1, loc.X+loc.W-1
+	if hi-lo < 1 { // narrow module: use the full row
+		lo, hi = loc.X, loc.X+loc.W
+	}
+	for x := lo; x < hi && len(cells) < n; x++ {
+		cells = append(cells, arch.Point{X: x, Y: ymid})
+	}
+	for x := loc.X; x < loc.X+loc.W && len(cells) < n; x++ {
+		c := arch.Point{X: x, Y: ymid}
+		dup := false
+		for _, e := range cells {
+			if e == c {
+				dup = true
+			}
+		}
+		if !dup {
+			cells = append(cells, c)
+		}
+	}
+	if len(cells) < n {
+		return nil, fmt.Errorf("codegen: module %v too small to stage %d merging droplets", loc, n)
+	}
+	return cells, nil
+}
+
+// splitCellsOf returns the two result positions of a split: one cell on
+// each side of the anchor along the module's middle row (the 1x3 split
+// geometry of Fig. 3). The children end two cells apart, so they do not
+// violate the static constraint the moment they separate.
+func splitCellsOf(chip *arch.Chip, asn place.Assignment) ([2]arch.Point, error) {
+	loc := asn.Rect
+	if loc.W < 3 {
+		return [2]arch.Point{}, fmt.Errorf("codegen: module %v (width %d) cannot host a split; modules must be at least 3 wide", loc, loc.W)
+	}
+	a := anchorOf(chip, asn)
+	if a.X <= loc.X {
+		a.X = loc.X + 1 // ensure room on both sides
+	}
+	if a.X >= loc.X+loc.W-1 {
+		a.X = loc.X + loc.W - 2
+	}
+	left := arch.Point{X: a.X - 1, Y: a.Y}
+	right := arch.Point{X: a.X + 1, Y: a.Y}
+	if !loc.Contains(left) || !loc.Contains(right) {
+		return [2]arch.Point{}, fmt.Errorf("codegen: module %v anchor %v has no room to split", loc, a)
+	}
+	return [2]arch.Point{right, left}, nil
+}
+
+// targetCell computes where droplet f must arrive for item it (assigned to
+// asn) to begin: its staging cell for a merge, the device/interior anchor
+// for other module operations, or the port cell for output. Dispense items
+// produce rather than receive droplets; their result appears at the port.
+func targetCell(chip *arch.Chip, it *sched.Item, asn place.Assignment, f ir.FluidID) (arch.Point, error) {
+	if it.IsStorage() {
+		return anchorOf(chip, asn), nil
+	}
+	switch it.Instr.Kind {
+	case ir.Output, ir.Dispense:
+		return arch.Point{X: asn.Rect.X, Y: asn.Rect.Y}, nil
+	case ir.Mix:
+		if len(it.Instr.Args) == 1 {
+			return anchorOf(chip, asn), nil
+		}
+		cells, err := stagingCellsOf(asn, len(it.Instr.Args))
+		if err != nil {
+			return arch.Point{}, err
+		}
+		for i, a := range it.Instr.Args {
+			if a == f {
+				return cells[i], nil
+			}
+		}
+		return arch.Point{}, fmt.Errorf("codegen: droplet %s is not an argument of %s", f, it.Instr)
+	default:
+		return anchorOf(chip, asn), nil
+	}
+}

@@ -1,0 +1,210 @@
+package codegen_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/cfg"
+	"biocoder/internal/codegen"
+	"biocoder/internal/exec"
+	"biocoder/internal/lang"
+	"biocoder/internal/place"
+	"biocoder/internal/sched"
+	"biocoder/internal/sensor"
+)
+
+// compileExt runs the full back end from an external test package.
+func compileExt(t *testing.T, chip *arch.Chip, rec func(bs *lang.BioSystem)) *codegen.Executable {
+	t.Helper()
+	bs := lang.New()
+	rec(bs)
+	g, err := bs.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := cfg.ToSSI(g); err != nil {
+		t.Fatalf("ToSSI: %v", err)
+	}
+	topo, err := place.BuildTopology(chip)
+	if err != nil {
+		t.Fatalf("BuildTopology: %v", err)
+	}
+	sr, err := sched.Schedule(g, sched.Config{Res: topo.Resources(), CyclePeriod: chip.CyclePeriod})
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	pl, err := place.Place(g, sr, topo)
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	ex, err := codegen.Generate(g, sr, pl, topo)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ex
+}
+
+func replenishProtocol(bs *lang.BioSystem) {
+	mix := bs.NewFluid("PCRMasterMix", lang.Microliters(10))
+	tube := bs.NewContainer("tube")
+	bs.MeasureFluid(mix, tube)
+	bs.StoreFor(tube, 95, 10*time.Second)
+	bs.Loop(3)
+	bs.StoreFor(tube, 95, 5*time.Second)
+	bs.Weigh(tube, "weightSensor")
+	bs.If("weightSensor", lang.LessThan, 3.57)
+	bs.MeasureFluid(mix, tube)
+	bs.Vortex(tube, time.Second)
+	bs.EndIf()
+	bs.StoreFor(tube, 68, 5*time.Second)
+	bs.EndLoop()
+	bs.Drain(tube, "PCR")
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	chip := arch.Default()
+	ex := compileExt(t, chip, replenishProtocol)
+
+	var buf bytes.Buffer
+	if err := codegen.Encode(&buf, ex); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	decoded, err := codegen.Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	// Structural equality of graph and code.
+	if got, want := decoded.Graph.String(), ex.Graph.String(); got != want {
+		t.Errorf("graph dump mismatch:\n--- decoded ---\n%s--- original ---\n%s", got, want)
+	}
+	if len(decoded.Blocks) != len(ex.Blocks) || len(decoded.Edges) != len(ex.Edges) {
+		t.Fatalf("code counts: %d/%d blocks, %d/%d edges",
+			len(decoded.Blocks), len(ex.Blocks), len(decoded.Edges), len(ex.Edges))
+	}
+	for id, bc := range ex.Blocks {
+		dc := decoded.Blocks[id]
+		if dc.Seq.NumCycles != bc.Seq.NumCycles {
+			t.Errorf("block %d cycles %d != %d", id, dc.Seq.NumCycles, bc.Seq.NumCycles)
+		}
+		if len(dc.Seq.Events) != len(bc.Seq.Events) {
+			t.Errorf("block %d events %d != %d", id, len(dc.Seq.Events), len(bc.Seq.Events))
+		}
+		if len(dc.Seq.Frames) != len(bc.Seq.Frames) {
+			t.Fatalf("block %d frame counts differ", id)
+		}
+		for i := range bc.Seq.Frames {
+			if len(dc.Seq.Frames[i]) != len(bc.Seq.Frames[i]) {
+				t.Fatalf("block %d frame %d differs", id, i)
+			}
+			for j := range bc.Seq.Frames[i] {
+				if dc.Seq.Frames[i][j] != bc.Seq.Frames[i][j] {
+					t.Fatalf("block %d frame %d cell %d: %v != %v",
+						id, i, j, dc.Seq.Frames[i][j], bc.Seq.Frames[i][j])
+				}
+			}
+		}
+	}
+
+	// Behavioral equality: the decoded executable must simulate to the
+	// same result.
+	script := map[string][]float64{"weightSensor": {4, 3, 4}}
+	r1, err := exec.Run(ex, chip, exec.Options{Sensors: sensor.NewScripted(script)})
+	if err != nil {
+		t.Fatalf("run original: %v", err)
+	}
+	r2, err := exec.Run(decoded, chip, exec.Options{Sensors: sensor.NewScripted(script)})
+	if err != nil {
+		t.Fatalf("run decoded: %v", err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Dispensed != r2.Dispensed || r1.Collected != r2.Collected {
+		t.Errorf("behavior mismatch: %d/%d/%d vs %d/%d/%d",
+			r1.Cycles, r1.Dispensed, r1.Collected, r2.Cycles, r2.Dispensed, r2.Collected)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	ex := compileExt(t, arch.Default(), replenishProtocol)
+	var a, b bytes.Buffer
+	if err := codegen.Encode(&a, ex); err != nil {
+		t.Fatal(err)
+	}
+	if err := codegen.Encode(&b, ex); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	ex := compileExt(t, arch.Default(), func(bs *lang.BioSystem) {
+		f := bs.NewFluid("F", 5)
+		c := bs.NewContainer("c")
+		bs.MeasureFluid(f, c)
+		bs.Vortex(c, time.Second)
+		bs.Drain(c, "")
+	})
+	var buf bytes.Buffer
+	if err := codegen.Encode(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := []struct {
+		name    string
+		corrupt func(string) string
+	}{
+		{"bad magic", func(s string) string { return "nonsense v9\n" + s }},
+		{"truncated", func(s string) string { return s[:len(s)/2] }},
+		{"teleporting track", func(s string) string {
+			// Replace the second cell of a multi-cell track with a
+			// far-away coordinate, breaking motion continuity.
+			lines := strings.Split(s, "\n")
+			for i, l := range lines {
+				fields := strings.Fields(l)
+				if len(fields) >= 6 && fields[0] == "track" && !strings.Contains(fields[4], "x") {
+					fields[4] = "9,9"
+					lines[i] = strings.Join(fields, " ")
+					return strings.Join(lines, "\n")
+				}
+			}
+			t.Fatal("no suitable track line to corrupt")
+			return s
+		}},
+		{"garbage line", func(s string) string {
+			return strings.Replace(s, "[graph]", "[graph]\nfrobnicate 1 2 3", 1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := codegen.Decode(strings.NewReader(tc.corrupt(good))); err == nil {
+				t.Error("corrupted executable accepted")
+			}
+		})
+	}
+}
+
+func TestRLETrackEncoding(t *testing.T) {
+	// A long hold must encode compactly.
+	ex := compileExt(t, arch.Default(), func(bs *lang.BioSystem) {
+		f := bs.NewFluid("F", 5)
+		c := bs.NewContainer("c")
+		bs.MeasureFluid(f, c)
+		bs.StoreFor(c, 95, time.Minute) // 6000 cycles of holding
+		bs.Drain(c, "")
+	})
+	var buf bytes.Buffer
+	if err := codegen.Encode(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 20_000 {
+		t.Errorf("encoding of a 1-minute hold is %d bytes; RLE should compress holds", buf.Len())
+	}
+	if !strings.Contains(buf.String(), "x") {
+		t.Error("no run-length markers in encoding")
+	}
+}

@@ -1,0 +1,158 @@
+package codegen
+
+import (
+	"fmt"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+	"biocoder/internal/place"
+	"biocoder/internal/sched"
+)
+
+// Executable is the DMFB executable Δ_GCFG = {Δ_B, Δ_E} of §4: one
+// activation sequence per basic block and per CFG edge, plus everything the
+// runtime interpreter needs to resolve control flow online (the graph with
+// its dry instructions and branch conditions).
+type Executable struct {
+	Graph  *cfg.Graph
+	Topo   *place.Topology
+	Blocks map[int]*BlockCode
+	Edges  map[[2]int]*EdgeCode
+}
+
+// Generate runs code generation over a scheduled and placed program.
+func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.Topology) (*Executable, error) {
+	ex := &Executable{
+		Graph:  g,
+		Topo:   topo,
+		Blocks: map[int]*BlockCode{},
+		Edges:  map[[2]int]*EdgeCode{},
+	}
+	for _, b := range g.Blocks {
+		bs := sr.Blocks[b.ID]
+		bp := pl.Blocks[b.ID]
+		if bs == nil || bp == nil {
+			return nil, fmt.Errorf("codegen: block %s missing schedule or placement", b.Label)
+		}
+		bc, err := genBlock(b, bs, bp, topo)
+		if err != nil {
+			return nil, err
+		}
+		ex.Blocks[b.ID] = bc
+	}
+	for _, e := range g.Edges() {
+		ec, err := genEdge(e.From, e.To, ex.Blocks[e.From.ID], ex.Blocks[e.To.ID], topo.Chip, topo)
+		if err != nil {
+			return nil, err
+		}
+		ex.Edges[[2]int{e.From.ID, e.To.ID}] = ec
+	}
+	return ex, nil
+}
+
+// Edge returns the compiled form of the edge from → to.
+func (ex *Executable) Edge(from, to *cfg.Block) *EdgeCode {
+	return ex.Edges[[2]int{from.ID, to.ID}]
+}
+
+// Check validates every sequence in the executable: track continuity,
+// frame/track agreement, and the fluidic constraints between coexisting
+// droplets (pairs that merge are exempt — they are supposed to touch).
+func (ex *Executable) Check() error {
+	for _, bc := range ex.Blocks {
+		if err := checkSequence(bc.Seq, ex); err != nil {
+			return fmt.Errorf("codegen: block %s: %w", bc.Block.Label, err)
+		}
+	}
+	for key, ec := range ex.Edges {
+		if err := checkSequence(ec.Seq, ex); err != nil {
+			return fmt.Errorf("codegen: edge %v: %w", key, err)
+		}
+	}
+	return nil
+}
+
+func checkSequence(s *Sequence, ex *Executable) error {
+	chip := ex.Topo.Chip
+	// Track continuity and bounds.
+	for f, tr := range s.Tracks {
+		for i, c := range tr.Cells {
+			if !chip.InBounds(c) {
+				return fmt.Errorf("droplet %s off chip at %v", f, c)
+			}
+			if ex.Topo.Faulty(c) {
+				return fmt.Errorf("droplet %s crosses defective electrode %v", f, c)
+			}
+			if i > 0 && tr.Cells[i-1].Manhattan(c) > 1 {
+				return fmt.Errorf("droplet %s teleports %v->%v at cycle %d", f, tr.Cells[i-1], c, tr.Start+i)
+			}
+		}
+	}
+	// Frames must equal the union of track positions cycle by cycle.
+	for t := 0; t < s.NumCycles; t++ {
+		want := map[[2]int]bool{}
+		for _, tr := range s.Tracks {
+			if t >= tr.Start && t < tr.End() {
+				c := tr.Cells[t-tr.Start]
+				want[[2]int{c.X, c.Y}] = true
+			}
+		}
+		if len(want) != len(s.Frames[t]) {
+			return fmt.Errorf("cycle %d: frame has %d electrodes, tracks say %d", t, len(s.Frames[t]), len(want))
+		}
+		for _, c := range s.Frames[t] {
+			if !want[[2]int{c.X, c.Y}] {
+				return fmt.Errorf("cycle %d: electrode %v active with no droplet", t, c)
+			}
+		}
+	}
+	// Fluidic constraints between distinct droplets, except merge mates.
+	mates := map[[2]ir.FluidID]bool{}
+	for _, ev := range s.Events {
+		if ev.Kind != EvMerge {
+			continue
+		}
+		for i, a := range ev.Inputs {
+			for _, b := range ev.Inputs[i+1:] {
+				mates[[2]ir.FluidID{a, b}] = true
+				mates[[2]ir.FluidID{b, a}] = true
+			}
+		}
+	}
+	ids := make([]ir.FluidID, 0, len(s.Tracks))
+	for f := range s.Tracks {
+		ids = append(ids, f)
+	}
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			if mates[[2]ir.FluidID{a, b}] {
+				continue
+			}
+			ta, tb := s.Tracks[a], s.Tracks[b]
+			lo := max(ta.Start, tb.Start)
+			hi := min(ta.End(), tb.End())
+			for t := lo; t < hi; t++ {
+				pa := ta.Cells[t-ta.Start]
+				pb := tb.Cells[t-tb.Start]
+				if pa.Adjacent(pb) {
+					return fmt.Errorf("droplets %s and %s adjacent at cycle %d (%v, %v)", a, b, t, pa, pb)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

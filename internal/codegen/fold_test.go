@@ -1,0 +1,109 @@
+package codegen_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/codegen"
+	"biocoder/internal/exec"
+	"biocoder/internal/lang"
+	"biocoder/internal/sensor"
+)
+
+func foldProtocol(bs *lang.BioSystem) {
+	// Sensor -> heater transitions across block boundaries force edge
+	// transport; the loop creates both critical and non-critical edges.
+	mix := bs.NewFluid("PCRMasterMix", lang.Microliters(10))
+	tube := bs.NewContainer("tube")
+	bs.MeasureFluid(mix, tube)
+	bs.StoreFor(tube, 95, 5*time.Second)
+	bs.Loop(3)
+	bs.Weigh(tube, "w")
+	bs.If("w", lang.LessThan, 3.57)
+	bs.MeasureFluid(mix, tube)
+	bs.Vortex(tube, time.Second)
+	bs.EndIf()
+	bs.StoreFor(tube, 68, 3*time.Second)
+	bs.EndLoop()
+	bs.Drain(tube, "")
+}
+
+func TestFoldNonCriticalEdges(t *testing.T) {
+	chip := arch.Default()
+	script := map[string][]float64{"w": {4, 3, 4}}
+
+	run := func(ex *codegen.Executable) *exec.Result {
+		t.Helper()
+		res, err := exec.Run(ex, chip, exec.Options{Sensors: sensor.NewScripted(script)})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+
+	base := compileExt(t, chip, foldProtocol)
+	before := run(base)
+
+	folded := compileExt(t, chip, foldProtocol)
+	n, err := codegen.FoldNonCriticalEdges(folded)
+	if err != nil {
+		t.Fatalf("FoldNonCriticalEdges: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("expected at least one foldable edge")
+	}
+	if err := folded.Check(); err != nil {
+		t.Fatalf("executable invalid after folding: %v", err)
+	}
+
+	// Every remaining edge with transport must be critical.
+	for _, e := range folded.Graph.Edges() {
+		ec := folded.Edge(e.From, e.To)
+		if ec.Seq.NumCycles > 0 && !e.Critical() {
+			t.Errorf("non-critical edge %s->%s still carries %d transport cycles",
+				e.From.Label, e.To.Label, ec.Seq.NumCycles)
+		}
+	}
+
+	after := run(folded)
+	if before.Cycles != after.Cycles {
+		t.Errorf("folding changed total cycles: %d vs %d", before.Cycles, after.Cycles)
+	}
+	if before.Dispensed != after.Dispensed || before.Collected != after.Collected {
+		t.Errorf("folding changed I/O: %d/%d vs %d/%d",
+			before.Dispensed, before.Collected, after.Dispensed, after.Collected)
+	}
+	if len(before.Trace.Conditions) != len(after.Trace.Conditions) {
+		t.Errorf("folding changed control flow")
+	}
+}
+
+func TestFoldIsIdempotent(t *testing.T) {
+	ex := compileExt(t, arch.Default(), foldProtocol)
+	if _, err := codegen.FoldNonCriticalEdges(ex); err != nil {
+		t.Fatal(err)
+	}
+	n, err := codegen.FoldNonCriticalEdges(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("second fold moved %d edges; should be a no-op", n)
+	}
+}
+
+func TestFoldSurvivesSerialization(t *testing.T) {
+	ex := compileExt(t, arch.Default(), foldProtocol)
+	if _, err := codegen.FoldNonCriticalEdges(ex); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := codegen.Encode(&buf, ex); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codegen.Decode(&buf); err != nil {
+		t.Fatalf("decode of folded executable: %v", err)
+	}
+}

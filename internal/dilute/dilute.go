@@ -1,0 +1,102 @@
+// Package dilute synthesizes sample-dilution protocols on top of the
+// BioCoder language. Dilution is the canonical workload of programmable
+// microfluidics (the paper's §8.2 discusses BioStream, a language built
+// around exactly this task): interleaved merge/mix/split steps produce a
+// droplet whose sample concentration approximates a requested target.
+//
+// The generator implements the classic bit-serial algorithm over the (1:1)
+// mix-split primitive: one balanced mix of the working droplet with a stock
+// (concentration 1) or buffer (concentration 0) droplet, followed by a
+// split, computes x ← (x + b)/2. Feeding in the target's binary digits from
+// least to most significant converges to the target within 2^-bits. Each
+// split's surplus half is discarded to waste, as in BioStream's exchange
+// model.
+package dilute
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"biocoder/internal/lang"
+)
+
+// Plan describes a synthesized dilution.
+type Plan struct {
+	// Target is the requested stock concentration in (0,1).
+	Target float64
+	// Achieved is the concentration the protocol actually produces:
+	// round(Target*2^Bits)/2^Bits.
+	Achieved float64
+	// Bits is the precision used.
+	Bits int
+	// MixSplits counts the mix-split stages performed.
+	MixSplits int
+	// Waste counts droplets discarded (one per split).
+	Waste int
+}
+
+// Synthesize appends a dilution protocol to bs: after it runs, container
+// cur holds one unit droplet at the Achieved concentration of stock in
+// buffer, and spare is empty again. The caller declares the fluids and
+// containers (and decides what to do with the result — detect it, react
+// it, or drain it).
+func Synthesize(bs *lang.BioSystem, stock, buffer *lang.Fluid, cur, spare *lang.Container, target float64, bits int, mixTime time.Duration) (*Plan, error) {
+	if target <= 0 || target >= 1 {
+		return nil, fmt.Errorf("dilute: target %g must lie strictly between 0 and 1", target)
+	}
+	if bits < 1 || bits > 24 {
+		return nil, fmt.Errorf("dilute: bits %d out of range [1,24]", bits)
+	}
+	if stock.Vol != buffer.Vol {
+		return nil, fmt.Errorf("dilute: stock (%g) and buffer (%g) volumes must match for balanced 1:1 mixing", stock.Vol, buffer.Vol)
+	}
+	scaled := int(math.Round(target * float64(int(1)<<bits)))
+	if scaled == 0 {
+		scaled = 1 // below half an ulp: produce the smallest nonzero level
+	}
+	if scaled == 1<<bits {
+		scaled-- // pure stock is not a dilution
+	}
+	plan := &Plan{
+		Target:   target,
+		Achieved: float64(scaled) / float64(int(1)<<bits),
+		Bits:     bits,
+	}
+
+	// Digits LSB first; skip trailing zeros (they only halve a still-empty
+	// droplet).
+	digits := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		digits[i] = (scaled >> i) & 1
+	}
+	start := 0
+	for start < bits && digits[start] == 0 {
+		start++
+	}
+
+	mixSplit := func(f *lang.Fluid) {
+		bs.MeasureFluid(f, cur) // merge one unit of stock or buffer
+		bs.Vortex(cur, mixTime)
+		bs.SplitInto(cur, spare)
+		bs.Drain(spare, "waste")
+		plan.MixSplits++
+		plan.Waste++
+	}
+
+	// First 1-digit: x goes from nothing to 1/2 via stock + buffer.
+	bs.MeasureFluid(stock, cur)
+	mixSplit(buffer)
+	// Remaining digits toward the MSB.
+	for i := start + 1; i < bits; i++ {
+		if digits[i] == 1 {
+			mixSplit(stock)
+		} else {
+			mixSplit(buffer)
+		}
+	}
+	if err := bs.Err(); err != nil {
+		return nil, fmt.Errorf("dilute: %w", err)
+	}
+	return plan, nil
+}

@@ -1,0 +1,122 @@
+package dilute_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/dilute"
+	"biocoder/internal/lang"
+)
+
+// runDilution synthesizes, compiles, executes, and measures the actual
+// stock concentration of the final droplet via the frame hook.
+func runDilution(t *testing.T, target float64, bits int) (*dilute.Plan, float64) {
+	t.Helper()
+	bs := lang.New()
+	stock := bs.NewFluid("Stock", lang.Microliters(8))
+	buffer := bs.NewFluid("Buffer", lang.Microliters(8))
+	cur := bs.NewContainer("cur")
+	spare := bs.NewContainer("spare")
+	plan, err := dilute.Synthesize(bs, stock, buffer, cur, spare, target, bits, 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Synthesize(%g,%d): %v", target, bits, err)
+	}
+	bs.Drain(cur, "")
+	bs.EndProtocol()
+
+	prog, err := biocoder.Compile(bs, biocoder.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var lastConc float64
+	_, err = prog.Run(biocoder.RunOptions{
+		FrameHook: func(cycle int, label string, frame biocoder.Frame, droplets []*biocoder.Droplet) {
+			for _, d := range droplets {
+				if d.Volume > 0 {
+					lastConc = d.Contents["Stock"] / d.Volume
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return plan, lastConc
+}
+
+func TestDilutionConcentrations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dilution sweeps are slow")
+	}
+	cases := []struct {
+		target float64
+		bits   int
+	}{
+		{0.5, 4},
+		{0.75, 4},
+		{0.25, 4},
+		{0.3, 5},
+		{0.1, 6},
+		{0.9, 6},
+		{1.0 / 3.0, 7},
+	}
+	for _, c := range cases {
+		plan, got := runDilution(t, c.target, c.bits)
+		if math.Abs(got-plan.Achieved) > 1e-9 {
+			t.Errorf("target %g: simulated concentration %.6f != planned %.6f",
+				c.target, got, plan.Achieved)
+		}
+		if math.Abs(plan.Achieved-c.target) > 1.0/float64(int(1)<<c.bits) {
+			t.Errorf("target %g: achieved %.6f outside 2^-%d tolerance",
+				c.target, plan.Achieved, c.bits)
+		}
+		if plan.MixSplits > c.bits {
+			t.Errorf("target %g: %d mix-splits exceeds %d bits", c.target, plan.MixSplits, c.bits)
+		}
+	}
+}
+
+func TestDilutionExactHalf(t *testing.T) {
+	plan, got := runDilution(t, 0.5, 3)
+	if plan.Achieved != 0.5 || got != 0.5 {
+		t.Errorf("half dilution: planned %g, simulated %g", plan.Achieved, got)
+	}
+	if plan.MixSplits != 1 {
+		t.Errorf("half dilution should need exactly 1 mix-split, used %d", plan.MixSplits)
+	}
+}
+
+func TestSynthesizeRejectsBadInputs(t *testing.T) {
+	bs := lang.New()
+	stock := bs.NewFluid("Stock", lang.Microliters(8))
+	buffer := bs.NewFluid("Buffer", lang.Microliters(8))
+	unequal := bs.NewFluid("Thick", lang.Microliters(12))
+	cur := bs.NewContainer("cur")
+	spare := bs.NewContainer("spare")
+	if _, err := dilute.Synthesize(bs, stock, buffer, cur, spare, 0, 4, time.Second); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := dilute.Synthesize(bs, stock, buffer, cur, spare, 1, 4, time.Second); err == nil {
+		t.Error("target 1 accepted")
+	}
+	if _, err := dilute.Synthesize(bs, stock, buffer, cur, spare, 0.5, 0, time.Second); err == nil {
+		t.Error("0 bits accepted")
+	}
+	if _, err := dilute.Synthesize(bs, stock, unequal, cur, spare, 0.5, 4, time.Second); err == nil {
+		t.Error("unequal fluid volumes accepted")
+	}
+}
+
+func TestWasteAccounting(t *testing.T) {
+	plan, _ := runDilution(t, 0.625, 4) // 0.1010₂: digits LSB→MSB 0,1,0,1
+	// scaled = 10 = 1010₂; trailing zero skipped: steps for digits at
+	// positions 1..3 → first 1-digit + two more = 3 mix-splits.
+	if plan.MixSplits != 3 || plan.Waste != 3 {
+		t.Errorf("0.625 plan: %d mix-splits, %d waste; want 3 and 3", plan.MixSplits, plan.Waste)
+	}
+	if plan.Achieved != 0.625 {
+		t.Errorf("achieved %g, want exactly 0.625", plan.Achieved)
+	}
+}

@@ -1,0 +1,398 @@
+// Package exec is the runtime execution engine and cycle-accurate DMFB
+// simulator (paper §7.1): it interprets the compiled executable Δ, driving
+// one electrode frame per 10 ms cycle, reconstructs droplet motion from the
+// activation frames (the cyber-physical contract: the chip only sees
+// electrodes), samples sensor models at sensing events, resolves control
+// flow online by evaluating each block's dry program against the sensor
+// readings, and reports the total bioassay execution time together with an
+// execution trace listing the blocks executed in order and the evaluation
+// of every conditional statement — the debugging aid §7.1 describes.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/cfg"
+	"biocoder/internal/codegen"
+	"biocoder/internal/ir"
+	"biocoder/internal/sensor"
+)
+
+// Droplet is the simulator's view of one droplet on the array.
+type Droplet struct {
+	ID     ir.FluidID
+	Pos    arch.Point
+	Volume float64
+	// Contents maps reagent names to their volumes, tracking composition
+	// through merges and splits.
+	Contents map[string]float64
+}
+
+func (d *Droplet) clone() *Droplet {
+	c := *d
+	c.Contents = make(map[string]float64, len(d.Contents))
+	for k, v := range d.Contents {
+		c.Contents[k] = v
+	}
+	return &c
+}
+
+// Visit records one executed CFG node or edge.
+type Visit struct {
+	Label  string
+	Cycles int
+}
+
+// Condition records the online resolution of one branch.
+type Condition struct {
+	Block string
+	Expr  string
+	Value bool
+}
+
+// Reading records one sensor sample.
+type Reading struct {
+	Cycle    int
+	Variable string
+	Device   string
+	Value    float64
+}
+
+// Trace is the execution trace (§7.1): the CFG nodes executed in order and
+// every condition evaluation, for error diagnosis.
+type Trace struct {
+	Visits     []Visit
+	Conditions []Condition
+	Readings   []Reading
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	// Cycles is the total actuation cycle count.
+	Cycles int
+	// Time is Cycles converted by the chip's cycle period — the
+	// simulated bioassay execution time reported in Table 1.
+	Time time.Duration
+	// DryEnv is the final state of the host-side variables.
+	DryEnv map[string]float64
+	// Dispensed and Collected account for droplet I/O (conservation).
+	Dispensed, Collected int
+	Trace                *Trace
+	// Contamination is populated when Options.TrackContamination is set.
+	Contamination *Contamination
+}
+
+// Options configures a run.
+type Options struct {
+	// Sensors supplies readings; defaults to a zero-seeded uniform model.
+	Sensors sensor.Model
+	// MaxCycles aborts runaway executions (default 100M cycles ≈ 11.5
+	// days of simulated time).
+	MaxCycles int
+	// FrameHook, when set, observes every executed frame (used by the
+	// visualizer to produce per-cycle images).
+	FrameHook func(cycle int, label string, frame codegen.Frame, droplets []*Droplet)
+	// TrackContamination enables residue bookkeeping: every electrode a
+	// droplet touches is marked with its reagents, and crossings of
+	// foreign residue are reported (paper §5, wash droplets).
+	TrackContamination bool
+
+	// faults holds pending transient droplet losses; set only through
+	// RunWithRecovery.
+	faults []Fault
+}
+
+// Run interprets the executable on the given chip.
+func Run(ex *codegen.Executable, chip *arch.Chip, opts Options) (*Result, error) {
+	if opts.Sensors == nil {
+		opts.Sensors = sensor.NewUniform(0)
+	}
+	if opts.MaxCycles <= 0 {
+		opts.MaxCycles = 100_000_000
+	}
+	m := &machine{
+		chip:     chip,
+		ex:       ex,
+		opts:     opts,
+		droplets: map[ir.FluidID]*Droplet{},
+		env:      map[string]float64{},
+		captured: map[int]float64{},
+		res:      &Result{DryEnv: map[string]float64{}, Trace: &Trace{}},
+	}
+	if opts.TrackContamination {
+		m.residue = newResidueTracker()
+	}
+	cur := ex.Graph.Entry
+	for {
+		bc := ex.Blocks[cur.ID]
+		if bc == nil {
+			return nil, fmt.Errorf("exec: block %s has no code", cur.Label)
+		}
+		if err := m.runSequence(bc.Seq, cur.Label); err != nil {
+			return nil, err
+		}
+		m.res.Trace.Visits = append(m.res.Trace.Visits, Visit{Label: cur.Label, Cycles: bc.Seq.NumCycles})
+		if err := m.runDryProgram(cur); err != nil {
+			return nil, err
+		}
+		if cur == ex.Graph.Exit {
+			break
+		}
+		next, err := m.pickSuccessor(cur)
+		if err != nil {
+			return nil, err
+		}
+		ec := ex.Edge(cur, next)
+		if ec == nil {
+			return nil, fmt.Errorf("exec: edge %s->%s has no code", cur.Label, next.Label)
+		}
+		if err := m.runSequence(ec.Seq, cur.Label+"->"+next.Label); err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	if len(m.droplets) != 0 {
+		return nil, fmt.Errorf("exec: %d droplets remain on chip at protocol end", len(m.droplets))
+	}
+	if m.residue != nil {
+		m.res.Contamination = m.residue.finish()
+	}
+	m.res.Time = time.Duration(m.res.Cycles) * chip.CyclePeriod
+	for k, v := range m.env {
+		m.res.DryEnv[k] = v
+	}
+	return m.res, nil
+}
+
+type machine struct {
+	chip     *arch.Chip
+	ex       *codegen.Executable
+	opts     Options
+	droplets map[ir.FluidID]*Droplet
+	env      map[string]float64
+	captured map[int]float64 // sense instr ID -> sampled value
+	res      *Result
+	residue  *residueTracker
+	lost     *Droplet
+}
+
+// runSequence drives one activation sequence cycle by cycle: events apply
+// between frames; each frame is interpreted physically — a droplet follows
+// the unique activated electrode in its own cell or 4-neighborhood.
+func (m *machine) runSequence(s *codegen.Sequence, label string) error {
+	evIdx := 0
+	applyEvents := func(cycle int) error {
+		for evIdx < len(s.Events) && s.Events[evIdx].Cycle == cycle {
+			if err := m.applyEvent(s.Events[evIdx], label); err != nil {
+				return err
+			}
+			evIdx++
+		}
+		return nil
+	}
+	for t := 0; t < s.NumCycles; t++ {
+		if err := applyEvents(t); err != nil {
+			return err
+		}
+		m.injectFaults()
+		if err := m.applyFrame(s.Frames[t], label, t); err != nil {
+			return err
+		}
+		if m.residue != nil {
+			for _, d := range m.droplets {
+				m.residue.touch(d, m.res.Cycles, label)
+			}
+		}
+		m.res.Cycles++
+		if m.res.Cycles > m.opts.MaxCycles {
+			return fmt.Errorf("exec: execution exceeded %d cycles (runaway loop?)", m.opts.MaxCycles)
+		}
+		if m.opts.FrameHook != nil {
+			m.opts.FrameHook(m.res.Cycles, label, s.Frames[t], m.dropletList())
+		}
+	}
+	return applyEvents(s.NumCycles)
+}
+
+func (m *machine) dropletList() []*Droplet {
+	out := make([]*Droplet, 0, len(m.droplets))
+	for _, d := range m.droplets {
+		out = append(out, d)
+	}
+	return out
+}
+
+func (m *machine) applyEvent(ev codegen.Event, label string) error {
+	switch ev.Kind {
+	case codegen.EvDispense:
+		d := ev.Results[0]
+		if _, dup := m.droplets[d]; dup {
+			return fmt.Errorf("exec: %s: dispense of existing droplet %s", label, d)
+		}
+		m.droplets[d] = &Droplet{
+			ID: d, Pos: ev.Cells[0], Volume: ev.Volume,
+			Contents: map[string]float64{ev.Fluid: ev.Volume},
+		}
+		m.res.Dispensed++
+	case codegen.EvOutput:
+		d, err := m.take(ev.Inputs[0], label)
+		if err != nil {
+			return err
+		}
+		if d.Pos != ev.Cells[0] {
+			return fmt.Errorf("exec: %s: output expects droplet %s at %v, found at %v", label, d.ID, ev.Cells[0], d.Pos)
+		}
+		m.res.Collected++
+	case codegen.EvSplit:
+		parent, err := m.take(ev.Inputs[0], label)
+		if err != nil {
+			return err
+		}
+		for i, rid := range ev.Results {
+			child := parent.clone()
+			child.ID = rid
+			child.Pos = ev.Cells[i]
+			child.Volume = parent.Volume / 2
+			for k := range child.Contents {
+				child.Contents[k] /= 2
+			}
+			m.droplets[rid] = child
+		}
+	case codegen.EvMerge:
+		result := &Droplet{ID: ev.Results[0], Pos: ev.Cells[0], Contents: map[string]float64{}}
+		for _, in := range ev.Inputs {
+			d, err := m.take(in, label)
+			if err != nil {
+				return err
+			}
+			result.Volume += d.Volume
+			for k, v := range d.Contents {
+				result.Contents[k] += v
+			}
+		}
+		m.droplets[result.ID] = result
+	case codegen.EvRename:
+		d, err := m.take(ev.Inputs[0], label)
+		if err != nil {
+			return err
+		}
+		d.ID = ev.Results[0]
+		m.droplets[d.ID] = d
+	case codegen.EvSense:
+		d, ok := m.droplets[ev.Inputs[0]]
+		if !ok {
+			return fmt.Errorf("exec: %s: sensing missing droplet %s", label, ev.Inputs[0])
+		}
+		_ = d
+		v := m.opts.Sensors.Read(ev.SensorVar, ev.Device, m.res.Cycles)
+		m.captured[ev.InstrID] = v
+		m.res.Trace.Readings = append(m.res.Trace.Readings, Reading{
+			Cycle: m.res.Cycles, Variable: ev.SensorVar, Device: ev.Device, Value: v,
+		})
+	default:
+		return fmt.Errorf("exec: %s: unknown event kind %v", label, ev.Kind)
+	}
+	return nil
+}
+
+func (m *machine) take(id ir.FluidID, label string) (*Droplet, error) {
+	d, ok := m.droplets[id]
+	if !ok {
+		return nil, fmt.Errorf("exec: %s: droplet %s not on chip", label, id)
+	}
+	delete(m.droplets, id)
+	return d, nil
+}
+
+// applyFrame moves every droplet according to the activated electrodes: a
+// droplet whose own electrode stays active holds; otherwise it follows the
+// unique active electrode among its four neighbors (Fig. 2). Zero or
+// several candidates indicate a malformed executable.
+func (m *machine) applyFrame(f codegen.Frame, label string, t int) error {
+	active := make(map[arch.Point]bool, len(f))
+	for _, c := range f {
+		active[c] = true
+	}
+	if len(active) != len(m.droplets) {
+		if m.lost != nil {
+			// The cyber-physical feedback loop notices the discrepancy
+			// one cycle after the loss: this is the detection signal the
+			// recovery controller acts on (§8.4).
+			return &lossSignal{
+				DropletLossError: &DropletLossError{
+					Cycle: m.res.Cycles, Label: label, Droplet: m.lost.ID.String(),
+				},
+				Survivors: len(m.droplets),
+			}
+		}
+		return fmt.Errorf("exec: %s cycle %d: %d electrodes active for %d droplets", label, t, len(active), len(m.droplets))
+	}
+	for _, d := range m.droplets {
+		if active[d.Pos] {
+			continue // hold
+		}
+		var next []arch.Point
+		for _, delta := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			n := d.Pos.Add(delta[0], delta[1])
+			if active[n] {
+				next = append(next, n)
+			}
+		}
+		switch len(next) {
+		case 1:
+			d.Pos = next[0]
+		case 0:
+			return fmt.Errorf("exec: %s cycle %d: droplet %s at %v stranded (no active electrode nearby)", label, t, d.ID, d.Pos)
+		default:
+			return fmt.Errorf("exec: %s cycle %d: droplet %s at %v torn between %d electrodes", label, t, d.ID, d.Pos, len(next))
+		}
+	}
+	return nil
+}
+
+// runDryProgram walks the block's instruction list in program order,
+// binding captured sensor readings and evaluating dry computations — the
+// host-side half of the hybrid IR.
+func (m *machine) runDryProgram(b *cfg.Block) error {
+	for _, in := range b.Instrs {
+		switch in.Kind {
+		case ir.Sense:
+			v, ok := m.captured[in.ID]
+			if !ok {
+				return fmt.Errorf("exec: block %s: no captured reading for %s", b.Label, in)
+			}
+			m.env[in.SensorVar] = v
+		case ir.Compute:
+			v, err := in.DryExpr.Eval(m.env)
+			if err != nil {
+				return fmt.Errorf("exec: block %s: %s: %w", b.Label, in, err)
+			}
+			m.env[in.DryLHS] = v
+		}
+	}
+	return nil
+}
+
+// pickSuccessor resolves control flow: unconditional blocks fall through;
+// conditional blocks evaluate their dry expression against the environment.
+func (m *machine) pickSuccessor(b *cfg.Block) (*cfg.Block, error) {
+	if b.Branch == nil {
+		if len(b.Succs) != 1 {
+			return nil, fmt.Errorf("exec: block %s has %d successors and no branch", b.Label, len(b.Succs))
+		}
+		return b.Succs[0], nil
+	}
+	ok, err := ir.Truthy(b.Branch, m.env)
+	if err != nil {
+		return nil, fmt.Errorf("exec: block %s: evaluating %s: %w", b.Label, b.Branch, err)
+	}
+	m.res.Trace.Conditions = append(m.res.Trace.Conditions, Condition{
+		Block: b.Label, Expr: b.Branch.String(), Value: ok,
+	})
+	if ok {
+		return b.Then(), nil
+	}
+	return b.Else(), nil
+}

@@ -1,0 +1,117 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/lang"
+	"biocoder/internal/sensor"
+)
+
+func recoveryAssay(bs *lang.BioSystem) {
+	f := bs.NewFluid("F", 10)
+	c := bs.NewContainer("c")
+	bs.MeasureFluid(f, c)
+	bs.Vortex(c, 5*time.Second)
+	bs.Weigh(c, "w")
+	bs.If("w", lang.LessThan, 0.5)
+	bs.StoreFor(c, 95, 2*time.Second)
+	bs.EndIf()
+	bs.Drain(c, "")
+}
+
+func TestRecoveryFromDropletLoss(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+
+	clean, err := Run(ex, chip, Options{Sensors: sensor.Constant(0.9)})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+
+	res, err := RunWithRecovery(ex, chip, Options{Sensors: sensor.Constant(0.9)},
+		[]Fault{{Cycle: 300}}, 3)
+	if err != nil {
+		t.Fatalf("RunWithRecovery: %v", err)
+	}
+	if res.Recoveries != 1 || res.Attempts != 2 {
+		t.Errorf("recoveries/attempts = %d/%d, want 1/2", res.Recoveries, res.Attempts)
+	}
+	// The final run completes the assay; total time includes the wasted
+	// prefix plus flush overhead.
+	if res.Collected != clean.Collected || res.Dispensed != clean.Dispensed {
+		t.Errorf("recovered outcome differs: %d/%d vs clean %d/%d",
+			res.Dispensed, res.Collected, clean.Dispensed, clean.Collected)
+	}
+	if res.Time <= clean.Time {
+		t.Errorf("recovered run (%v) must cost more than a clean run (%v)", res.Time, clean.Time)
+	}
+	wasted := res.Cycles - clean.Cycles
+	if wasted < 300 {
+		t.Errorf("lost time %d cycles should cover the wasted prefix (≥300)", wasted)
+	}
+}
+
+func TestRecoveryMultipleFaults(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+	res, err := RunWithRecovery(ex, chip, Options{Sensors: sensor.Constant(0.9)},
+		[]Fault{{Cycle: 200}, {Cycle: 400}}, 5)
+	if err != nil {
+		t.Fatalf("RunWithRecovery: %v", err)
+	}
+	if res.Recoveries != 2 || res.Attempts != 3 {
+		t.Errorf("recoveries/attempts = %d/%d, want 2/3", res.Recoveries, res.Attempts)
+	}
+}
+
+func TestRecoveryGivesUp(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+	// More faults than attempts allowed.
+	faults := []Fault{{Cycle: 100}, {Cycle: 100}, {Cycle: 100}, {Cycle: 100}}
+	_, err := RunWithRecovery(ex, chip, Options{Sensors: sensor.Constant(0.9)}, faults, 3)
+	if err == nil || !strings.Contains(err.Error(), "recovery attempts") {
+		t.Fatalf("want give-up error, got %v", err)
+	}
+}
+
+func TestRecoveryNoFaultsIsPlainRun(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+	res, err := RunWithRecovery(ex, chip, Options{Sensors: sensor.Constant(0.9)}, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries != 0 || res.Attempts != 1 || res.LostTime != 0 {
+		t.Errorf("clean recovery run should be a plain run: %+v", res)
+	}
+	plain, err := Run(ex, chip, Options{Sensors: sensor.Constant(0.9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != plain.Cycles {
+		t.Errorf("cycles differ: %d vs %d", res.Cycles, plain.Cycles)
+	}
+}
+
+func TestLossDetectionIsPrompt(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+	o := Options{Sensors: sensor.Constant(0.9)}
+	o.faults = []Fault{{Cycle: 250}}
+	_, err := Run(ex, chip, o)
+	loss, ok := errAsLoss(err)
+	if !ok {
+		t.Fatalf("want loss signal, got %v", err)
+	}
+	// Detection happens within one cycle of the loss.
+	if loss.Cycle < 250 || loss.Cycle > 251 {
+		t.Errorf("loss detected at cycle %d, injected at 250", loss.Cycle)
+	}
+	if loss.Droplet == "" {
+		t.Error("loss signal should name the droplet")
+	}
+}

@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/cfg"
+	"biocoder/internal/codegen"
+	"biocoder/internal/ir"
+	"biocoder/internal/sensor"
+)
+
+// Stepper executes an assay one CFG node at a time, exposing the runtime
+// state between blocks — the interface an interactive debugger or a lab
+// monitoring console builds on. Each Step runs the current block's
+// activation sequence, resolves its dry program and branch, and runs the
+// chosen edge sequence, leaving the machine parked at the next block.
+type Stepper struct {
+	m    *machine
+	chip *arch.Chip
+	cur  *cfg.Block
+	done bool
+	err  error
+}
+
+// NewStepper prepares stepwise execution.
+func NewStepper(ex *codegen.Executable, chip *arch.Chip, opts Options) *Stepper {
+	if opts.Sensors == nil {
+		opts.Sensors = sensor.NewUniform(0)
+	}
+	if opts.MaxCycles <= 0 {
+		opts.MaxCycles = 100_000_000
+	}
+	return &Stepper{
+		m: &machine{
+			chip:     chip,
+			ex:       ex,
+			opts:     opts,
+			droplets: map[ir.FluidID]*Droplet{},
+			env:      map[string]float64{},
+			captured: map[int]float64{},
+			res:      &Result{DryEnv: map[string]float64{}, Trace: &Trace{}},
+		},
+		chip: chip,
+		cur:  ex.Graph.Entry,
+	}
+}
+
+// StepInfo reports what one step executed.
+type StepInfo struct {
+	// Block is the CFG node just executed.
+	Block string
+	// Cycles the block's sequence consumed (excluding the edge).
+	Cycles int
+	// Branch records the condition outcome when the block branched.
+	Branch *Condition
+	// Next is the block the machine is now parked at ("" when done).
+	Next string
+}
+
+// Done reports whether the assay has completed.
+func (s *Stepper) Done() bool { return s.done }
+
+// Err returns the terminal error, if any.
+func (s *Stepper) Err() error { return s.err }
+
+// Droplets returns the droplets currently on chip.
+func (s *Stepper) Droplets() []*Droplet { return s.m.dropletList() }
+
+// Env returns a copy of the dry environment (sensor readings, counters).
+func (s *Stepper) Env() map[string]float64 {
+	out := make(map[string]float64, len(s.m.env))
+	for k, v := range s.m.env {
+		out[k] = v
+	}
+	return out
+}
+
+// Elapsed returns the simulated time consumed so far.
+func (s *Stepper) Elapsed() time.Duration {
+	return time.Duration(s.m.res.Cycles) * s.chip.CyclePeriod
+}
+
+// Step executes the current block and the transfer to its successor.
+func (s *Stepper) Step() (*StepInfo, error) {
+	if s.done {
+		return nil, fmt.Errorf("exec: assay already complete")
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	fail := func(err error) (*StepInfo, error) {
+		s.err = err
+		s.done = true
+		return nil, err
+	}
+	ex := s.m.ex
+	bc := ex.Blocks[s.cur.ID]
+	if bc == nil {
+		return fail(fmt.Errorf("exec: block %s has no code", s.cur.Label))
+	}
+	if err := s.m.runSequence(bc.Seq, s.cur.Label); err != nil {
+		return fail(err)
+	}
+	s.m.res.Trace.Visits = append(s.m.res.Trace.Visits, Visit{Label: s.cur.Label, Cycles: bc.Seq.NumCycles})
+	if err := s.m.runDryProgram(s.cur); err != nil {
+		return fail(err)
+	}
+	info := &StepInfo{Block: s.cur.Label, Cycles: bc.Seq.NumCycles}
+	if s.cur == ex.Graph.Exit {
+		s.done = true
+		if len(s.m.droplets) != 0 {
+			return fail(fmt.Errorf("exec: %d droplets remain on chip at protocol end", len(s.m.droplets)))
+		}
+		return info, nil
+	}
+	nConds := len(s.m.res.Trace.Conditions)
+	next, err := s.m.pickSuccessor(s.cur)
+	if err != nil {
+		return fail(err)
+	}
+	if len(s.m.res.Trace.Conditions) > nConds {
+		c := s.m.res.Trace.Conditions[len(s.m.res.Trace.Conditions)-1]
+		info.Branch = &c
+	}
+	ec := ex.Edge(s.cur, next)
+	if ec == nil {
+		return fail(fmt.Errorf("exec: edge %s->%s has no code", s.cur.Label, next.Label))
+	}
+	if err := s.m.runSequence(ec.Seq, s.cur.Label+"->"+next.Label); err != nil {
+		return fail(err)
+	}
+	s.cur = next
+	info.Next = next.Label
+	return info, nil
+}
+
+// Finish runs the remaining blocks to completion and returns the final
+// result (as Run would have produced).
+func (s *Stepper) Finish() (*Result, error) {
+	for !s.done {
+		if _, err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	s.m.res.Time = time.Duration(s.m.res.Cycles) * s.chip.CyclePeriod
+	for k, v := range s.m.env {
+		s.m.res.DryEnv[k] = v
+	}
+	if s.m.residue != nil {
+		s.m.res.Contamination = s.m.residue.finish()
+	}
+	return s.m.res, nil
+}

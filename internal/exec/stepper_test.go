@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/lang"
+	"biocoder/internal/sensor"
+)
+
+func TestStepperMatchesRun(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, func(bs *lang.BioSystem) {
+		f := bs.NewFluid("F", 10)
+		c := bs.NewContainer("c")
+		bs.MeasureFluid(f, c)
+		bs.Loop(2)
+		bs.StoreFor(c, 95, time.Second)
+		bs.EndLoop()
+		bs.Weigh(c, "w")
+		bs.If("w", lang.LessThan, 0.5)
+		bs.Vortex(c, time.Second)
+		bs.EndIf()
+		bs.Drain(c, "")
+	})
+	opts := func() Options { return Options{Sensors: sensor.NewUniform(7)} }
+
+	full, err := Run(ex, chip, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewStepper(ex, chip, opts())
+	steps := 0
+	var sawBranch bool
+	for !st.Done() {
+		info, err := st.Step()
+		if err != nil {
+			t.Fatalf("Step %d: %v", steps, err)
+		}
+		steps++
+		if info.Branch != nil {
+			sawBranch = true
+		}
+		if steps > 100 {
+			t.Fatal("stepper did not terminate")
+		}
+	}
+	if !sawBranch {
+		t.Error("no branch observed during stepping")
+	}
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if res.Cycles != full.Cycles || res.Dispensed != full.Dispensed || res.Collected != full.Collected {
+		t.Errorf("stepper result %d/%d/%d differs from Run %d/%d/%d",
+			res.Cycles, res.Dispensed, res.Collected, full.Cycles, full.Dispensed, full.Collected)
+	}
+	if len(res.Trace.Visits) != len(full.Trace.Visits) {
+		t.Errorf("trace length %d vs %d", len(res.Trace.Visits), len(full.Trace.Visits))
+	}
+	if steps != len(full.Trace.Visits) {
+		t.Errorf("steps = %d, visits = %d", steps, len(full.Trace.Visits))
+	}
+}
+
+func TestStepperInspection(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, func(bs *lang.BioSystem) {
+		f := bs.NewFluid("F", 10)
+		c := bs.NewContainer("c")
+		bs.MeasureFluid(f, c)
+		bs.Weigh(c, "w")
+		bs.Drain(c, "")
+	})
+	st := NewStepper(ex, chip, Options{Sensors: sensor.Constant(2.5)})
+	// Entry step: nothing on chip yet.
+	if _, err := st.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// After the working block the droplet is gone but the reading is in.
+	if _, err := st.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Env()["w"]; got != 2.5 {
+		t.Errorf("env[w] = %g, want 2.5", got)
+	}
+	if st.Elapsed() <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	if len(st.Droplets()) != 0 {
+		t.Errorf("droplets remain after drain: %v", st.Droplets())
+	}
+	if _, err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done() {
+		t.Error("stepper not done after Finish")
+	}
+	if _, err := st.Step(); err == nil {
+		t.Error("Step after completion should error")
+	}
+}

@@ -1,0 +1,238 @@
+// Package ir defines the hybrid computational-fluidic intermediate
+// representation of the BioCoder compiler (paper §3, Fig. 7).
+//
+// Wet operations (dispense, mix, split, heat, sense, store, output) act on
+// fluidic variables and execute on the DMFB. Dry operations (compute) act on
+// scalar data — primarily sensor readings — and execute on the host PC
+// controller. Sensing links the two: it consumes a droplet and produces both
+// the droplet and a scalar value. Conditions at basic-block exits are dry
+// expressions whose online evaluation resolves control flow.
+package ir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BinOp enumerates binary operators available in dry expressions. Comparisons
+// and logical operators yield 0 or 1.
+type BinOp int
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Lt
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+	And
+	Or
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+const (
+	Neg UnOp = iota
+	Not
+)
+
+func (op UnOp) String() string {
+	switch op {
+	case Neg:
+		return "-"
+	case Not:
+		return "!"
+	default:
+		return fmt.Sprintf("UnOp(%d)", int(op))
+	}
+}
+
+// Expr is a dry-computation expression tree. The computational portion of an
+// assay is language-independent (paper §3); this small expression language
+// covers arithmetic, comparison, and boolean structure over named scalars.
+type Expr interface {
+	fmt.Stringer
+	// Eval computes the expression under the environment env. Unknown
+	// variables are an error. Boolean results are encoded as 0/1.
+	Eval(env map[string]float64) (float64, error)
+	// addVars accumulates the free variables of the expression.
+	addVars(set map[string]bool)
+}
+
+// Const is a numeric literal.
+type Const float64
+
+func (c Const) String() string                           { return trimFloat(float64(c)) }
+func (c Const) Eval(map[string]float64) (float64, error) { return float64(c), nil }
+func (c Const) addVars(map[string]bool)                  {}
+
+// Var references a named dry variable: a sensor reading, a stored
+// computation, or a compiler-generated loop counter.
+type Var string
+
+func (v Var) String() string { return string(v) }
+
+func (v Var) Eval(env map[string]float64) (float64, error) {
+	val, ok := env[string(v)]
+	if !ok {
+		return 0, fmt.Errorf("ir: undefined variable %q", string(v))
+	}
+	return val, nil
+}
+
+func (v Var) addVars(set map[string]bool) { set[string(v)] = true }
+
+// Bin applies a binary operator to two subexpressions.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func (b *Bin) Eval(env map[string]float64) (float64, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit logical operators so partial environments suffice.
+	switch b.Op {
+	case And:
+		if l == 0 {
+			return 0, nil
+		}
+		r, err := b.R.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		return boolToF(r != 0), nil
+	case Or:
+		if l != 0 {
+			return 1, nil
+		}
+		r, err := b.R.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		return boolToF(r != 0), nil
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Op {
+	case Add:
+		return l + r, nil
+	case Sub:
+		return l - r, nil
+	case Mul:
+		return l * r, nil
+	case Div:
+		if r == 0 {
+			return 0, fmt.Errorf("ir: division by zero in %s", b)
+		}
+		return l / r, nil
+	case Lt:
+		return boolToF(l < r), nil
+	case Le:
+		return boolToF(l <= r), nil
+	case Gt:
+		return boolToF(l > r), nil
+	case Ge:
+		return boolToF(l >= r), nil
+	case Eq:
+		return boolToF(l == r), nil
+	case Ne:
+		return boolToF(l != r), nil
+	}
+	return 0, fmt.Errorf("ir: unknown binary operator %v", b.Op)
+}
+
+func (b *Bin) addVars(set map[string]bool) {
+	b.L.addVars(set)
+	b.R.addVars(set)
+}
+
+// Un applies a unary operator to a subexpression.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+func (u *Un) String() string { return fmt.Sprintf("%s%s", u.Op, u.X) }
+
+func (u *Un) Eval(env map[string]float64) (float64, error) {
+	x, err := u.X.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch u.Op {
+	case Neg:
+		return -x, nil
+	case Not:
+		return boolToF(x == 0), nil
+	}
+	return 0, fmt.Errorf("ir: unknown unary operator %v", u.Op)
+}
+
+func (u *Un) addVars(set map[string]bool) { u.X.addVars(set) }
+
+// Vars returns the sorted free variables of e.
+func Vars(e Expr) []string {
+	set := map[string]bool{}
+	e.addVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Truthy evaluates e as a condition.
+func Truthy(e Expr, env map[string]float64) (bool, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// Cmp builds the comparison expression used by BioCoder conditions such as
+// IF(sensorVar, LESS_THAN, threshold).
+func Cmp(variable string, op BinOp, threshold float64) Expr {
+	return &Bin{Op: op, L: Var(variable), R: Const(threshold)}
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	s := fmt.Sprintf("%g", f)
+	return strings.TrimSuffix(s, ".0")
+}

@@ -1,0 +1,246 @@
+package ir
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func env(pairs ...any) map[string]float64 {
+	m := map[string]float64{}
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(float64)
+	}
+	return m
+}
+
+func TestExprEval(t *testing.T) {
+	cases := []struct {
+		expr Expr
+		env  map[string]float64
+		want float64
+	}{
+		{Const(3.5), nil, 3.5},
+		{Var("w"), env("w", 2.0), 2},
+		{&Bin{Add, Const(1), Const(2)}, nil, 3},
+		{&Bin{Sub, Const(1), Const(2)}, nil, -1},
+		{&Bin{Mul, Const(3), Const(4)}, nil, 12},
+		{&Bin{Div, Const(8), Const(2)}, nil, 4},
+		{&Bin{Lt, Var("w"), Const(3.57)}, env("w", 3.0), 1},
+		{&Bin{Lt, Var("w"), Const(3.57)}, env("w", 4.0), 0},
+		{&Bin{Le, Const(2), Const(2)}, nil, 1},
+		{&Bin{Gt, Const(3), Const(2)}, nil, 1},
+		{&Bin{Ge, Const(1), Const(2)}, nil, 0},
+		{&Bin{Eq, Const(2), Const(2)}, nil, 1},
+		{&Bin{Ne, Const(2), Const(2)}, nil, 0},
+		{&Bin{And, Const(1), Const(0)}, nil, 0},
+		{&Bin{And, Const(1), Const(5)}, nil, 1},
+		{&Bin{Or, Const(0), Const(2)}, nil, 1},
+		{&Un{Neg, Const(4)}, nil, -4},
+		{&Un{Not, Const(0)}, nil, 1},
+		{&Un{Not, Const(7)}, nil, 0},
+	}
+	for _, c := range cases {
+		got, err := c.expr.Eval(c.env)
+		if err != nil {
+			t.Errorf("%s: Eval error %v", c.expr, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %g, want %g", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestExprEvalErrors(t *testing.T) {
+	if _, err := Var("missing").Eval(nil); err == nil {
+		t.Error("undefined variable should error")
+	}
+	if _, err := (&Bin{Div, Const(1), Const(0)}).Eval(nil); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := (&Bin{Add, Var("x"), Const(1)}).Eval(nil); err == nil {
+		t.Error("error should propagate from operands")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand references an undefined variable; short-circuit
+	// evaluation must avoid touching it.
+	e := &Bin{And, Const(0), Var("undefined")}
+	if v, err := e.Eval(nil); err != nil || v != 0 {
+		t.Errorf("0 && undefined = %g,%v; want 0,nil", v, err)
+	}
+	o := &Bin{Or, Const(1), Var("undefined")}
+	if v, err := o.Eval(nil); err != nil || v != 1 {
+		t.Errorf("1 || undefined = %g,%v; want 1,nil", v, err)
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := &Bin{And,
+		&Bin{Lt, Var("weightSensor"), Const(3.57)},
+		&Bin{Gt, Var("opticalSensor"), Var("control")}}
+	got := Vars(e)
+	want := []string{"control", "opticalSensor", "weightSensor"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Vars = %v, want %v", got, want)
+	}
+	if vs := Vars(Const(1)); len(vs) != 0 {
+		t.Errorf("Vars(const) = %v, want empty", vs)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	e := Cmp("weightSensor", Lt, 3.57)
+	ok, err := Truthy(e, env("weightSensor", 3.0))
+	if err != nil || !ok {
+		t.Errorf("weightSensor<3.57 with 3.0 = %v,%v; want true", ok, err)
+	}
+	ok, err = Truthy(e, env("weightSensor", 4.0))
+	if err != nil || ok {
+		t.Errorf("weightSensor<3.57 with 4.0 = %v,%v; want false", ok, err)
+	}
+}
+
+// Comparisons must be mutually consistent for all inputs.
+func TestComparisonProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		e := env("a", a, "b", b)
+		lt, _ := (&Bin{Lt, Var("a"), Var("b")}).Eval(e)
+		ge, _ := (&Bin{Ge, Var("a"), Var("b")}).Eval(e)
+		eq, _ := (&Bin{Eq, Var("a"), Var("b")}).Eval(e)
+		le, _ := (&Bin{Le, Var("a"), Var("b")}).Eval(e)
+		return lt+ge == 1 && le == boolToF(lt == 1 || eq == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &Bin{Lt, Var("w"), Const(3.57)}
+	if got := e.String(); got != "(w < 3.57)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Const(9).String(); got != "9" {
+		t.Errorf("Const(9).String() = %q, want 9", got)
+	}
+	if got := (&Un{Not, Var("x")}).String(); got != "!x" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	f := func(name string) FluidID { return FluidID{Name: name} }
+	good := []Instr{
+		{Kind: Dispense, Results: []FluidID{f("a")}, FluidType: "Water", Volume: 10},
+		{Kind: Output, Args: []FluidID{f("a")}},
+		{Kind: Mix, Args: []FluidID{f("a"), f("b")}, Results: []FluidID{f("c")}, Duration: time.Second},
+		{Kind: Split, Args: []FluidID{f("a")}, Results: []FluidID{f("b"), f("c")}},
+		{Kind: Heat, Args: []FluidID{f("a")}, Results: []FluidID{f("b")}, Temp: 95, Duration: time.Second},
+		{Kind: Sense, Args: []FluidID{f("a")}, Results: []FluidID{f("b")}, SensorVar: "w", Duration: time.Second},
+		{Kind: Store, Args: []FluidID{f("a")}, Results: []FluidID{f("b")}, Duration: time.Second},
+		{Kind: Compute, DryLHS: "x", DryExpr: Const(1)},
+	}
+	for _, in := range good {
+		in := in
+		if err := in.Validate(); err != nil {
+			t.Errorf("valid %v rejected: %v", in.Kind, err)
+		}
+	}
+	bad := []Instr{
+		{Kind: Dispense, Results: []FluidID{f("a")}, Volume: 0},
+		{Kind: Dispense},
+		{Kind: Output},
+		{Kind: Mix, Args: []FluidID{f("a")}, Results: []FluidID{f("b")}},
+		{Kind: Split, Args: []FluidID{f("a")}, Results: []FluidID{f("b")}},
+		{Kind: Sense, Args: []FluidID{f("a")}, Results: []FluidID{f("b")}},
+		{Kind: Compute, Args: []FluidID{f("a")}, DryLHS: "x", DryExpr: Const(1)},
+		{Kind: Compute},
+	}
+	for _, in := range bad {
+		in := in
+		if err := in.Validate(); err == nil {
+			t.Errorf("invalid %v accepted: %s", in.Kind, in.String())
+		}
+	}
+}
+
+func TestInstrDryState(t *testing.T) {
+	sense := Instr{Kind: Sense, Args: []FluidID{{Name: "a"}}, Results: []FluidID{{Name: "b"}},
+		SensorVar: "weight", Duration: time.Second}
+	if got := sense.DryDef(); got != "weight" {
+		t.Errorf("sense DryDef = %q, want weight", got)
+	}
+	comp := Instr{Kind: Compute, DryLHS: "x", DryExpr: &Bin{Add, Var("weight"), Const(1)}}
+	if got := comp.DryDef(); got != "x" {
+		t.Errorf("compute DryDef = %q", got)
+	}
+	if got := comp.DryUses(); !reflect.DeepEqual(got, []string{"weight"}) {
+		t.Errorf("compute DryUses = %v", got)
+	}
+	mix := Instr{Kind: Mix, Args: []FluidID{{Name: "a"}}, Results: []FluidID{{Name: "b"}}, Duration: time.Second}
+	if mix.DryDef() != "" || mix.DryUses() != nil {
+		t.Error("wet mix must not touch dry state")
+	}
+}
+
+func TestFluidIDString(t *testing.T) {
+	if got := (FluidID{Name: "tube"}).String(); got != "tube" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (FluidID{Name: "tube", Ver: 3}).String(); got != "tube.3" {
+		t.Errorf("String = %q", got)
+	}
+	if !(FluidID{}).IsZero() || (FluidID{Name: "x"}).IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+}
+
+func TestInstrUsesDefines(t *testing.T) {
+	in := Instr{Kind: Mix,
+		Args:     []FluidID{{Name: "a"}, {Name: "b", Ver: 2}},
+		Results:  []FluidID{{Name: "c"}},
+		Duration: time.Second}
+	if !in.UsesFluid(FluidID{Name: "b", Ver: 2}) || in.UsesFluid(FluidID{Name: "b"}) {
+		t.Error("UsesFluid must match exact versions")
+	}
+	if !in.DefinesFluid(FluidID{Name: "c"}) || in.DefinesFluid(FluidID{Name: "a"}) {
+		t.Error("DefinesFluid misbehaves")
+	}
+}
+
+func TestOpKindPredicates(t *testing.T) {
+	for _, k := range []OpKind{Dispense, Output, Mix, Split, Heat, Sense, Store} {
+		if !k.IsWet() {
+			t.Errorf("%v must be wet", k)
+		}
+	}
+	if Compute.IsWet() {
+		t.Error("compute must be dry")
+	}
+	if !Heat.NeedsDevice() || !Sense.NeedsDevice() {
+		t.Error("heat and sense need devices")
+	}
+	for _, k := range []OpKind{Dispense, Output, Mix, Split, Store, Compute} {
+		if k.NeedsDevice() {
+			t.Errorf("%v must be reconfigurable or dry", k)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Kind: Heat, Args: []FluidID{{Name: "tube", Ver: 4}},
+		Results: []FluidID{{Name: "tube", Ver: 5}}, Temp: 95, Duration: 20 * time.Second}
+	got := in.String()
+	want := "tube.5 = heat tube.4 at 95°C for 20s"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,251 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FluidID names one version of a fluidic variable. Before SSI conversion all
+// versions share Ver 0 and identity is the bare Name; renaming assigns fresh
+// versions so every definition is unique (paper §6, Fig. 11).
+type FluidID struct {
+	Name string
+	Ver  int
+}
+
+func (f FluidID) String() string {
+	if f.Ver == 0 {
+		return f.Name
+	}
+	return fmt.Sprintf("%s.%d", f.Name, f.Ver)
+}
+
+// IsZero reports whether f is the zero FluidID (no fluid).
+func (f FluidID) IsZero() bool { return f.Name == "" }
+
+// OpKind enumerates the operations of the hybrid IR (paper Fig. 7).
+// Transport and wash are not part of the IR: the back-end inserts them during
+// routing. Store appears in the IR only after scheduling, which makes storage
+// explicit so that t(v_i) = s(v_j) holds along every DAG edge (paper §5).
+type OpKind int
+
+const (
+	// Dispense inputs a droplet of FluidType with Volume from a reservoir.
+	Dispense OpKind = iota
+	// Output disposes of or collects a droplet at an output port.
+	Output
+	// Mix merges its argument droplets and mixes for Duration.
+	Mix
+	// Split divides a droplet into two result droplets.
+	Split
+	// Heat holds a droplet at Temp for Duration on a heater.
+	Heat
+	// Sense holds a droplet on a sensor for Duration and binds the scalar
+	// reading to the dry variable SensorVar.
+	Sense
+	// Store holds a droplet in place; inserted by the scheduler.
+	Store
+	// Compute is a dry operation: DryLHS = DryExpr, evaluated on the host.
+	Compute
+)
+
+var opKindNames = [...]string{"dispense", "output", "mix", "split", "heat", "sense", "store", "compute"}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// IsWet reports whether the operation manipulates fluid on the chip.
+func (k OpKind) IsWet() bool { return k != Compute }
+
+// NeedsDevice reports whether the operation is non-reconfigurable, i.e. must
+// be placed on an integrated device rather than on plain electrodes.
+func (k OpKind) NeedsDevice() bool { return k == Heat || k == Sense }
+
+// Instr is one operation in a basic block. Blocks hold ordered instruction
+// lists; the scheduler derives the dependence DAG from Args/Results.
+type Instr struct {
+	// ID is unique across a program; assigned by the front end.
+	ID   int
+	Kind OpKind
+
+	// Args are the fluidic variables consumed. Every wet use kills its
+	// argument (droplets cannot be copied, paper §3); the consumed name
+	// may be redefined by Results (in-place update of a container).
+	Args []FluidID
+	// Results are the fluidic variables defined. Split defines two.
+	Results []FluidID
+
+	// FluidType names the reagent dispensed (Dispense only).
+	FluidType string
+	// Volume is the dispensed volume in microliters (Dispense only).
+	Volume float64
+	// Duration is the operation's wall-clock length (Mix, Heat, Sense,
+	// Store). The compiler converts it to cycles against the chip.
+	Duration time.Duration
+	// Temp is the target temperature in Celsius (Heat only).
+	Temp float64
+	// SensorVar is the dry variable bound to the reading (Sense only).
+	SensorVar string
+	// Port optionally pins Dispense/Output to a named reservoir.
+	Port string
+
+	// DryLHS/DryExpr describe a Compute operation.
+	DryLHS  string
+	DryExpr Expr
+}
+
+// UsesFluid reports whether in consumes f.
+func (in *Instr) UsesFluid(f FluidID) bool {
+	for _, a := range in.Args {
+		if a == f {
+			return true
+		}
+	}
+	return false
+}
+
+// DefinesFluid reports whether in defines f.
+func (in *Instr) DefinesFluid(f FluidID) bool {
+	for _, r := range in.Results {
+		if r == f {
+			return true
+		}
+	}
+	return false
+}
+
+// DryUses returns the dry variables read by in: the free variables of a
+// Compute expression. Wet operations read no dry state.
+func (in *Instr) DryUses() []string {
+	if in.Kind == Compute && in.DryExpr != nil {
+		return Vars(in.DryExpr)
+	}
+	return nil
+}
+
+// DryDef returns the dry variable written by in, if any: the LHS of a
+// Compute or the binding of a Sense.
+func (in *Instr) DryDef() string {
+	switch in.Kind {
+	case Compute:
+		return in.DryLHS
+	case Sense:
+		return in.SensorVar
+	}
+	return ""
+}
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	if len(in.Results) > 0 {
+		for i, r := range in.Results {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(r.String())
+		}
+		b.WriteString(" = ")
+	}
+	switch in.Kind {
+	case Compute:
+		fmt.Fprintf(&b, "%s = %s", in.DryLHS, in.DryExpr)
+		return b.String()
+	case Dispense:
+		fmt.Fprintf(&b, "dispense %q %guL", in.FluidType, in.Volume)
+	case Output:
+		fmt.Fprintf(&b, "output %s", fluidList(in.Args))
+		if in.Port != "" {
+			fmt.Fprintf(&b, " -> %q", in.Port)
+		}
+		return b.String()
+	case Mix:
+		fmt.Fprintf(&b, "mix %s for %v", fluidList(in.Args), in.Duration)
+	case Split:
+		fmt.Fprintf(&b, "split %s", fluidList(in.Args))
+	case Heat:
+		fmt.Fprintf(&b, "heat %s at %g°C for %v", fluidList(in.Args), in.Temp, in.Duration)
+	case Sense:
+		fmt.Fprintf(&b, "sense %s -> %s for %v", fluidList(in.Args), in.SensorVar, in.Duration)
+	case Store:
+		fmt.Fprintf(&b, "store %s for %v", fluidList(in.Args), in.Duration)
+	default:
+		fmt.Fprintf(&b, "%v %s", in.Kind, fluidList(in.Args))
+	}
+	return b.String()
+}
+
+func fluidList(fs []FluidID) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Validate checks the structural invariants of the hybrid IR for a single
+// instruction: arity of fluidic arguments/results per kind, and the
+// wet/dry separation of Fig. 7 (only computations touch dry state; data
+// edges may only feed computations and conditions).
+func (in *Instr) Validate() error {
+	na, nr := len(in.Args), len(in.Results)
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("ir: instr %d (%v): %s", in.ID, in.Kind, fmt.Sprintf(format, args...))
+	}
+	switch in.Kind {
+	case Dispense:
+		if na != 0 || nr != 1 {
+			return bad("wants 0 args and 1 result, has %d/%d", na, nr)
+		}
+		if in.Volume <= 0 {
+			return bad("volume %g must be positive", in.Volume)
+		}
+	case Output:
+		if na != 1 || nr != 0 {
+			return bad("wants 1 arg and 0 results, has %d/%d", na, nr)
+		}
+	case Mix:
+		if na < 1 || nr != 1 {
+			return bad("wants >=1 args and 1 result, has %d/%d", na, nr)
+		}
+		if in.Duration <= 0 {
+			return bad("duration must be positive")
+		}
+	case Split:
+		if na != 1 || nr != 2 {
+			return bad("wants 1 arg and 2 results, has %d/%d", na, nr)
+		}
+	case Heat:
+		if na != 1 || nr != 1 {
+			return bad("wants 1 arg and 1 result, has %d/%d", na, nr)
+		}
+		if in.Duration <= 0 {
+			return bad("duration must be positive")
+		}
+	case Sense:
+		if na != 1 || nr != 1 {
+			return bad("wants 1 arg and 1 result, has %d/%d", na, nr)
+		}
+		if in.SensorVar == "" {
+			return bad("sense must bind a sensor variable")
+		}
+	case Store:
+		if na != 1 || nr != 1 {
+			return bad("wants 1 arg and 1 result, has %d/%d", na, nr)
+		}
+	case Compute:
+		if na != 0 || nr != 0 {
+			return bad("dry compute must not touch fluids, has %d/%d", na, nr)
+		}
+		if in.DryLHS == "" || in.DryExpr == nil {
+			return bad("compute wants LHS and expression")
+		}
+	default:
+		return bad("unknown kind")
+	}
+	return nil
+}

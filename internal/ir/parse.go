@@ -1,0 +1,246 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseExpr parses the textual form produced by Expr.String back into an
+// expression tree: identifiers, numeric literals, parentheses, unary ! and
+// -, and the binary operators with C precedence. It is the inverse used by
+// the executable serializer; round-tripping any Expr through String and
+// ParseExpr yields a semantically identical tree.
+func ParseExpr(src string) (Expr, error) {
+	p := &exprParser{src: src}
+	p.skipSpace()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("ir: trailing input %q in expression", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peekOp(ops ...string) string {
+	p.skipSpace()
+	for _, op := range ops {
+		if strings.HasPrefix(p.src[p.pos:], op) {
+			// Avoid treating "<=" as "<" etc.: longest ops listed first
+			// by callers.
+			return op
+		}
+	}
+	return ""
+}
+
+func (p *exprParser) take(op string) { p.pos += len(op) }
+
+func (p *exprParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekOp("||") != "" {
+		p.take("||")
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: Or, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekOp("&&") != "" {
+		p.take("&&")
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: And, L: l, R: r}
+	}
+	return l, nil
+}
+
+var parseCmpOps = []struct {
+	text string
+	op   BinOp
+}{
+	{"<=", Le}, {">=", Ge}, {"==", Eq}, {"!=", Ne}, {"<", Lt}, {">", Gt},
+}
+
+func (p *exprParser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	for _, c := range parseCmpOps {
+		if strings.HasPrefix(p.src[p.pos:], c.text) {
+			p.take(c.text)
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Bin{Op: c.op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return l, nil
+		}
+		switch p.src[p.pos] {
+		case '+':
+			p.take("+")
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: Add, L: l, R: r}
+		case '-':
+			p.take("-")
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: Sub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return l, nil
+		}
+		switch p.src[p.pos] {
+		case '*':
+			p.take("*")
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: Mul, L: l, R: r}
+		case '/':
+			p.take("/")
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Bin{Op: Div, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '!':
+			p.take("!")
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Un{Op: Not, X: x}, nil
+		case '-':
+			p.take("-")
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Un{Op: Neg, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("ir: unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.take("(")
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("ir: missing ')' in expression %q", p.src)
+		}
+		p.take(")")
+		return e, nil
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' ||
+			p.src[p.pos] == '.' || p.src[p.pos] == 'e' || p.src[p.pos] == 'E' ||
+			(p.pos > start && (p.src[p.pos] == '+' || p.src[p.pos] == '-') &&
+				(p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E'))) {
+			p.pos++
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ir: bad number %q: %v", p.src[start:p.pos], err)
+		}
+		return Const(v), nil
+	case isExprIdentStart(rune(c)):
+		start := p.pos
+		for p.pos < len(p.src) && isExprIdentPart(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		return Var(p.src[start:p.pos]), nil
+	default:
+		return nil, fmt.Errorf("ir: unexpected character %q in expression %q", c, p.src)
+	}
+}
+
+func isExprIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isExprIdentPart(r rune) bool {
+	return isExprIdentStart(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,101 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseExprBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  map[string]float64
+		want float64
+	}{
+		{"1", nil, 1},
+		{"1.5 + 2", nil, 3.5},
+		{"2 * 3 + 4", nil, 10},
+		{"2 * (3 + 4)", nil, 14},
+		{"(w < 3.57)", map[string]float64{"w": 3}, 1},
+		{"((a < 1) || ((b > 2) && (c == 3)))", map[string]float64{"a": 5, "b": 3, "c": 3}, 1},
+		{"!x", map[string]float64{"x": 0}, 1},
+		{"-y + 3", map[string]float64{"y": 1}, 2},
+		{"$loop1 < 9", map[string]float64{"$loop1": 4}, 1},
+		{"10 / 4", nil, 2.5},
+		{"1 - 2 - 3", nil, -4}, // left associative
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.src, err)
+			continue
+		}
+		got, err := e.Eval(c.env)
+		if err != nil {
+			t.Errorf("%q eval: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q = %g, want %g", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{"", "1 +", "(1", "1)", "@", "1 2", "a &&", "()", "1..2"} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) accepted invalid input", src)
+		}
+	}
+}
+
+// randomExpr builds a random expression tree for round-trip testing.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return Const(float64(r.Intn(200)) / 4)
+		}
+		names := []string{"w", "amp", "cycles", "$loop1", "x_2"}
+		return Var(names[r.Intn(len(names))])
+	}
+	if r.Intn(5) == 0 {
+		op := Neg
+		if r.Intn(2) == 0 {
+			op = Not
+		}
+		return &Un{Op: op, X: randomExpr(r, depth-1)}
+	}
+	ops := []BinOp{Add, Sub, Mul, Div, Lt, Le, Gt, Ge, Eq, Ne, And, Or}
+	return &Bin{Op: ops[r.Intn(len(ops))], L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+}
+
+// Round-trip property: parsing an expression's String yields a tree with
+// identical evaluation on random environments (and identical String).
+func TestParseExprRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := randomExpr(r, 4)
+		parsed, err := ParseExpr(orig.String())
+		if err != nil {
+			t.Logf("parse %q: %v", orig, err)
+			return false
+		}
+		if parsed.String() != orig.String() {
+			t.Logf("string mismatch: %q vs %q", orig, parsed)
+			return false
+		}
+		env := map[string]float64{
+			"w": r.Float64() * 10, "amp": r.Float64(), "cycles": float64(r.Intn(10)),
+			"$loop1": float64(r.Intn(10)), "x_2": r.Float64() * 5,
+		}
+		v1, err1 := orig.Eval(env)
+		v2, err2 := parsed.Eval(env)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		return err1 != nil || v1 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder/internal/ir"
+)
+
+// Coverage for the less-traveled builder surface: ambient storage, explicit
+// volumes, expression helpers, and name validation.
+
+func TestStoreAmbient(t *testing.T) {
+	bs := New()
+	f := bs.NewFluid("F", 5)
+	c := bs.NewContainer("c")
+	bs.MeasureFluid(f, c)
+	bs.Store(c, 30*time.Second) // ambient storage, not heating
+	bs.Drain(c, "")
+	g, err := bs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == ir.Store {
+				found = true
+				if in.Temp != 0 {
+					t.Errorf("ambient store has temperature %g", in.Temp)
+				}
+				if in.Duration != 30*time.Second {
+					t.Errorf("store duration = %v", in.Duration)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no store instruction emitted")
+	}
+}
+
+func TestMeasureFluidVolumeExplicit(t *testing.T) {
+	bs := New()
+	f := bs.NewFluid("F", 5)
+	c := bs.NewContainer("c")
+	bs.MeasureFluidVolume(f, c, Microliters(2.5))
+	bs.Drain(c, "")
+	g, err := bs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == ir.Dispense && in.Volume != 2.5 {
+				t.Errorf("dispense volume = %g, want 2.5", in.Volume)
+			}
+		}
+	}
+}
+
+func TestExprHelpers(t *testing.T) {
+	e := Or(Not(Cmp("a", GreaterOrEqual, 1)), Cmp("b", NotEqual, 2))
+	v, err := e.Eval(map[string]float64{"a": 0.5, "b": 2})
+	if err != nil || v != 1 {
+		t.Errorf("Or/Not eval = %g,%v; want 1", v, err)
+	}
+	arith := Div(Mul(Sub(V("x"), Num(1)), Num(4)), Num(2))
+	v, err = arith.Eval(map[string]float64{"x": 3})
+	if err != nil || v != 4 {
+		t.Errorf("arith eval = %g,%v; want 4", v, err)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+	}{
+		{"tube", true},
+		{"Tube_2", true},
+		{"_x", true},
+		{"", false},
+		{"has space", false},
+		{"semi;colon", false},
+		{"2abc", false},
+		{"a,b", false},
+	}
+	for _, c := range cases {
+		bs := New()
+		bs.NewContainer(c.name)
+		err := bs.Err()
+		if c.ok && err != nil {
+			t.Errorf("name %q rejected: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("name %q accepted", c.name)
+		}
+	}
+	// Sensor variable names too.
+	bs := New()
+	f := bs.NewFluid("F", 1)
+	c := bs.NewContainer("c")
+	bs.MeasureFluid(f, c)
+	bs.Weigh(c, "bad name")
+	if bs.Err() == nil || !strings.Contains(bs.Err().Error(), "identifier") {
+		t.Errorf("bad sensor variable accepted: %v", bs.Err())
+	}
+}
+
+func TestElseIfStateRestoration(t *testing.T) {
+	// Each arm starts from the container state at IF entry: filling d in
+	// the first arm must not leak into the else-if arm's state.
+	bs := New()
+	f := bs.NewFluid("F", 1)
+	c := bs.NewContainer("c")
+	d := bs.NewContainer("d")
+	bs.MeasureFluid(f, c)
+	bs.Weigh(c, "w")
+	bs.If("w", LessThan, 1)
+	bs.MeasureFluid(f, d)
+	bs.Drain(d, "")
+	bs.ElseIf("w", LessThan, 2)
+	bs.MeasureFluid(f, d) // must be legal: d empty on this arm
+	bs.Drain(d, "")
+	bs.EndIf()
+	bs.Drain(c, "")
+	if _, err := bs.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}
+
+func TestWhileStateMismatch(t *testing.T) {
+	bs := New()
+	f := bs.NewFluid("F", 1)
+	c := bs.NewContainer("c")
+	bs.MeasureFluid(f, c)
+	bs.Weigh(c, "w")
+	bs.While("w", GreaterThan, 0)
+	bs.Drain(c, "") // body empties c: state not invariant
+	bs.EndWhile()
+	_, err := bs.Build()
+	if err == nil || !strings.Contains(err.Error(), "loop body changes") {
+		t.Errorf("variant while body accepted: %v", err)
+	}
+}

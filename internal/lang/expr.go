@@ -1,0 +1,40 @@
+package lang
+
+import "biocoder/internal/ir"
+
+// Expr re-exports the dry expression type so protocols can build arbitrary
+// conditions without importing the IR package.
+type Expr = ir.Expr
+
+// V references a named dry variable (a sensor reading or Let binding).
+func V(name string) Expr { return ir.Var(name) }
+
+// Num is a numeric literal.
+func Num(v float64) Expr { return ir.Const(v) }
+
+// Cmp compares a dry variable against a constant threshold, the form
+// BioCoder conditions most often take.
+func Cmp(variable string, op CmpOp, threshold float64) Expr {
+	return ir.Cmp(variable, op.binOp(), threshold)
+}
+
+// And is short-circuit conjunction.
+func And(a, b Expr) Expr { return &ir.Bin{Op: ir.And, L: a, R: b} }
+
+// Or is short-circuit disjunction.
+func Or(a, b Expr) Expr { return &ir.Bin{Op: ir.Or, L: a, R: b} }
+
+// Not is logical negation.
+func Not(x Expr) Expr { return &ir.Un{Op: ir.Not, X: x} }
+
+// Add builds a + b.
+func Add(a, b Expr) Expr { return &ir.Bin{Op: ir.Add, L: a, R: b} }
+
+// Sub builds a - b.
+func Sub(a, b Expr) Expr { return &ir.Bin{Op: ir.Sub, L: a, R: b} }
+
+// Mul builds a * b.
+func Mul(a, b Expr) Expr { return &ir.Bin{Op: ir.Mul, L: a, R: b} }
+
+// Div builds a / b.
+func Div(a, b Expr) Expr { return &ir.Bin{Op: ir.Div, L: a, R: b} }

@@ -1,0 +1,673 @@
+// Package lang implements the updated BioCoder language of the paper (§2):
+// a fluent builder with structured control flow — IF/ELSE_IF/ELSE/END_IF,
+// constant-bounded LOOPs and condition-controlled WHILEs — replacing the
+// original BioCoder's programmer-allocated condition data structures
+// (Fig. 6). Fluids and containers are declared as variables; sensors are
+// named and usable in computational expressions and conditions.
+//
+// A BioSystem records a structured statement tree and lowers it to the
+// hybrid-IR control flow graph consumed by the compiler back end.
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"time"
+	"unicode"
+
+	"biocoder/internal/ir"
+)
+
+// Volume is a fluid volume in microliters.
+type Volume float64
+
+// Microliters constructs a Volume.
+func Microliters(v float64) Volume { return Volume(v) }
+
+// CmpOp is a comparison operator usable in conditions, mirroring BioCoder's
+// OP_LT/LESS_THAN-style constants.
+type CmpOp int
+
+const (
+	LessThan CmpOp = iota
+	LessOrEqual
+	GreaterThan
+	GreaterOrEqual
+	Equal
+	NotEqual
+)
+
+func (op CmpOp) binOp() ir.BinOp {
+	switch op {
+	case LessThan:
+		return ir.Lt
+	case LessOrEqual:
+		return ir.Le
+	case GreaterThan:
+		return ir.Gt
+	case GreaterOrEqual:
+		return ir.Ge
+	case Equal:
+		return ir.Eq
+	default:
+		return ir.Ne
+	}
+}
+
+// Fluid is a declared reagent with a default dispense volume.
+type Fluid struct {
+	Name string
+	Vol  Volume
+}
+
+// Container holds at most one droplet during execution; its name is the
+// fluidic variable threaded through the IR.
+type Container struct {
+	Name string
+}
+
+// MergeDuration is the mix time charged when measuring fluid into a
+// non-empty container: merging happens on the millisecond timescale (§3),
+// unlike explicit vortex operations.
+const MergeDuration = 10 * time.Millisecond
+
+// WeighDuration is the sensing time charged by Weigh, which reads a scalar
+// without incubation.
+const WeighDuration = time.Second
+
+type stmt interface{ isStmt() }
+
+type opStmt struct{ instr *ir.Instr }
+
+type ifArm struct {
+	cond ir.Expr // nil for the trailing ELSE arm
+	body []stmt
+}
+
+type ifStmt struct{ arms []ifArm }
+
+type loopStmt struct {
+	count int
+	body  []stmt
+}
+
+type whileStmt struct {
+	cond ir.Expr
+	body []stmt
+}
+
+type barrierStmt struct{}
+
+func (opStmt) isStmt()      {}
+func (*ifStmt) isStmt()     {}
+func (*loopStmt) isStmt()   {}
+func (*whileStmt) isStmt()  {}
+func (barrierStmt) isStmt() {}
+
+type frameKind int
+
+const (
+	rootFrame frameKind = iota
+	ifFrame
+	loopFrame
+	whileFrame
+)
+
+type frame struct {
+	kind  frameKind
+	stmts []stmt // statements of the currently open arm/body
+
+	// if-frames
+	arms        []ifArm
+	curCond     ir.Expr
+	sawElse     bool
+	savedFilled map[string]bool   // container state at IF/LOOP/WHILE entry
+	armFilled   []map[string]bool // state at the end of each closed arm
+
+	// loop/while-frames
+	count int
+	cond  ir.Expr
+}
+
+// BioSystem records a BioCoder protocol. Methods are sticky on error: after
+// the first failure every call is a no-op and Err/Build report the cause,
+// which keeps protocol specifications free of per-statement error plumbing
+// in the spirit of the original C++ API.
+type BioSystem struct {
+	err        error
+	frames     []*frame
+	fluids     map[string]*Fluid
+	containers map[string]*Container
+	filled     map[string]bool
+	tempCount  int
+	loopCount  int
+	ended      bool
+}
+
+// New returns an empty protocol under construction.
+func New() *BioSystem {
+	return &BioSystem{
+		frames:     []*frame{{kind: rootFrame}},
+		fluids:     map[string]*Fluid{},
+		containers: map[string]*Container{},
+		filled:     map[string]bool{},
+	}
+}
+
+// Err returns the first recorded error, if any.
+func (bs *BioSystem) Err() error { return bs.err }
+
+// validName reports whether a user-chosen name is identifier-shaped:
+// letters, digits and underscores, starting with a letter or underscore.
+// This keeps names unambiguous in dumps, scripts, and the executable
+// serialization format.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_' || unicode.IsLetter(r):
+		case i > 0 && unicode.IsDigit(r):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (bs *BioSystem) fail(format string, args ...any) {
+	if bs.err == nil {
+		bs.err = fmt.Errorf("lang: %s", fmt.Sprintf(format, args...))
+	}
+}
+
+func (bs *BioSystem) top() *frame { return bs.frames[len(bs.frames)-1] }
+
+func (bs *BioSystem) append(s stmt) { f := bs.top(); f.stmts = append(f.stmts, s) }
+
+func (bs *BioSystem) appendOp(in *ir.Instr) { bs.append(opStmt{instr: in}) }
+
+// guard checks the common preconditions of statement-recording methods.
+func (bs *BioSystem) guard() bool {
+	if bs.err != nil {
+		return false
+	}
+	if bs.ended {
+		bs.fail("statement after EndProtocol")
+		return false
+	}
+	return true
+}
+
+// NewFluid declares a reagent with a default dispense volume.
+func (bs *BioSystem) NewFluid(name string, vol Volume) *Fluid {
+	f := &Fluid{Name: name, Vol: vol}
+	if !bs.guard() {
+		return f
+	}
+	if !validName(name) {
+		bs.fail("fluid name %q must be an identifier (letters, digits, underscores)", name)
+		return f
+	}
+	if vol <= 0 {
+		bs.fail("fluid %q: volume must be positive", name)
+		return f
+	}
+	if _, dup := bs.fluids[name]; dup {
+		bs.fail("fluid %q declared twice", name)
+		return f
+	}
+	bs.fluids[name] = f
+	return f
+}
+
+// NewContainer declares an empty container.
+func (bs *BioSystem) NewContainer(name string) *Container {
+	c := &Container{Name: name}
+	if !bs.guard() {
+		return c
+	}
+	if !validName(name) {
+		bs.fail("container name %q must be an identifier (letters, digits, underscores)", name)
+		return c
+	}
+	if _, dup := bs.containers[name]; dup {
+		bs.fail("container %q declared twice", name)
+		return c
+	}
+	bs.containers[name] = c
+	return c
+}
+
+func (bs *BioSystem) checkContainer(c *Container, wantFilled bool, op string) bool {
+	if c == nil {
+		bs.fail("%s: nil container", op)
+		return false
+	}
+	if _, known := bs.containers[c.Name]; !known {
+		bs.fail("%s: unknown container %q", op, c.Name)
+		return false
+	}
+	if bs.filled[c.Name] != wantFilled {
+		if wantFilled {
+			bs.fail("%s: container %q is empty here", op, c.Name)
+		} else {
+			bs.fail("%s: container %q already holds a droplet", op, c.Name)
+		}
+		return false
+	}
+	return true
+}
+
+func cid(c *Container) ir.FluidID { return ir.FluidID{Name: c.Name} }
+
+// MeasureFluid dispenses f's default volume into c. If c already holds a
+// droplet, the new droplet is merged in (a millisecond-scale mix).
+func (bs *BioSystem) MeasureFluid(f *Fluid, c *Container) {
+	bs.MeasureFluidVolume(f, c, f.Vol)
+}
+
+// MeasureFluidVolume dispenses an explicit volume of f into c.
+func (bs *BioSystem) MeasureFluidVolume(f *Fluid, c *Container, vol Volume) {
+	if !bs.guard() {
+		return
+	}
+	if f == nil {
+		bs.fail("measure_fluid: nil fluid")
+		return
+	}
+	if _, known := bs.fluids[f.Name]; !known {
+		bs.fail("measure_fluid: unknown fluid %q", f.Name)
+		return
+	}
+	if vol <= 0 {
+		bs.fail("measure_fluid: volume must be positive")
+		return
+	}
+	if c == nil {
+		bs.fail("measure_fluid: nil container")
+		return
+	}
+	if _, known := bs.containers[c.Name]; !known {
+		bs.fail("measure_fluid: unknown container %q", c.Name)
+		return
+	}
+	if !bs.filled[c.Name] {
+		bs.appendOp(&ir.Instr{
+			Kind: ir.Dispense, Results: []ir.FluidID{cid(c)},
+			FluidType: f.Name, Volume: float64(vol),
+		})
+		bs.filled[c.Name] = true
+		return
+	}
+	// Container occupied: dispense to a temporary and merge.
+	bs.tempCount++
+	tmp := ir.FluidID{Name: fmt.Sprintf("%s$m%d", c.Name, bs.tempCount)}
+	bs.appendOp(&ir.Instr{
+		Kind: ir.Dispense, Results: []ir.FluidID{tmp},
+		FluidType: f.Name, Volume: float64(vol),
+	})
+	bs.appendOp(&ir.Instr{
+		Kind: ir.Mix, Args: []ir.FluidID{cid(c), tmp},
+		Results: []ir.FluidID{cid(c)}, Duration: MergeDuration,
+	})
+}
+
+// Vortex mixes the droplet in c for d.
+func (bs *BioSystem) Vortex(c *Container, d time.Duration) {
+	if !bs.guard() || !bs.checkContainer(c, true, "vortex") {
+		return
+	}
+	if d <= 0 {
+		bs.fail("vortex: duration must be positive")
+		return
+	}
+	bs.appendOp(&ir.Instr{
+		Kind: ir.Mix, Args: []ir.FluidID{cid(c)},
+		Results: []ir.FluidID{cid(c)}, Duration: d,
+	})
+}
+
+// StoreFor holds c's droplet at tempC degrees Celsius for d. Following the
+// paper (Fig. 10 caption), the temperature parameter converts storage into a
+// heating operation.
+func (bs *BioSystem) StoreFor(c *Container, tempC float64, d time.Duration) {
+	if !bs.guard() || !bs.checkContainer(c, true, "store_for") {
+		return
+	}
+	if d <= 0 {
+		bs.fail("store_for: duration must be positive")
+		return
+	}
+	bs.appendOp(&ir.Instr{
+		Kind: ir.Heat, Args: []ir.FluidID{cid(c)},
+		Results: []ir.FluidID{cid(c)}, Temp: tempC, Duration: d,
+	})
+}
+
+// Store holds c's droplet at ambient temperature for d.
+func (bs *BioSystem) Store(c *Container, d time.Duration) {
+	if !bs.guard() || !bs.checkContainer(c, true, "store") {
+		return
+	}
+	if d <= 0 {
+		bs.fail("store: duration must be positive")
+		return
+	}
+	bs.appendOp(&ir.Instr{
+		Kind: ir.Store, Args: []ir.FluidID{cid(c)},
+		Results: []ir.FluidID{cid(c)}, Duration: d,
+	})
+}
+
+// Weigh reads a weight sensor under c's droplet and binds the value to the
+// dry variable sensorVar.
+func (bs *BioSystem) Weigh(c *Container, sensorVar string) {
+	bs.Detect(c, sensorVar, WeighDuration)
+}
+
+// Detect holds c's droplet on a sensor for d and binds the reading to the
+// dry variable sensorVar ("detect for 30s", §3).
+func (bs *BioSystem) Detect(c *Container, sensorVar string, d time.Duration) {
+	if !bs.guard() || !bs.checkContainer(c, true, "detect") {
+		return
+	}
+	if !validName(sensorVar) {
+		bs.fail("detect: sensor variable %q must be an identifier", sensorVar)
+		return
+	}
+	if d <= 0 {
+		bs.fail("detect: duration must be positive")
+		return
+	}
+	bs.appendOp(&ir.Instr{
+		Kind: ir.Sense, Args: []ir.FluidID{cid(c)},
+		Results: []ir.FluidID{cid(c)}, SensorVar: sensorVar, Duration: d,
+	})
+}
+
+// SplitInto divides c's droplet in two, leaving half in c and half in dst.
+func (bs *BioSystem) SplitInto(c, dst *Container) {
+	if !bs.guard() || !bs.checkContainer(c, true, "split") || !bs.checkContainer(dst, false, "split") {
+		return
+	}
+	bs.appendOp(&ir.Instr{
+		Kind: ir.Split, Args: []ir.FluidID{cid(c)},
+		Results: []ir.FluidID{cid(c), cid(dst)},
+	})
+	bs.filled[dst.Name] = true
+}
+
+// Drain outputs c's droplet at the named output port (empty for any port).
+func (bs *BioSystem) Drain(c *Container, port string) {
+	if !bs.guard() || !bs.checkContainer(c, true, "drain") {
+		return
+	}
+	bs.appendOp(&ir.Instr{
+		Kind: ir.Output, Args: []ir.FluidID{cid(c)}, Port: port,
+	})
+	bs.filled[c.Name] = false
+}
+
+// Barrier ends the current basic block: statements before and after it
+// compile into distinct DAGs and therefore execute strictly in order. In
+// the paper's evaluation each laboratory test (e.g. one immunoassay of the
+// Fig. 5 decision tree) is its own DAG; Barrier expresses that stage
+// structure for protocols whose stages share no fluid dependence.
+func (bs *BioSystem) Barrier() {
+	if !bs.guard() {
+		return
+	}
+	bs.append(barrierStmt{})
+}
+
+// Let records a dry computation varName = e, evaluated on the host.
+func (bs *BioSystem) Let(varName string, e ir.Expr) {
+	if !bs.guard() {
+		return
+	}
+	if !validName(varName) || e == nil {
+		bs.fail("let: valid variable name and expression required")
+		return
+	}
+	bs.appendOp(&ir.Instr{Kind: ir.Compute, DryLHS: varName, DryExpr: e})
+}
+
+func copyFilled(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+func filledEqual(a, b map[string]bool) bool {
+	count := func(m map[string]bool) int {
+		n := 0
+		for _, v := range m {
+			if v {
+				n++
+			}
+		}
+		return n
+	}
+	if count(a) != count(b) {
+		return false
+	}
+	for k, v := range a {
+		if v && !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// If opens a conditional on sensorVar `op` threshold (new BioCoder syntax,
+// Fig. 6 right).
+func (bs *BioSystem) If(sensorVar string, op CmpOp, threshold float64) {
+	bs.IfExpr(ir.Cmp(sensorVar, op.binOp(), threshold))
+}
+
+// IfExpr opens a conditional on an arbitrary dry expression.
+func (bs *BioSystem) IfExpr(cond ir.Expr) {
+	if !bs.guard() {
+		return
+	}
+	if cond == nil {
+		bs.fail("if: nil condition")
+		return
+	}
+	bs.frames = append(bs.frames, &frame{
+		kind:        ifFrame,
+		curCond:     cond,
+		savedFilled: copyFilled(bs.filled),
+	})
+}
+
+func (bs *BioSystem) closeArm() {
+	f := bs.top()
+	f.arms = append(f.arms, ifArm{cond: f.curCond, body: f.stmts})
+	f.armFilled = append(f.armFilled, copyFilled(bs.filled))
+	f.stmts = nil
+}
+
+// ElseIf closes the current arm and opens another with a new comparison.
+func (bs *BioSystem) ElseIf(sensorVar string, op CmpOp, threshold float64) {
+	bs.ElseIfExpr(ir.Cmp(sensorVar, op.binOp(), threshold))
+}
+
+// ElseIfExpr closes the current arm and opens another with an arbitrary
+// condition.
+func (bs *BioSystem) ElseIfExpr(cond ir.Expr) {
+	if !bs.guard() {
+		return
+	}
+	f := bs.top()
+	if f.kind != ifFrame || f.sawElse {
+		bs.fail("else_if without matching if")
+		return
+	}
+	if cond == nil {
+		bs.fail("else_if: nil condition")
+		return
+	}
+	bs.closeArm()
+	f.curCond = cond
+	bs.filled = copyFilled(f.savedFilled)
+}
+
+// Else closes the current arm and opens the final unconditional arm.
+func (bs *BioSystem) Else() {
+	if !bs.guard() {
+		return
+	}
+	f := bs.top()
+	if f.kind != ifFrame || f.sawElse {
+		bs.fail("else without matching if")
+		return
+	}
+	bs.closeArm()
+	f.curCond = nil
+	f.sawElse = true
+	bs.filled = copyFilled(f.savedFilled)
+}
+
+// EndIf closes the conditional. Every arm (and the implicit empty else, if
+// no ELSE was given) must leave the same set of containers filled;
+// otherwise a droplet would exist on some paths but not others.
+func (bs *BioSystem) EndIf() {
+	if !bs.guard() {
+		return
+	}
+	f := bs.top()
+	if f.kind != ifFrame {
+		bs.fail("end_if without matching if")
+		return
+	}
+	bs.closeArm()
+	if !f.sawElse {
+		// Implicit empty else: state must match the state at IF entry.
+		f.arms = append(f.arms, ifArm{cond: nil})
+		f.armFilled = append(f.armFilled, copyFilled(f.savedFilled))
+	}
+	for i := 1; i < len(f.armFilled); i++ {
+		if !filledEqual(f.armFilled[0], f.armFilled[i]) {
+			bs.fail("end_if: conditional arms leave different containers filled (arm 1: %v, arm %d: %v)",
+				keys(f.armFilled[0]), i+1, keys(f.armFilled[i]))
+			return
+		}
+	}
+	bs.filled = copyFilled(f.armFilled[0])
+	bs.frames = bs.frames[:len(bs.frames)-1]
+	bs.append(&ifStmt{arms: f.arms})
+}
+
+// Loop opens a constant-bounded loop executing its body count times.
+func (bs *BioSystem) Loop(count int) {
+	if !bs.guard() {
+		return
+	}
+	if count < 0 {
+		bs.fail("loop: negative count %d", count)
+		return
+	}
+	bs.frames = append(bs.frames, &frame{
+		kind:        loopFrame,
+		count:       count,
+		savedFilled: copyFilled(bs.filled),
+	})
+}
+
+// EndLoop closes a LOOP. The body must leave container state unchanged so
+// every iteration starts from the same fluidic state.
+func (bs *BioSystem) EndLoop() {
+	if !bs.guard() {
+		return
+	}
+	f := bs.top()
+	if f.kind != loopFrame {
+		bs.fail("end_loop without matching loop")
+		return
+	}
+	if !filledEqual(f.savedFilled, bs.filled) {
+		bs.fail("end_loop: loop body changes which containers are filled (%v -> %v)",
+			keys(f.savedFilled), keys(bs.filled))
+		return
+	}
+	bs.frames = bs.frames[:len(bs.frames)-1]
+	bs.append(&loopStmt{count: f.count, body: f.stmts})
+}
+
+// While opens a condition-controlled loop on sensorVar `op` threshold.
+func (bs *BioSystem) While(sensorVar string, op CmpOp, threshold float64) {
+	bs.WhileExpr(ir.Cmp(sensorVar, op.binOp(), threshold))
+}
+
+// WhileExpr opens a condition-controlled loop on an arbitrary expression.
+func (bs *BioSystem) WhileExpr(cond ir.Expr) {
+	if !bs.guard() {
+		return
+	}
+	if cond == nil {
+		bs.fail("while: nil condition")
+		return
+	}
+	bs.frames = append(bs.frames, &frame{
+		kind:        whileFrame,
+		cond:        cond,
+		savedFilled: copyFilled(bs.filled),
+	})
+}
+
+// EndWhile closes a WHILE; like EndLoop it demands a state-invariant body.
+func (bs *BioSystem) EndWhile() {
+	if !bs.guard() {
+		return
+	}
+	f := bs.top()
+	if f.kind != whileFrame {
+		bs.fail("end_while without matching while")
+		return
+	}
+	if !filledEqual(f.savedFilled, bs.filled) {
+		bs.fail("end_while: loop body changes which containers are filled (%v -> %v)",
+			keys(f.savedFilled), keys(bs.filled))
+		return
+	}
+	bs.frames = bs.frames[:len(bs.frames)-1]
+	bs.append(&whileStmt{cond: f.cond, body: f.stmts})
+}
+
+// EndProtocol marks the protocol complete. All control structures must be
+// closed and all containers drained (a DMFB has no off-chip storage to
+// spill leftovers to, §6.6).
+func (bs *BioSystem) EndProtocol() {
+	if bs.err != nil || bs.ended {
+		return
+	}
+	if len(bs.frames) != 1 {
+		bs.fail("end_protocol inside an open control structure")
+		return
+	}
+	for name, full := range bs.filled {
+		if full {
+			bs.fail("end_protocol: container %q still holds a droplet; drain or output it", name)
+			return
+		}
+	}
+	bs.ended = true
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k, v := range m {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,492 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+)
+
+// pcrReplenish records the paper's Fig. 10 protocol: PCR with droplet
+// replenishment driven by a weight sensor.
+func pcrReplenish(thermocycles int) *BioSystem {
+	bio := New()
+	pcrMix := bio.NewFluid("PCRMasterMix", Microliters(10))
+	template := bio.NewFluid("Template", Microliters(10))
+	tube := bio.NewContainer("tube")
+	bio.MeasureFluid(pcrMix, tube)
+	bio.Vortex(tube, time.Second)
+	bio.MeasureFluid(template, tube)
+	bio.Vortex(tube, time.Second)
+	bio.StoreFor(tube, 95, 45*time.Second)
+	bio.Loop(thermocycles)
+	bio.StoreFor(tube, 95, 20*time.Second)
+	bio.Weigh(tube, "weightSensor")
+	bio.If("weightSensor", LessThan, 3.57)
+	bio.MeasureFluid(pcrMix, tube)
+	bio.StoreFor(tube, 95, 45*time.Second)
+	bio.Vortex(tube, time.Second)
+	bio.EndIf()
+	bio.StoreFor(tube, 50, 30*time.Second)
+	bio.StoreFor(tube, 68, 45*time.Second)
+	bio.EndLoop()
+	bio.StoreFor(tube, 68, 5*time.Minute)
+	bio.Drain(tube, "PCR")
+	bio.EndProtocol()
+	return bio
+}
+
+func TestPCRReplenishBuilds(t *testing.T) {
+	bio := pcrReplenish(9)
+	g, err := bio.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := cfg.ToSSI(g); err != nil {
+		t.Fatalf("ToSSI: %v", err)
+	}
+	if err := cfg.IsSSI(g); err != nil {
+		t.Fatalf("IsSSI: %v", err)
+	}
+	// Shape: entry, exit, preamble, loop header, loop body (pre-if), then
+	// arm, join, after-loop = at least 7 blocks; exactly one loop header
+	// (two preds, branch) must exist.
+	headers := 0
+	for _, b := range g.Blocks {
+		if b.Branch != nil && len(b.Preds) == 2 {
+			headers++
+		}
+	}
+	if headers != 1 {
+		t.Errorf("expected exactly 1 loop header, found %d\n%s", headers, g)
+	}
+}
+
+func TestCountsInLoweredPCR(t *testing.T) {
+	g, err := pcrReplenish(9).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ir.OpKind]int{}
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			counts[in.Kind]++
+		}
+	}
+	// Statements appear once each in the CFG regardless of trip count.
+	if counts[ir.Dispense] != 3 { // pcrMix, template, replenish pcrMix
+		t.Errorf("dispense count = %d, want 3", counts[ir.Dispense])
+	}
+	if counts[ir.Heat] != 6 { // initial 95, loop 95, replenish 95, 50, 68, final 68
+		t.Errorf("heat count = %d, want 6", counts[ir.Heat])
+	}
+	if counts[ir.Sense] != 1 {
+		t.Errorf("sense count = %d, want 1", counts[ir.Sense])
+	}
+	if counts[ir.Output] != 1 {
+		t.Errorf("output count = %d, want 1", counts[ir.Output])
+	}
+	// Mix: vortex x3, replenish merge x1 (measure into full tube) plus
+	// template merge x1.
+	if counts[ir.Mix] != 5 {
+		t.Errorf("mix count = %d, want 5", counts[ir.Mix])
+	}
+	// Loop counter init + increment.
+	if counts[ir.Compute] != 2 {
+		t.Errorf("compute count = %d, want 2", counts[ir.Compute])
+	}
+}
+
+func TestIfElseIfElseLowering(t *testing.T) {
+	bio := New()
+	s := bio.NewFluid("Sample", Microliters(10))
+	c := bio.NewContainer("c")
+	bio.MeasureFluid(s, c)
+	bio.Weigh(c, "w")
+	bio.If("w", LessThan, 1)
+	bio.Vortex(c, time.Second)
+	bio.ElseIf("w", LessThan, 2)
+	bio.StoreFor(c, 95, time.Second)
+	bio.Else()
+	bio.Store(c, time.Second)
+	bio.EndIf()
+	bio.Drain(c, "")
+	g, err := bio.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Two branch blocks: the initial test and the else-if test.
+	branches := 0
+	for _, b := range g.Blocks {
+		if b.Branch != nil {
+			branches++
+			if len(b.Succs) != 2 {
+				t.Errorf("branch block %s has %d successors", b.Label, len(b.Succs))
+			}
+		}
+	}
+	if branches != 2 {
+		t.Errorf("branch blocks = %d, want 2", branches)
+	}
+	if err := cfg.ToSSI(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhileLowering(t *testing.T) {
+	bio := New()
+	s := bio.NewFluid("Sample", Microliters(10))
+	c := bio.NewContainer("c")
+	bio.MeasureFluid(s, c)
+	bio.Weigh(c, "conc")
+	bio.While("conc", GreaterThan, 0.5)
+	bio.StoreFor(c, 60, 10*time.Second)
+	bio.Weigh(c, "conc")
+	bio.EndWhile()
+	bio.Drain(c, "")
+	g, err := bio.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var header *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Branch != nil {
+			header = b
+		}
+	}
+	if header == nil || len(header.Preds) != 2 {
+		t.Fatalf("while header missing or not a join: %v", header)
+	}
+	if len(header.Instrs) != 0 {
+		t.Errorf("while header should carry no instructions, has %d", len(header.Instrs))
+	}
+}
+
+func TestLoopCounterSemantics(t *testing.T) {
+	bio := New()
+	s := bio.NewFluid("S", Microliters(10))
+	c := bio.NewContainer("c")
+	bio.MeasureFluid(s, c)
+	bio.Loop(3)
+	bio.Vortex(c, time.Second)
+	bio.EndLoop()
+	bio.Drain(c, "")
+	g, err := bio.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop is driven by a generated counter: init to 0 before the
+	// header, compare against 3, increment in the latch.
+	var initFound, incrFound bool
+	var headerCond string
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind != ir.Compute {
+				continue
+			}
+			if !strings.HasPrefix(in.DryLHS, "$loop") {
+				t.Errorf("unexpected dry var %q", in.DryLHS)
+			}
+			switch in.DryExpr.String() {
+			case "0":
+				initFound = true
+			default:
+				incrFound = true
+			}
+		}
+		if b.Branch != nil {
+			headerCond = b.Branch.String()
+		}
+	}
+	if !initFound || !incrFound {
+		t.Errorf("loop counter init/increment missing (init=%v incr=%v)", initFound, incrFound)
+	}
+	if !strings.Contains(headerCond, "< 3") {
+		t.Errorf("header condition %q should compare against 3", headerCond)
+	}
+}
+
+func TestMeasureIntoFullContainerMerges(t *testing.T) {
+	bio := New()
+	a := bio.NewFluid("A", Microliters(10))
+	b := bio.NewFluid("B", Microliters(5))
+	c := bio.NewContainer("c")
+	bio.MeasureFluid(a, c)
+	bio.MeasureFluid(b, c) // merge path
+	bio.Drain(c, "")
+	g, err := bio.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mixes []*ir.Instr
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == ir.Mix {
+				mixes = append(mixes, in)
+			}
+		}
+	}
+	if len(mixes) != 1 {
+		t.Fatalf("mix count = %d, want 1 (merge)", len(mixes))
+	}
+	if mixes[0].Duration != MergeDuration {
+		t.Errorf("merge duration = %v, want %v", mixes[0].Duration, MergeDuration)
+	}
+	if len(mixes[0].Args) != 2 {
+		t.Errorf("merge should consume two droplets, has %v", mixes[0].Args)
+	}
+}
+
+func TestSplitInto(t *testing.T) {
+	bio := New()
+	s := bio.NewFluid("S", Microliters(10))
+	c := bio.NewContainer("c")
+	d := bio.NewContainer("d")
+	bio.MeasureFluid(s, c)
+	bio.SplitInto(c, d)
+	bio.Drain(c, "")
+	bio.Drain(d, "")
+	if _, err := bio.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  func(bs *BioSystem)
+		want string
+	}{
+		{"vortex empty container", func(bs *BioSystem) {
+			c := bs.NewContainer("c")
+			bs.Vortex(c, time.Second)
+		}, "empty"},
+		{"drain empty container", func(bs *BioSystem) {
+			c := bs.NewContainer("c")
+			bs.Drain(c, "")
+		}, "empty"},
+		{"unknown container", func(bs *BioSystem) {
+			bs.Vortex(&Container{Name: "ghost"}, time.Second)
+		}, "unknown container"},
+		{"duplicate fluid", func(bs *BioSystem) {
+			bs.NewFluid("A", 1)
+			bs.NewFluid("A", 1)
+		}, "declared twice"},
+		{"duplicate container", func(bs *BioSystem) {
+			bs.NewContainer("c")
+			bs.NewContainer("c")
+		}, "declared twice"},
+		{"negative loop", func(bs *BioSystem) {
+			bs.Loop(-1)
+		}, "negative"},
+		{"else without if", func(bs *BioSystem) {
+			bs.Else()
+		}, "without matching if"},
+		{"end_if without if", func(bs *BioSystem) {
+			bs.EndIf()
+		}, "without matching if"},
+		{"end_loop without loop", func(bs *BioSystem) {
+			bs.EndLoop()
+		}, "without matching loop"},
+		{"end_while without while", func(bs *BioSystem) {
+			bs.EndWhile()
+		}, "without matching while"},
+		{"double else", func(bs *BioSystem) {
+			f := bs.NewFluid("F", 1)
+			c := bs.NewContainer("c")
+			bs.MeasureFluid(f, c)
+			bs.Weigh(c, "w")
+			bs.If("w", LessThan, 1)
+			bs.Else()
+			bs.Else()
+		}, "without matching if"},
+		{"unbalanced at end", func(bs *BioSystem) {
+			f := bs.NewFluid("F", 1)
+			c := bs.NewContainer("c")
+			bs.MeasureFluid(f, c)
+			bs.Weigh(c, "w")
+			bs.If("w", LessThan, 1)
+		}, "open control structure"},
+		{"leftover droplet", func(bs *BioSystem) {
+			f := bs.NewFluid("F", 1)
+			c := bs.NewContainer("c")
+			bs.MeasureFluid(f, c)
+		}, "still holds a droplet"},
+		{"asymmetric arms", func(bs *BioSystem) {
+			f := bs.NewFluid("F", 1)
+			c := bs.NewContainer("c")
+			d := bs.NewContainer("d")
+			bs.MeasureFluid(f, c)
+			bs.Weigh(c, "w")
+			bs.If("w", LessThan, 1)
+			bs.MeasureFluid(f, d) // d filled only on then-path
+			bs.EndIf()
+			_ = d
+		}, "different containers"},
+		{"loop changes state", func(bs *BioSystem) {
+			f := bs.NewFluid("F", 1)
+			c := bs.NewContainer("c")
+			bs.Loop(2)
+			bs.MeasureFluid(f, c)
+			bs.EndLoop()
+		}, "loop body changes"},
+		{"zero volume fluid", func(bs *BioSystem) {
+			bs.NewFluid("F", 0)
+		}, "positive"},
+		{"split into full container", func(bs *BioSystem) {
+			f := bs.NewFluid("F", 1)
+			c := bs.NewContainer("c")
+			d := bs.NewContainer("d")
+			bs.MeasureFluid(f, c)
+			bs.MeasureFluid(f, d)
+			bs.SplitInto(c, d)
+		}, "already holds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bs := New()
+			tc.rec(bs)
+			_, err := bs.Build()
+			if err == nil {
+				t.Fatalf("Build succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorIsSticky(t *testing.T) {
+	bs := New()
+	bs.EndIf() // error
+	first := bs.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	c := bs.NewContainer("c")
+	bs.Vortex(c, time.Second) // would be another error; must not overwrite
+	if bs.Err() != first {
+		t.Errorf("error not sticky: %v then %v", first, bs.Err())
+	}
+}
+
+func TestStatementsAfterEndProtocolRejected(t *testing.T) {
+	bs := New()
+	f := bs.NewFluid("F", 1)
+	c := bs.NewContainer("c")
+	bs.MeasureFluid(f, c)
+	bs.Drain(c, "")
+	bs.EndProtocol()
+	bs.Vortex(c, time.Second)
+	if bs.Err() == nil || !strings.Contains(bs.Err().Error(), "after EndProtocol") {
+		t.Errorf("statement after EndProtocol not rejected: %v", bs.Err())
+	}
+}
+
+func TestBarrierSplitsBlocks(t *testing.T) {
+	bio := New()
+	f := bio.NewFluid("F", 1)
+	a := bio.NewContainer("a")
+	b := bio.NewContainer("b")
+	bio.MeasureFluid(f, a)
+	bio.Vortex(a, time.Second)
+	bio.Drain(a, "")
+	bio.Barrier()
+	bio.MeasureFluid(f, b)
+	bio.Vortex(b, time.Second)
+	bio.Drain(b, "")
+	g, err := bio.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	working := 0
+	for _, blk := range g.Blocks {
+		if len(blk.Instrs) > 0 {
+			working++
+		}
+	}
+	if working != 2 {
+		t.Errorf("barrier should yield 2 working blocks, got %d", working)
+	}
+	if err := cfg.ToSSI(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopZeroIterations(t *testing.T) {
+	bio := New()
+	s := bio.NewFluid("S", Microliters(10))
+	c := bio.NewContainer("c")
+	bio.MeasureFluid(s, c)
+	bio.Loop(0)
+	bio.Vortex(c, time.Second)
+	bio.EndLoop()
+	bio.Drain(c, "")
+	g, err := bio.Build()
+	if err != nil {
+		t.Fatalf("Build with zero-trip loop: %v", err)
+	}
+	if err := cfg.ToSSI(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedControlFlow(t *testing.T) {
+	bio := New()
+	s := bio.NewFluid("S", Microliters(10))
+	c := bio.NewContainer("c")
+	bio.MeasureFluid(s, c)
+	bio.Loop(3)
+	bio.Weigh(c, "w")
+	bio.If("w", LessThan, 2)
+	bio.Loop(2)
+	bio.Vortex(c, time.Second)
+	bio.EndLoop()
+	bio.Else()
+	bio.StoreFor(c, 50, time.Second)
+	bio.EndIf()
+	bio.EndLoop()
+	bio.Drain(c, "")
+	g, err := bio.Build()
+	if err != nil {
+		t.Fatalf("Build nested: %v", err)
+	}
+	if err := cfg.ToSSI(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.IsSSI(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lowering must deep-copy instruction fluid slices: SSI renames in place,
+// and a statement recorded once must not alias across blocks.
+func TestInstrsNotAliased(t *testing.T) {
+	g1, err := pcrReplenish(9).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*ir.Instr]bool{}
+	for _, b := range g1.Blocks {
+		for _, in := range b.Instrs {
+			if seen[in] {
+				t.Fatalf("instruction %v aliased across blocks", in)
+			}
+			seen[in] = true
+		}
+	}
+	// Building twice from independent recordings must give equal dumps.
+	g2, err := pcrReplenish(9).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.String() != g2.String() {
+		t.Error("lowering is not deterministic")
+	}
+}

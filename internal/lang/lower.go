@@ -1,0 +1,153 @@
+package lang
+
+import (
+	"fmt"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+)
+
+// Build lowers the recorded protocol to a validated control flow graph.
+// EndProtocol is implied if it has not been called. The resulting graph is
+// in pre-SSI form; the compiler driver runs cfg.ToSSI before scheduling.
+func (bs *BioSystem) Build() (*cfg.Graph, error) {
+	bs.EndProtocol()
+	if bs.err != nil {
+		return nil, bs.err
+	}
+	lw := &lowerer{g: cfg.New()}
+	first := lw.newBlock()
+	lw.g.AddEdge(lw.g.Entry, first)
+	last := lw.lowerList(bs.frames[0].stmts, first)
+	lw.g.AddEdge(last, lw.g.Exit)
+	if err := lw.g.Validate(); err != nil {
+		return nil, fmt.Errorf("lang: lowering produced an invalid CFG: %w", err)
+	}
+	return lw.g, nil
+}
+
+type lowerer struct {
+	g         *cfg.Graph
+	blockNum  int
+	loopCount int
+}
+
+func (lw *lowerer) newBlock() *cfg.Block {
+	lw.blockNum++
+	return lw.g.NewBlock(fmt.Sprintf("b%d", lw.blockNum))
+}
+
+func (lw *lowerer) emit(b *cfg.Block, in *ir.Instr) {
+	clone := *in
+	clone.ID = lw.g.NewInstrID()
+	// Deep-copy the fluid slices: SSI renaming mutates them in place and a
+	// loop body's statements would otherwise share state across uses.
+	clone.Args = append([]ir.FluidID(nil), in.Args...)
+	clone.Results = append([]ir.FluidID(nil), in.Results...)
+	b.Instrs = append(b.Instrs, &clone)
+}
+
+// lowerList appends stmts starting in cur and returns the block where
+// control ends up.
+func (lw *lowerer) lowerList(stmts []stmt, cur *cfg.Block) *cfg.Block {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case opStmt:
+			lw.emit(cur, s.instr)
+		case *ifStmt:
+			cur = lw.lowerIf(s, cur)
+		case *loopStmt:
+			cur = lw.lowerLoop(s, cur)
+		case *whileStmt:
+			cur = lw.lowerWhile(s, cur)
+		case barrierStmt:
+			next := lw.newBlock()
+			lw.g.AddEdge(cur, next)
+			cur = next
+		default:
+			panic(fmt.Sprintf("lang: unknown statement %T", s))
+		}
+	}
+	return cur
+}
+
+// lowerIf lowers an IF/ELSE_IF/ELSE chain. Each conditional arm gets a test
+// position: the first test is the current block's branch; later tests live
+// in fresh (fluid-free) blocks on the false chain. All arm bodies converge
+// on a join block.
+func (lw *lowerer) lowerIf(s *ifStmt, cur *cfg.Block) *cfg.Block {
+	var ends []*cfg.Block   // arm ends that flow into the join
+	var fallthru *cfg.Block // last test block whose false edge joins
+	test := cur
+	for i, arm := range s.arms {
+		last := i == len(s.arms)-1
+		if arm.cond == nil {
+			// Unconditional else (always last): body flows from the
+			// current test block.
+			ends = append(ends, lw.lowerList(arm.body, test))
+			break
+		}
+		test.Branch = arm.cond
+		thenB := lw.newBlock()
+		lw.g.AddEdge(test, thenB) // true successor first
+		ends = append(ends, lw.lowerList(arm.body, thenB))
+		if last {
+			fallthru = test
+		} else {
+			next := lw.newBlock()
+			lw.g.AddEdge(test, next)
+			test = next
+		}
+	}
+	join := lw.newBlock()
+	for _, e := range ends {
+		lw.g.AddEdge(e, join)
+	}
+	if fallthru != nil {
+		lw.g.AddEdge(fallthru, join)
+	}
+	return join
+}
+
+// lowerLoop lowers LOOP(n) using a compiler-generated dry counter:
+//
+//	cur:    $loopK = 0
+//	header: if $loopK < n goto body else after
+//	body:   ... ; $loopK = $loopK + 1 ; goto header
+func (lw *lowerer) lowerLoop(s *loopStmt, cur *cfg.Block) *cfg.Block {
+	lw.loopCount++
+	counter := fmt.Sprintf("$loop%d", lw.loopCount)
+	lw.emit(cur, &ir.Instr{Kind: ir.Compute, DryLHS: counter, DryExpr: ir.Const(0)})
+
+	header := lw.newBlock()
+	lw.g.AddEdge(cur, header)
+	header.Branch = &ir.Bin{Op: ir.Lt, L: ir.Var(counter), R: ir.Const(float64(s.count))}
+
+	body := lw.newBlock()
+	lw.g.AddEdge(header, body)
+	end := lw.lowerList(s.body, body)
+	lw.emit(end, &ir.Instr{Kind: ir.Compute, DryLHS: counter,
+		DryExpr: &ir.Bin{Op: ir.Add, L: ir.Var(counter), R: ir.Const(1)}})
+	lw.g.AddEdge(end, header)
+
+	after := lw.newBlock()
+	lw.g.AddEdge(header, after)
+	return after
+}
+
+// lowerWhile lowers WHILE(cond) into a header that re-evaluates cond each
+// iteration.
+func (lw *lowerer) lowerWhile(s *whileStmt, cur *cfg.Block) *cfg.Block {
+	header := lw.newBlock()
+	lw.g.AddEdge(cur, header)
+	header.Branch = s.cond
+
+	body := lw.newBlock()
+	lw.g.AddEdge(header, body)
+	end := lw.lowerList(s.body, body)
+	lw.g.AddEdge(end, header)
+
+	after := lw.newBlock()
+	lw.g.AddEdge(header, after)
+	return after
+}

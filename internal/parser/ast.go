@@ -1,0 +1,123 @@
+package parser
+
+import (
+	"time"
+
+	"biocoder/internal/ir"
+)
+
+// Stmt is a BioScript statement node. Line numbers support diagnostics.
+type Stmt interface{ stmtLine() int }
+
+type stmtBase struct{ Line int }
+
+func (s stmtBase) stmtLine() int { return s.Line }
+
+// FluidDecl declares a reagent: fluid NAME VOLUME.
+type FluidDecl struct {
+	stmtBase
+	Name   string
+	Volume float64
+}
+
+// ContainerDecl declares a container: container NAME.
+type ContainerDecl struct {
+	stmtBase
+	Name string
+}
+
+// Measure dispenses fluid into a container: measure F into C [VOL].
+type Measure struct {
+	stmtBase
+	Fluid     string
+	Container string
+	Volume    float64 // 0 = fluid's declared volume
+}
+
+// Vortex mixes: vortex C DUR.
+type Vortex struct {
+	stmtBase
+	Container string
+	Dur       time.Duration
+}
+
+// Heat heats: heat C at TEMP for DUR.
+type Heat struct {
+	stmtBase
+	Container string
+	Temp      float64
+	Dur       time.Duration
+}
+
+// Store holds at ambient temperature: store C for DUR.
+type Store struct {
+	stmtBase
+	Container string
+	Dur       time.Duration
+}
+
+// Weigh reads a weight sensor: weigh C -> VAR.
+type Weigh struct {
+	stmtBase
+	Container string
+	Var       string
+}
+
+// Detect reads a sensor for a duration: detect C -> VAR for DUR.
+type Detect struct {
+	stmtBase
+	Container string
+	Var       string
+	Dur       time.Duration
+}
+
+// Split divides a droplet: split C into D.
+type Split struct {
+	stmtBase
+	From string
+	Into string
+}
+
+// Drain outputs a droplet: drain C [PORT].
+type Drain struct {
+	stmtBase
+	Container string
+	Port      string
+}
+
+// Let is a dry computation: let VAR = EXPR.
+type Let struct {
+	stmtBase
+	Var  string
+	Expr ir.Expr
+}
+
+// Barrier ends the current basic block: barrier.
+type Barrier struct{ stmtBase }
+
+// IfArm is one conditional arm of an If.
+type IfArm struct {
+	Cond ir.Expr
+	Body []Stmt
+}
+
+// If is a conditional chain with an optional else body.
+type If struct {
+	stmtBase
+	Arms []IfArm
+	Else []Stmt // nil when absent
+}
+
+// While is a condition-controlled loop.
+type While struct {
+	stmtBase
+	Cond ir.Expr
+	Body []Stmt
+}
+
+// Loop is a constant-bounded loop.
+type Loop struct {
+	stmtBase
+	Count int
+	Body  []Stmt
+}

@@ -1,0 +1,165 @@
+package parser
+
+import (
+	"fmt"
+
+	"biocoder/internal/lang"
+)
+
+// Interpret replays an AST onto a fresh BioCoder builder. Builder-level
+// checks (container discipline, balanced control flow) apply as usual; the
+// first failure is reported with the offending source line.
+func Interpret(stmts []Stmt) (*lang.BioSystem, error) {
+	in := &interp{
+		bs:         lang.New(),
+		fluids:     map[string]*lang.Fluid{},
+		containers: map[string]*lang.Container{},
+	}
+	if err := in.run(stmts); err != nil {
+		return nil, err
+	}
+	if err := in.bs.Err(); err != nil {
+		return nil, err
+	}
+	return in.bs, nil
+}
+
+type interp struct {
+	bs         *lang.BioSystem
+	fluids     map[string]*lang.Fluid
+	containers map[string]*lang.Container
+}
+
+func (in *interp) run(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := in.stmt(s); err != nil {
+			return err
+		}
+		if err := in.bs.Err(); err != nil {
+			return fmt.Errorf("parser: line %d: %w", s.stmtLine(), err)
+		}
+	}
+	return nil
+}
+
+func (in *interp) fluid(name string, line int) (*lang.Fluid, error) {
+	f, ok := in.fluids[name]
+	if !ok {
+		return nil, fmt.Errorf("parser: line %d: unknown fluid %q", line, name)
+	}
+	return f, nil
+}
+
+func (in *interp) container(name string, line int) (*lang.Container, error) {
+	c, ok := in.containers[name]
+	if !ok {
+		return nil, fmt.Errorf("parser: line %d: unknown container %q", line, name)
+	}
+	return c, nil
+}
+
+func (in *interp) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *FluidDecl:
+		in.fluids[s.Name] = in.bs.NewFluid(s.Name, lang.Microliters(s.Volume))
+	case *ContainerDecl:
+		in.containers[s.Name] = in.bs.NewContainer(s.Name)
+	case *Measure:
+		f, err := in.fluid(s.Fluid, s.Line)
+		if err != nil {
+			return err
+		}
+		c, err := in.container(s.Container, s.Line)
+		if err != nil {
+			return err
+		}
+		if s.Volume > 0 {
+			in.bs.MeasureFluidVolume(f, c, lang.Microliters(s.Volume))
+		} else {
+			in.bs.MeasureFluid(f, c)
+		}
+	case *Vortex:
+		c, err := in.container(s.Container, s.Line)
+		if err != nil {
+			return err
+		}
+		in.bs.Vortex(c, s.Dur)
+	case *Heat:
+		c, err := in.container(s.Container, s.Line)
+		if err != nil {
+			return err
+		}
+		in.bs.StoreFor(c, s.Temp, s.Dur)
+	case *Store:
+		c, err := in.container(s.Container, s.Line)
+		if err != nil {
+			return err
+		}
+		in.bs.Store(c, s.Dur)
+	case *Weigh:
+		c, err := in.container(s.Container, s.Line)
+		if err != nil {
+			return err
+		}
+		in.bs.Weigh(c, s.Var)
+	case *Detect:
+		c, err := in.container(s.Container, s.Line)
+		if err != nil {
+			return err
+		}
+		in.bs.Detect(c, s.Var, s.Dur)
+	case *Split:
+		from, err := in.container(s.From, s.Line)
+		if err != nil {
+			return err
+		}
+		into, err := in.container(s.Into, s.Line)
+		if err != nil {
+			return err
+		}
+		in.bs.SplitInto(from, into)
+	case *Drain:
+		c, err := in.container(s.Container, s.Line)
+		if err != nil {
+			return err
+		}
+		in.bs.Drain(c, s.Port)
+	case *Let:
+		in.bs.Let(s.Var, s.Expr)
+	case *Barrier:
+		in.bs.Barrier()
+	case *If:
+		for i, arm := range s.Arms {
+			if i == 0 {
+				in.bs.IfExpr(arm.Cond)
+			} else {
+				in.bs.ElseIfExpr(arm.Cond)
+			}
+			if err := in.run(arm.Body); err != nil {
+				return err
+			}
+		}
+		if s.Else != nil {
+			in.bs.Else()
+			if err := in.run(s.Else); err != nil {
+				return err
+			}
+		}
+		in.bs.EndIf()
+	case *While:
+		in.bs.WhileExpr(s.Cond)
+		if err := in.run(s.Body); err != nil {
+			return err
+		}
+		in.bs.EndWhile()
+	case *Loop:
+		in.bs.Loop(s.Count)
+		if err := in.run(s.Body); err != nil {
+			return err
+		}
+		in.bs.EndLoop()
+	default:
+		return fmt.Errorf("parser: line %d: unhandled statement %T", s.stmtLine(), s)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package parser implements the textual front end of the compiler: a lexer
+// and recursive-descent parser for BioScript — a file format carrying the
+// same statement vocabulary as the embedded BioCoder builder — producing an
+// abstract syntax tree that is then lowered onto a lang.BioSystem (the
+// paper §7.1: "we built a front-end parser for the BioCoder Language, which
+// produces an abstract syntax tree; we then convert the AST to a CFG").
+//
+// Grammar sketch:
+//
+//	program    := { statement NEWLINE }
+//	statement  := "fluid" IDENT number
+//	            | "container" IDENT
+//	            | "measure" IDENT "into" IDENT [ number ]
+//	            | "vortex" IDENT duration
+//	            | "heat" IDENT "at" number "for" duration
+//	            | "store" IDENT "for" duration
+//	            | "weigh" IDENT "->" IDENT
+//	            | "detect" IDENT "->" IDENT "for" duration
+//	            | "split" IDENT "into" IDENT
+//	            | "drain" IDENT [ IDENT ]
+//	            | "let" IDENT "=" expr
+//	            | "barrier"
+//	            | "if" expr block { "else" "if" expr block } [ "else" block ]
+//	            | "while" expr block
+//	            | "loop" INT block
+//	block      := "{" { statement NEWLINE } "}"
+//	expr       := or-expr with C-style precedence and ! - unary operators
+//	duration   := number ( "ms" | "s" | "m" | "h" )
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIdent
+	tokNumber   // numeric literal (value in num)
+	tokDuration // numeric literal with time suffix (value in dur nanoseconds)
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokArrow  // ->
+	tokAssign // =
+	tokOp     // comparison/arithmetic/logical operator text in text
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	dur  int64 // nanoseconds, for tokDuration
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("parser: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '#': // comment to end of line
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '\n':
+			lx.pos++
+			t := token{kind: tokNewline, line: lx.line}
+			lx.line++
+			return t, nil
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '{':
+			lx.pos++
+			return token{kind: tokLBrace, text: "{", line: lx.line}, nil
+		case c == '}':
+			lx.pos++
+			return token{kind: tokRBrace, text: "}", line: lx.line}, nil
+		case c == '(':
+			lx.pos++
+			return token{kind: tokLParen, text: "(", line: lx.line}, nil
+		case c == ')':
+			lx.pos++
+			return token{kind: tokRParen, text: ")", line: lx.line}, nil
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '>':
+			lx.pos += 2
+			return token{kind: tokArrow, text: "->", line: lx.line}, nil
+		case strings.ContainsRune("<>=!&|+-*/", rune(c)):
+			return lx.operator()
+		case c >= '0' && c <= '9' || c == '.':
+			return lx.number()
+		case isIdentStart(rune(c)):
+			return lx.ident()
+		default:
+			return token{}, lx.errorf("unexpected character %q", c)
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+}
+
+func (lx *lexer) operator() (token, error) {
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "==", "!=", "&&", "||":
+		lx.pos += 2
+		return token{kind: tokOp, text: two, line: lx.line}, nil
+	}
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '=' {
+		return token{kind: tokAssign, text: "=", line: lx.line}, nil
+	}
+	return token{kind: tokOp, text: string(c), line: lx.line}, nil
+}
+
+func (lx *lexer) number() (token, error) {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '.' {
+			if seenDot {
+				return token{}, lx.errorf("malformed number")
+			}
+			seenDot = true
+			lx.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	var val float64
+	if _, err := fmt.Sscanf(text, "%f", &val); err != nil {
+		return token{}, lx.errorf("bad number %q", text)
+	}
+	// Optional duration suffix.
+	sufStart := lx.pos
+	for lx.pos < len(lx.src) && isIdentStart(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	suffix := lx.src[sufStart:lx.pos]
+	switch suffix {
+	case "":
+		return token{kind: tokNumber, text: text, num: val, line: lx.line}, nil
+	case "ms":
+		return token{kind: tokDuration, text: text + suffix, dur: int64(val * 1e6), line: lx.line}, nil
+	case "s":
+		return token{kind: tokDuration, text: text + suffix, dur: int64(val * 1e9), line: lx.line}, nil
+	case "m":
+		return token{kind: tokDuration, text: text + suffix, dur: int64(val * 60e9), line: lx.line}, nil
+	case "h":
+		return token{kind: tokDuration, text: text + suffix, dur: int64(val * 3600e9), line: lx.line}, nil
+	default:
+		return token{}, lx.errorf("bad duration suffix %q (want ms/s/m/h)", suffix)
+	}
+}
+
+func (lx *lexer) ident() (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	return token{kind: tokIdent, text: lx.src[start:lx.pos], line: lx.line}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,527 @@
+package parser
+
+import (
+	"fmt"
+	"time"
+
+	"biocoder/internal/ir"
+	"biocoder/internal/lang"
+)
+
+// ParseAST parses BioScript source into its statement list.
+func ParseAST(src string) ([]Stmt, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	stmts, err := p.stmtList(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+// Parse parses BioScript source and lowers the AST onto a fresh BioCoder
+// protocol builder, ready for BioSystem.Build.
+func Parse(src string) (*lang.BioSystem, error) {
+	stmts, err := ParseAST(src)
+	if err != nil {
+		return nil, err
+	}
+	return Interpret(stmts)
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("parser: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipNewlines() error {
+	for p.tok.kind == tokNewline {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stmtList parses statements until the given closing token kind.
+func (p *parser) stmtList(end tokenKind) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == end {
+			return out, nil
+		}
+		if p.tok.kind == tokEOF {
+			if end == tokEOF {
+				return out, nil
+			}
+			return nil, p.errorf("unexpected end of file (missing '}')")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if p.tok.kind != tokNewline && p.tok.kind != end && p.tok.kind != tokEOF {
+			return nil, p.errorf("unexpected %s after statement", p.tok)
+		}
+	}
+}
+
+func (p *parser) statement() (Stmt, error) {
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected statement keyword, found %s", p.tok)
+	}
+	kw := p.tok.text
+	line := p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	base := stmtBase{Line: line}
+	switch kw {
+	case "fluid":
+		name, err := p.ident("fluid name")
+		if err != nil {
+			return nil, err
+		}
+		vol, err := p.number("fluid volume")
+		if err != nil {
+			return nil, err
+		}
+		return &FluidDecl{base, name, vol}, nil
+	case "container":
+		name, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		return &ContainerDecl{base, name}, nil
+	case "measure":
+		fluid, err := p.ident("fluid name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("into"); err != nil {
+			return nil, err
+		}
+		c, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		vol := 0.0
+		if p.tok.kind == tokNumber {
+			vol = p.tok.num
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return &Measure{base, fluid, c, vol}, nil
+	case "vortex":
+		c, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		return &Vortex{base, c, d}, nil
+	case "heat":
+		c, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("at"); err != nil {
+			return nil, err
+		}
+		temp, err := p.number("temperature")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("for"); err != nil {
+			return nil, err
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		return &Heat{base, c, temp, d}, nil
+	case "store":
+		c, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("for"); err != nil {
+			return nil, err
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		return &Store{base, c, d}, nil
+	case "weigh":
+		c, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokArrow, "'->'"); err != nil {
+			return nil, err
+		}
+		v, err := p.ident("sensor variable")
+		if err != nil {
+			return nil, err
+		}
+		return &Weigh{base, c, v}, nil
+	case "detect":
+		c, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokArrow, "'->'"); err != nil {
+			return nil, err
+		}
+		v, err := p.ident("sensor variable")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("for"); err != nil {
+			return nil, err
+		}
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		return &Detect{base, c, v, d}, nil
+	case "split":
+		from, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("into"); err != nil {
+			return nil, err
+		}
+		into, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		return &Split{base, from, into}, nil
+	case "drain":
+		c, err := p.ident("container name")
+		if err != nil {
+			return nil, err
+		}
+		port := ""
+		if p.tok.kind == tokIdent {
+			port = p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return &Drain{base, c, port}, nil
+	case "let":
+		v, err := p.ident("variable name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokAssign, "'='"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Let{base, v, e}, nil
+	case "barrier":
+		return &Barrier{base}, nil
+	case "if":
+		return p.ifStmt(base)
+	case "while":
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{base, cond, body}, nil
+	case "loop":
+		n, err := p.number("loop count")
+		if err != nil {
+			return nil, err
+		}
+		if n != float64(int(n)) || n < 0 {
+			return nil, p.errorf("loop count must be a non-negative integer")
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Loop{base, int(n), body}, nil
+	default:
+		return nil, p.errorf("unknown statement %q", kw)
+	}
+}
+
+func (p *parser) ifStmt(base stmtBase) (Stmt, error) {
+	stmt := &If{stmtBase: base}
+	for {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Arms = append(stmt.Arms, IfArm{Cond: cond, Body: body})
+		// else / else if?
+		if p.tok.kind != tokIdent || p.tok.text != "else" {
+			return stmt, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokIdent && p.tok.text == "if" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue // next arm
+		}
+		elseBody, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Else = elseBody
+		return stmt, nil
+	}
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.skipNewlines(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtList(tokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Expression parsing with C-like precedence.
+func (p *parser) expr() (ir.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (ir.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "||" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ir.Bin{Op: ir.Or, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (ir.Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "&&" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ir.Bin{Op: ir.And, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]ir.BinOp{
+	"<": ir.Lt, "<=": ir.Le, ">": ir.Gt, ">=": ir.Ge, "==": ir.Eq, "!=": ir.Ne,
+}
+
+func (p *parser) cmpExpr() (ir.Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		if op, ok := cmpOps[p.tok.text]; ok {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &ir.Bin{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (ir.Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := ir.Add
+		if p.tok.text == "-" {
+			op = ir.Sub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ir.Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (ir.Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := ir.Mul
+		if p.tok.text == "/" {
+			op = ir.Div
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ir.Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (ir.Expr, error) {
+	if p.tok.kind == tokOp && (p.tok.text == "!" || p.tok.text == "-") {
+		op := ir.Not
+		if p.tok.text == "-" {
+			op = ir.Neg
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Un{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (ir.Expr, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		v := p.tok.num
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return ir.Const(v), nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return ir.Var(name), nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", p.tok)
+	}
+}
+
+// Token helpers.
+
+func (p *parser) ident(what string) (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected %s, found %s", what, p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) number(what string) (float64, error) {
+	if p.tok.kind != tokNumber {
+		return 0, p.errorf("expected %s, found %s", what, p.tok)
+	}
+	v := p.tok.num
+	return v, p.advance()
+}
+
+func (p *parser) duration() (time.Duration, error) {
+	if p.tok.kind != tokDuration {
+		return 0, p.errorf("expected duration (e.g. 45s), found %s", p.tok)
+	}
+	d := time.Duration(p.tok.dur)
+	return d, p.advance()
+}
+
+func (p *parser) keyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return p.errorf("expected %q, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(kind tokenKind, what string) error {
+	if p.tok.kind != kind {
+		return p.errorf("expected %s, found %s", what, p.tok)
+	}
+	return p.advance()
+}

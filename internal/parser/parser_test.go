@@ -1,0 +1,286 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+)
+
+// pcrSource is the BioScript form of the paper's Fig. 10 protocol.
+const pcrSource = `
+# PCR with droplet replenishment (Fig. 10)
+fluid PCRMasterMix 10
+fluid Template 10
+container tube
+
+measure PCRMasterMix into tube
+vortex tube 1s
+measure Template into tube
+vortex tube 1s
+heat tube at 95 for 45s
+
+loop 9 {
+  heat tube at 95 for 20s
+  weigh tube -> weightSensor
+  if weightSensor < 3.57 {
+    measure PCRMasterMix into tube
+    heat tube at 95 for 45s
+    vortex tube 1s
+  }
+  heat tube at 50 for 30s
+  heat tube at 68 for 45s
+}
+heat tube at 68 for 5m
+drain tube PCR
+`
+
+func TestParsePCR(t *testing.T) {
+	bs, err := Parse(pcrSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g, err := bs.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := cfg.ToSSI(g); err != nil {
+		t.Fatalf("ToSSI: %v", err)
+	}
+	counts := map[ir.OpKind]int{}
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			counts[in.Kind]++
+		}
+	}
+	if counts[ir.Heat] != 6 || counts[ir.Sense] != 1 || counts[ir.Dispense] != 3 {
+		t.Errorf("op counts wrong: %v", counts)
+	}
+}
+
+func TestParseASTShapes(t *testing.T) {
+	stmts, err := ParseAST(pcrSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fluid, fluid, container, measure, vortex, measure, vortex, heat,
+	// loop, heat, drain = 11 top-level statements.
+	if len(stmts) != 11 {
+		t.Fatalf("top-level statements = %d, want 11", len(stmts))
+	}
+	loop, ok := stmts[8].(*Loop)
+	if !ok {
+		t.Fatalf("statement 9 is %T, want *Loop", stmts[8])
+	}
+	if loop.Count != 9 {
+		t.Errorf("loop count = %d, want 9", loop.Count)
+	}
+	found := false
+	for _, s := range loop.Body {
+		if ifs, ok := s.(*If); ok {
+			found = true
+			if len(ifs.Arms) != 1 || ifs.Else != nil {
+				t.Errorf("if statement shape wrong: %+v", ifs)
+			}
+			if got := ifs.Arms[0].Cond.String(); got != "(weightSensor < 3.57)" {
+				t.Errorf("condition = %q", got)
+			}
+		}
+	}
+	if !found {
+		t.Error("if statement not found in loop body")
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	src := `
+fluid F 1
+container c
+measure F into c
+vortex c 500ms
+heat c at 95 for 2m
+store c for 1h
+drain c
+`
+	stmts, err := ParseAST(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := stmts[3].(*Vortex); v.Dur != 500*time.Millisecond {
+		t.Errorf("vortex duration = %v", v.Dur)
+	}
+	if h := stmts[4].(*Heat); h.Dur != 2*time.Minute {
+		t.Errorf("heat duration = %v", h.Dur)
+	}
+	if s := stmts[5].(*Store); s.Dur != time.Hour {
+		t.Errorf("store duration = %v", s.Dur)
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	src := `
+fluid F 1
+container c
+measure F into c
+weigh c -> w
+if w < 1 {
+  vortex c 1s
+} else if w < 2 {
+  heat c at 50 for 1s
+} else {
+  store c for 1s
+}
+drain c
+`
+	stmts, err := ParseAST(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := stmts[4].(*If)
+	if len(ifs.Arms) != 2 || ifs.Else == nil {
+		t.Fatalf("if chain shape: %d arms, else=%v", len(ifs.Arms), ifs.Else != nil)
+	}
+	bs, err := Interpret(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bs.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseWhileAndLet(t *testing.T) {
+	src := `
+fluid F 1
+container c
+measure F into c
+let count = 0
+weigh c -> w
+while count < 3 && w > 0.5 {
+  vortex c 1s
+  weigh c -> w
+  let count = count + 1
+}
+drain c
+`
+	bs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers := 0
+	for _, b := range g.Blocks {
+		if b.Branch != nil {
+			headers++
+			want := "((count < 3) && (w > 0.5))"
+			if b.Branch.String() != want {
+				t.Errorf("condition = %q, want %q", b.Branch, want)
+			}
+		}
+	}
+	if headers != 1 {
+		t.Errorf("while headers = %d, want 1", headers)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"1 + 2 * 3", "(1 + (2 * 3))"},
+		{"(1 + 2) * 3", "((1 + 2) * 3)"},
+		{"a < 1 || b > 2 && c == 3", "((a < 1) || ((b > 2) && (c == 3)))"},
+		{"!x && -y < 2", "(!x && (-y < 2))"},
+		{"a - 1 - 2", "((a - 1) - 2)"},
+	}
+	for _, tc := range cases {
+		stmts, err := ParseAST("let z = " + tc.src + "\n")
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		got := stmts[0].(*Let).Expr.String()
+		if got != tc.want {
+			t.Errorf("%q parsed as %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown keyword", "frobnicate c\n", "unknown statement"},
+		{"unknown fluid", "container c\nmeasure Ghost into c\n", "unknown fluid"},
+		{"unknown container", "fluid F 1\nmeasure F into ghost\n", "unknown container"},
+		{"missing into", "fluid F 1\ncontainer c\nmeasure F c\n", `expected "into"`},
+		{"bad duration", "fluid F 1\ncontainer c\nmeasure F into c\nvortex c 5\n", "expected duration"},
+		{"bad duration suffix", "fluid F 1\ncontainer c\nvortex c 5x\n", "bad duration suffix"},
+		{"unclosed block", "fluid F 1\ncontainer c\nmeasure F into c\nif w < 1 {\nvortex c 1s\n", "missing '}'"},
+		{"negative loop", "loop -1 {\n}\n", "expected loop count"},
+		{"fractional loop", "loop 2.5 {\n}\n", "non-negative integer"},
+		{"bad char", "fluid F 1 @\n", "unexpected character"},
+		{"builder error surfaced", "fluid F 1\ncontainer c\nvortex c 1s\n", "empty"},
+		{"trailing junk", "fluid F 1 2\n", "after statement"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	src := "fluid F 1\ncontainer c\nmeasure F into c\nvortex ghost 1s\n"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q should cite line 4", err)
+	}
+}
+
+func TestParseBarrierAndSplit(t *testing.T) {
+	src := `
+fluid F 2
+container a
+container b
+measure F into a
+split a into b
+drain a
+barrier
+drain b
+`
+	bs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := 0
+	for _, b := range g.Blocks {
+		if len(b.Instrs) > 0 {
+			working++
+		}
+	}
+	if working != 2 {
+		t.Errorf("barrier should split into 2 working blocks, got %d", working)
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	src := "# header\n\n\nfluid F 1 # trailing\ncontainer c\nmeasure F into c\ndrain c\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}

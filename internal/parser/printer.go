@@ -1,0 +1,126 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"biocoder/internal/ir"
+)
+
+// Format renders an AST back to canonical BioScript source — the
+// gofmt-style normalizer for protocol files. Parsing the output yields an
+// equivalent AST (round-trip property, tested), so tools can rewrite
+// protocols mechanically.
+func Format(stmts []Stmt) string {
+	var sb strings.Builder
+	formatInto(&sb, stmts, 0)
+	return sb.String()
+}
+
+func formatInto(sb *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *FluidDecl:
+			fmt.Fprintf(sb, "%sfluid %s %s\n", indent, s.Name, trimNum(s.Volume))
+		case *ContainerDecl:
+			fmt.Fprintf(sb, "%scontainer %s\n", indent, s.Name)
+		case *Measure:
+			if s.Volume > 0 {
+				fmt.Fprintf(sb, "%smeasure %s into %s %s\n", indent, s.Fluid, s.Container, trimNum(s.Volume))
+			} else {
+				fmt.Fprintf(sb, "%smeasure %s into %s\n", indent, s.Fluid, s.Container)
+			}
+		case *Vortex:
+			fmt.Fprintf(sb, "%svortex %s %s\n", indent, s.Container, formatDur(s.Dur))
+		case *Heat:
+			fmt.Fprintf(sb, "%sheat %s at %s for %s\n", indent, s.Container, trimNum(s.Temp), formatDur(s.Dur))
+		case *Store:
+			fmt.Fprintf(sb, "%sstore %s for %s\n", indent, s.Container, formatDur(s.Dur))
+		case *Weigh:
+			fmt.Fprintf(sb, "%sweigh %s -> %s\n", indent, s.Container, s.Var)
+		case *Detect:
+			fmt.Fprintf(sb, "%sdetect %s -> %s for %s\n", indent, s.Container, s.Var, formatDur(s.Dur))
+		case *Split:
+			fmt.Fprintf(sb, "%ssplit %s into %s\n", indent, s.From, s.Into)
+		case *Drain:
+			if s.Port != "" {
+				fmt.Fprintf(sb, "%sdrain %s %s\n", indent, s.Container, s.Port)
+			} else {
+				fmt.Fprintf(sb, "%sdrain %s\n", indent, s.Container)
+			}
+		case *Let:
+			fmt.Fprintf(sb, "%slet %s = %s\n", indent, s.Var, formatExpr(s.Expr))
+		case *Barrier:
+			fmt.Fprintf(sb, "%sbarrier\n", indent)
+		case *If:
+			for i, arm := range s.Arms {
+				if i == 0 {
+					fmt.Fprintf(sb, "%sif %s {\n", indent, formatExpr(arm.Cond))
+				} else {
+					fmt.Fprintf(sb, "%s} else if %s {\n", indent, formatExpr(arm.Cond))
+				}
+				formatInto(sb, arm.Body, depth+1)
+			}
+			if s.Else != nil {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				formatInto(sb, s.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *While:
+			fmt.Fprintf(sb, "%swhile %s {\n", indent, formatExpr(s.Cond))
+			formatInto(sb, s.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *Loop:
+			fmt.Fprintf(sb, "%sloop %d {\n", indent, s.Count)
+			formatInto(sb, s.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		}
+	}
+}
+
+// formatExpr strips the outermost parentheses ir.Expr.String adds around
+// binary expressions; the grammar re-derives precedence on parse.
+func formatExpr(e ir.Expr) string {
+	s := e.String()
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") && balanced(s[1:len(s)-1]) {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func balanced(s string) bool {
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}
+
+// formatDur renders durations in the largest exact BioScript unit.
+func formatDur(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	case d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	default:
+		return fmt.Sprintf("%dms", d/time.Millisecond)
+	}
+}
+
+func trimNum(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

@@ -1,0 +1,128 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTripPCR(t *testing.T) {
+	stmts, err := ParseAST(pcrSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted := Format(stmts)
+	reparsed, err := ParseAST(formatted)
+	if err != nil {
+		t.Fatalf("reparse of formatted source: %v\n%s", err, formatted)
+	}
+	normalize(stmts)
+	normalize(reparsed)
+	if !reflect.DeepEqual(stmts, reparsed) {
+		t.Errorf("round trip changed the AST:\n--- formatted ---\n%s", formatted)
+	}
+	// Idempotence: formatting the formatted source is a fixed point.
+	if again := Format(reparsed); again != formatted {
+		t.Errorf("Format not idempotent:\n--- first ---\n%s--- second ---\n%s", formatted, again)
+	}
+}
+
+// normalize zeroes the line numbers that legitimately differ across
+// round trips.
+func normalize(stmts []Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *FluidDecl:
+			s.Line = 0
+		case *ContainerDecl:
+			s.Line = 0
+		case *Measure:
+			s.Line = 0
+		case *Vortex:
+			s.Line = 0
+		case *Heat:
+			s.Line = 0
+		case *Store:
+			s.Line = 0
+		case *Weigh:
+			s.Line = 0
+		case *Detect:
+			s.Line = 0
+		case *Split:
+			s.Line = 0
+		case *Drain:
+			s.Line = 0
+		case *Let:
+			s.Line = 0
+		case *Barrier:
+			s.Line = 0
+		case *If:
+			s.Line = 0
+			for _, arm := range s.Arms {
+				normalize(arm.Body)
+			}
+			normalize(s.Else)
+		case *While:
+			s.Line = 0
+			normalize(s.Body)
+		case *Loop:
+			s.Line = 0
+			normalize(s.Body)
+		}
+	}
+}
+
+// Every shipped benchmark script must round-trip through the formatter.
+func TestFormatRoundTripBenchmarkScripts(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "assays", "scripts", "*.bio"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no scripts found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts, err := ParseAST(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		formatted := Format(stmts)
+		reparsed, err := ParseAST(formatted)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", f, err, formatted)
+		}
+		normalize(stmts)
+		normalize(reparsed)
+		if !reflect.DeepEqual(stmts, reparsed) {
+			t.Errorf("%s: round trip changed the AST", f)
+		}
+	}
+}
+
+func TestFormatDurations(t *testing.T) {
+	src := "fluid F 1\ncontainer c\nmeasure F into c\nvortex c 1500ms\nheat c at 95 for 45s\nstore c for 2h\ndrain c\n"
+	stmts, err := ParseAST(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(stmts)
+	for _, want := range []string{"vortex c 1500ms", "heat c at 95 for 45s", "store c for 2h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatExprDropsOuterParens(t *testing.T) {
+	stmts, err := ParseAST("let x = (a + 1) * 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(stmts)
+	if !strings.Contains(out, "let x = (a + 1) * 2") {
+		t.Errorf("formatted let: %q", out)
+	}
+}

@@ -1,0 +1,192 @@
+// Package place implements module placement for the DMFB back end (paper
+// §6.3). The primary placer follows the virtual-topology approach of
+// Grissom & Brisk (TCAD'14), the heuristic suite the paper's evaluation
+// uses (§7.2): the array is pre-partitioned into fixed work-module slots
+// separated by one-cell routing streets, which guarantees that placement
+// and routing succeed whenever a legal schedule exists.
+//
+// Slots are strictly partitioned by capability: plain slots host
+// reconfigurable operations (mix, split, store, and inserted storage),
+// sensor slots host sensing, heater slots host heating. The scheduler's
+// resource abstraction (sched.Resources) is derived from this partition, so
+// the conservative counts the scheduler enforces are exactly the counts the
+// placer can satisfy.
+package place
+
+import (
+	"fmt"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/sched"
+)
+
+// SlotKind classifies a virtual-topology module slot by capability.
+type SlotKind int
+
+const (
+	// Plain slots host any reconfigurable operation or stored droplet.
+	Plain SlotKind = iota
+	// SensorSlot slots contain an integrated sensor.
+	SensorSlot
+	// HeaterSlot slots contain an integrated heater.
+	HeaterSlot
+)
+
+func (k SlotKind) String() string {
+	switch k {
+	case Plain:
+		return "plain"
+	case SensorSlot:
+		return "sensor"
+	case HeaterSlot:
+		return "heater"
+	default:
+		return fmt.Sprintf("SlotKind(%d)", int(k))
+	}
+}
+
+// Slot is one work module of the virtual topology.
+type Slot struct {
+	Index  int
+	Kind   SlotKind
+	Loc    arch.Rect
+	Device string // device name for sensor/heater slots
+}
+
+// Topology is the fixed module layout of a chip.
+type Topology struct {
+	Chip       *arch.Chip
+	ModW, ModH int
+	Slots      []Slot
+	// Faults lists electrodes known to be defective (stuck-off). Module
+	// slots overlapping a fault are excluded from the topology, the
+	// placer refuses ports on faulty cells, and the router treats every
+	// fault as an obstacle — the static half of hard-fault recovery
+	// (paper §8.4, ref [36]).
+	Faults []arch.Point
+}
+
+// Faulty reports whether cell p is a known-defective electrode.
+func (t *Topology) Faulty(p arch.Point) bool {
+	for _, f := range t.Faults {
+		if f == p {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildTopology tiles the chip interior with module slots. A one-cell
+// street is kept around every module (satisfying the one-cell separation of
+// placement constraint (4) by construction) and the full perimeter remains
+// street so dispensed droplets can reach any module.
+func BuildTopology(chip *arch.Chip) (*Topology, error) {
+	return BuildTopologyFaulty(chip, nil)
+}
+
+// BuildTopologyFaulty builds the topology for a chip with known-defective
+// electrodes: slots overlapping a fault are dropped (their operations must
+// compile elsewhere, which may fail per §6.6 — there is no off-chip spare).
+func BuildTopologyFaulty(chip *arch.Chip, faults []arch.Point) (*Topology, error) {
+	if err := chip.Validate(); err != nil {
+		return nil, err
+	}
+	modW := pickDim(chip.Cols, []int{4, 3, 2})
+	modH := pickDim(chip.Rows, []int{3, 2})
+	if modW == 0 || modH == 0 {
+		return nil, fmt.Errorf("place: chip %dx%d too small for any module slot", chip.Cols, chip.Rows)
+	}
+	nCols := (chip.Cols - 1) / (modW + 1)
+	nRows := (chip.Rows - 1) / (modH + 1)
+	topo := &Topology{Chip: chip, ModW: modW, ModH: modH, Faults: append([]arch.Point(nil), faults...)}
+	for j := 0; j < nRows; j++ {
+	slot:
+		for i := 0; i < nCols; i++ {
+			loc := arch.Rect{X: 1 + i*(modW+1), Y: 1 + j*(modH+1), W: modW, H: modH}
+			for _, f := range faults {
+				if loc.Contains(f) {
+					continue slot // defective module: unusable
+				}
+			}
+			s := Slot{Index: len(topo.Slots), Kind: Plain, Loc: loc}
+			for _, d := range chip.Devices {
+				if contains(loc, d.Loc) {
+					switch d.Kind {
+					case arch.Sensor:
+						s.Kind, s.Device = SensorSlot, d.Name
+					case arch.Heater:
+						s.Kind, s.Device = HeaterSlot, d.Name
+					}
+					break
+				}
+			}
+			topo.Slots = append(topo.Slots, s)
+		}
+	}
+	if len(topo.Slots) == 0 {
+		return nil, fmt.Errorf("place: no module slots fit on %dx%d chip", chip.Cols, chip.Rows)
+	}
+	return topo, nil
+}
+
+// pickDim chooses the largest module dimension that still yields at least
+// two module rows/columns, falling back to the largest that yields one.
+func pickDim(total int, candidates []int) int {
+	for _, c := range candidates {
+		if (total-1)/(c+1) >= 2 {
+			return c
+		}
+	}
+	for _, c := range candidates {
+		if (total-1)/(c+1) >= 1 {
+			return c
+		}
+	}
+	return 0
+}
+
+func contains(outer, inner arch.Rect) bool {
+	return inner.X >= outer.X && inner.Y >= outer.Y &&
+		inner.X+inner.W <= outer.X+outer.W && inner.Y+inner.H <= outer.Y+outer.H
+}
+
+// SlotsOf returns the slots of kind k in index order.
+func (t *Topology) SlotsOf(k SlotKind) []Slot {
+	var out []Slot
+	for _, s := range t.Slots {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Resources maps the topology onto the scheduler's resource abstraction.
+func (t *Topology) Resources() sched.Resources {
+	r := sched.Resources{
+		Inputs:  len(usablePorts(t, arch.Input)),
+		Outputs: len(usablePorts(t, arch.Output)),
+	}
+	for _, s := range t.Slots {
+		switch s.Kind {
+		case Plain:
+			r.Slots++
+		case SensorSlot:
+			r.Sensors++
+		case HeaterSlot:
+			r.Heaters++
+		}
+	}
+	return r
+}
+
+// Streets reports whether cell p lies on a routing street (outside every
+// module slot).
+func (t *Topology) Streets(p arch.Point) bool {
+	for _, s := range t.Slots {
+		if s.Loc.Contains(p) {
+			return false
+		}
+	}
+	return t.Chip.InBounds(p)
+}

@@ -1,0 +1,121 @@
+package route
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder/internal/arch"
+)
+
+// Tests for the router's failure handling: fail-fast diagnosis of
+// permanently blocked destinations, retry-with-promotion, and the
+// vacancy-ordering that lets chained moves (A vacates the cell B enters)
+// route without conflict.
+
+func TestFailFastBlockedDestination(t *testing.T) {
+	conf := Config{Chip: openChip(10, 10)}
+	reqs := []Request{
+		// b is parked (zero-move) right on a's destination.
+		{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 5, Y: 5}},
+		{ID: fid("b"), From: arch.Point{X: 5, Y: 5}, To: arch.Point{X: 5, Y: 5}},
+	}
+	start := time.Now()
+	_, err := Route(conf, reqs)
+	if err == nil {
+		t.Fatal("routing onto a parked droplet should fail")
+	}
+	if !strings.Contains(err.Error(), "blocked by") {
+		t.Errorf("want fail-fast diagnosis, got %v", err)
+	}
+	// Fail-fast means no exhaustive space-time search: well under a second.
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Errorf("blocked-destination failure took %v; fail-fast is broken", d)
+	}
+}
+
+func TestFailFastObstacleDestination(t *testing.T) {
+	conf := Config{
+		Chip:      openChip(10, 10),
+		Obstacles: []arch.Rect{{X: 4, Y: 4, W: 2, H: 2}},
+	}
+	reqs := []Request{{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 4, Y: 4}}}
+	_, err := Route(conf, reqs)
+	if err == nil || !strings.Contains(err.Error(), "inside obstacle") {
+		t.Errorf("want obstacle diagnosis, got %v", err)
+	}
+}
+
+func TestVacancyChainRoutes(t *testing.T) {
+	// A three-link chain: a enters b's start, b enters c's start, c moves
+	// away. Vacancy ordering must route c, then b, then a.
+	conf := Config{Chip: openChip(12, 5)}
+	reqs := []Request{
+		{ID: fid("a"), From: arch.Point{X: 1, Y: 2}, To: arch.Point{X: 4, Y: 2}},
+		{ID: fid("b"), From: arch.Point{X: 4, Y: 2}, To: arch.Point{X: 7, Y: 2}},
+		{ID: fid("c"), From: arch.Point{X: 7, Y: 2}, To: arch.Point{X: 10, Y: 2}},
+	}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := Check(conf, reqs, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromotionResolvesSettleConflict(t *testing.T) {
+	// d (long move) would normally route first and may brush s's
+	// destination after s arrives; the retry-with-promotion loop must
+	// resolve whatever order conflicts arise.
+	conf := Config{Chip: openChip(12, 12)}
+	reqs := []Request{
+		{ID: fid("s"), From: arch.Point{X: 5, Y: 5}, To: arch.Point{X: 6, Y: 5}},
+		{ID: fid("d"), From: arch.Point{X: 0, Y: 5}, To: arch.Point{X: 11, Y: 5}},
+	}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := Check(conf, reqs, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVacancyOrderFunction(t *testing.T) {
+	a := Request{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 4, Y: 0}}
+	b := Request{ID: fid("b"), From: arch.Point{X: 4, Y: 0}, To: arch.Point{X: 8, Y: 0}}
+	out := vacancyOrder([]Request{a, b})
+	if out[0].ID != b.ID {
+		t.Errorf("vacating droplet should route first: %v", out)
+	}
+	// A cyclic swap keeps the base order (and likely fails later, which
+	// the caller's fallbacks handle).
+	c1 := Request{ID: fid("x"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 5, Y: 0}}
+	c2 := Request{ID: fid("y"), From: arch.Point{X: 5, Y: 0}, To: arch.Point{X: 0, Y: 0}}
+	out = vacancyOrder([]Request{c1, c2})
+	if len(out) != 2 {
+		t.Fatalf("cycle lost requests: %v", out)
+	}
+	if out[0].ID != c1.ID || out[1].ID != c2.ID {
+		t.Errorf("cycle should keep base order, got %v then %v", out[0].ID, out[1].ID)
+	}
+}
+
+func TestHorizonBoundsSearch(t *testing.T) {
+	// An unreachable target (walled off) must fail quickly thanks to the
+	// bounded horizon.
+	conf := Config{
+		Chip:      openChip(20, 20),
+		Obstacles: []arch.Rect{{X: 10, Y: 0, W: 1, H: 20}},
+	}
+	reqs := []Request{{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 19, Y: 19}}}
+	start := time.Now()
+	_, err := Route(conf, reqs)
+	if err == nil {
+		t.Fatal("walled-off target should fail")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("unreachable failure took %v", d)
+	}
+}

@@ -1,0 +1,498 @@
+// Package route implements concurrent droplet routing (paper §5, §6.4): the
+// final back-end stage that computes a cycle-by-cycle path for every droplet
+// that must move between module locations, between blocks along CFG edges,
+// or to/from I/O reservoirs.
+//
+// The router is a prioritized space-time A* (maze) router: droplets are
+// routed one at a time, longest Manhattan distance first, against a
+// reservation table holding the trajectories of already-routed droplets.
+// Stalling in place is a legal move, so later droplets can yield. The
+// classic fluidic constraints are enforced: a moving droplet may never come
+// within the eight-neighborhood of another droplet at the same cycle
+// (static constraint) or of another droplet's previous-cycle position
+// (dynamic constraint), except between droplets of the same merge group
+// once inside the group's target module, where contact is the point.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/ir"
+)
+
+// Request asks for droplet ID to travel from From to To. Requests sharing a
+// nonzero Group are allowed to touch each other inside the group's rect
+// (they are merging there).
+type Request struct {
+	ID       ir.FluidID
+	From, To arch.Point
+	Group    int
+}
+
+// Path is a droplet trajectory: Path[t] is the droplet's cell at cycle t
+// relative to the start of the routing phase. Consecutive entries differ by
+// at most one horizontal or vertical step (diagonal transport is not
+// possible, §7.2).
+type Path []arch.Point
+
+// Result holds the routed trajectories. All paths have equal length
+// (Cycles+1): droplets that arrive early hold position.
+type Result struct {
+	Paths  map[ir.FluidID]Path
+	Cycles int
+}
+
+// Config carries the routing context.
+type Config struct { // groupTargets is populated by Route: for each merge group, the final
+	// staging cell of every member. A group member may never come
+	// orthogonally adjacent to a mate's staging cell except by landing on
+	// its own — otherwise the mate's held electrode would tear it once
+	// the mate settles.
+	groupTargets map[int][]Request
+
+	Chip *arch.Chip
+	// Obstacles are regions no routed droplet may enter: the footprints
+	// of module slots whose operations are active during this routing
+	// phase. A request's own target module must not be listed.
+	Obstacles []arch.Rect
+	// Groups maps a merge-group ID to the rect (target module interior)
+	// within which its members may violate fluidic constraints against
+	// each other.
+	Groups map[int]arch.Rect
+}
+
+// Route computes conflict-free trajectories for all requests.
+func Route(conf Config, reqs []Request) (*Result, error) {
+	if conf.Chip == nil {
+		return nil, fmt.Errorf("route: nil chip")
+	}
+	for _, r := range reqs {
+		if !conf.Chip.InBounds(r.From) || !conf.Chip.InBounds(r.To) {
+			return nil, fmt.Errorf("route: droplet %s endpoints %v->%v off chip", r.ID, r.From, r.To)
+		}
+	}
+	// Longest distance first; ties by ID for determinism.
+	order := append([]Request(nil), reqs...)
+	sort.SliceStable(order, func(i, j int) bool {
+		di := order[i].From.Manhattan(order[i].To)
+		dj := order[j].From.Manhattan(order[j].To)
+		if di != dj {
+			return di > dj
+		}
+		if order[i].ID.Name != order[j].ID.Name {
+			return order[i].ID.Name < order[j].ID.Name
+		}
+		return order[i].ID.Ver < order[j].ID.Ver
+	})
+	order = vacancyOrder(order)
+
+	conf.groupTargets = map[int][]Request{}
+	for _, r := range order {
+		if r.Group != 0 {
+			conf.groupTargets[r.Group] = append(conf.groupTargets[r.Group], r)
+		}
+	}
+
+	// Any reachable cell is within Cols+Rows steps; stalls and detours
+	// around traffic take at most a few multiples of that. A tight bound
+	// keeps failed searches cheap (the state space is cells × horizon).
+	horizon := 6*(conf.Chip.Cols+conf.Chip.Rows) + 8*len(order)
+	// Prioritized routing can fail when an earlier-routed droplet's path
+	// brushes a later droplet's destination. On failure, promote the
+	// failing droplet to route first — its committed trajectory (and
+	// settled destination) then constrains the rest — and retry. Retries
+	// are capped: congested bursts fall back to the caller's serializing
+	// strategy instead of burning time on doomed permutations.
+	movers := 0
+	for _, r := range order {
+		if r.From != r.To {
+			movers++
+		}
+	}
+	attempts := movers
+	if attempts > 4 {
+		attempts = 4
+	}
+	var lastErr error
+	for attempt := 0; attempt <= attempts; attempt++ {
+		res, failed, err := routeInOrder(conf, order, horizon)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if failed < 0 {
+			break
+		}
+		promoted := order[failed]
+		copy(order[1:failed+1], order[:failed])
+		order[0] = promoted
+	}
+	return nil, lastErr
+}
+
+// routeInOrder routes the requests in the given order; on failure it
+// reports the index of the request that could not be routed.
+func routeInOrder(conf Config, order []Request, horizon int) (*Result, int, error) {
+	res := &Result{Paths: map[ir.FluidID]Path{}}
+	var routed []routedDroplet
+	for i, r := range order {
+		// Droplets routed after this one sit at their start cells for an
+		// unknown prefix of the phase; treat those cells as static.
+		pending := order[i+1:]
+		p, err := astar(conf, r, routed, pending, horizon)
+		if err != nil {
+			return nil, i, fmt.Errorf("route: droplet %s %v->%v: %w", r.ID, r.From, r.To, err)
+		}
+		routed = append(routed, routedDroplet{req: r, path: p})
+		res.Paths[r.ID] = p
+		if len(p)-1 > res.Cycles {
+			res.Cycles = len(p) - 1
+		}
+	}
+	// Pad all paths to the common horizon.
+	for id, p := range res.Paths {
+		for len(p) < res.Cycles+1 {
+			p = append(p, p[len(p)-1])
+		}
+		res.Paths[id] = p
+	}
+	return res, -1, nil
+}
+
+// vacancyOrder refines the routing order so that a droplet vacating a cell
+// is routed before any droplet whose destination is adjacent to or on that
+// cell: the pending-droplet obstacle model treats unrouted starts as
+// permanent, so the vacating droplet must commit its trajectory first.
+// Cyclic dependencies (rotations) keep the base order and may fail to route.
+func vacancyOrder(order []Request) []Request {
+	n := len(order)
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			// order[i] must precede order[j] if j's destination
+			// conflicts with i's start and i actually moves away.
+			if order[i].From != order[i].To && order[j].To.Adjacent(order[i].From) {
+				succs[i] = append(succs[i], j)
+				indeg[j]++
+			}
+		}
+	}
+	var out []Request
+	done := make([]bool, n)
+	for len(out) < n {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if !done[i] && indeg[i] == 0 {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			// Cycle: fall back to base order for the remainder.
+			for i := 0; i < n; i++ {
+				if !done[i] {
+					out = append(out, order[i])
+					done[i] = true
+				}
+			}
+			break
+		}
+		done[picked] = true
+		out = append(out, order[picked])
+		for _, s := range succs[picked] {
+			indeg[s]--
+		}
+	}
+	return out
+}
+
+type routedDroplet struct {
+	req  Request
+	path Path
+}
+
+func (rd routedDroplet) at(t int) arch.Point {
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(rd.path) {
+		t = len(rd.path) - 1
+	}
+	return rd.path[t]
+}
+
+type node struct {
+	p    arch.Point
+	t    int
+	f    int // g + h
+	idx  int // heap bookkeeping
+	prev *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].f != h[j].f {
+		return h[i].f < h[j].f
+	}
+	return h[i].t < h[j].t
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].idx, h[j].idx = i, j }
+func (h *nodeHeap) Push(x any)   { n := x.(*node); n.idx = len(*h); *h = append(*h, n) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+var moves = [...]struct{ dx, dy int }{{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+func astar(conf Config, r Request, routed []routedDroplet, pending []Request, horizon int) (Path, error) {
+	if r.From == r.To && legalAt(conf, r, r.From, 0, routed, pending) {
+		// Still check lingering conflicts while others route past us.
+		return settle(conf, r, Path{r.From}, routed, pending)
+	}
+	// Fail fast on permanently blocked destinations: a pending droplet
+	// parked by the conservative model, a routed droplet settled for good,
+	// or a static obstacle will never clear within this phase, so the
+	// exhaustive space-time search is pointless.
+	for _, ob := range conf.Obstacles {
+		if ob.Contains(r.To) {
+			return nil, fmt.Errorf("destination %v inside obstacle %v", r.To, ob)
+		}
+	}
+	for _, pr := range pending {
+		if r.To.Adjacent(pr.From) && !(sameGroup(r, pr) && mergeExempt(conf, r, r.To, pr.From, pr.To)) {
+			return nil, fmt.Errorf("destination %v blocked by unrouted droplet %s at %v", r.To, pr.ID, pr.From)
+		}
+	}
+	for _, rd := range routed {
+		final := rd.path[len(rd.path)-1]
+		if r.To.Adjacent(final) && !(sameGroup(r, rd.req) && mergeExempt(conf, r, r.To, final, rd.req.To)) {
+			return nil, fmt.Errorf("destination %v blocked by settled droplet %s at %v", r.To, rd.req.ID, final)
+		}
+	}
+	start := &node{p: r.From, t: 0, f: r.From.Manhattan(r.To)}
+	open := &nodeHeap{}
+	heap.Init(open)
+	heap.Push(open, start)
+	seen := map[[3]int]bool{{r.From.X, r.From.Y, 0}: true}
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*node)
+		if cur.p == r.To {
+			// Reconstruct.
+			var rev []arch.Point
+			for n := cur; n != nil; n = n.prev {
+				rev = append(rev, n.p)
+			}
+			p := make(Path, len(rev))
+			for i := range rev {
+				p[i] = rev[len(rev)-1-i]
+			}
+			return settle(conf, r, p, routed, pending)
+		}
+		if cur.t >= horizon {
+			continue
+		}
+		for _, m := range moves {
+			np := cur.p.Add(m.dx, m.dy)
+			nt := cur.t + 1
+			key := [3]int{np.X, np.Y, nt}
+			if seen[key] {
+				continue
+			}
+			if !legalAt(conf, r, np, nt, routed, pending) {
+				continue
+			}
+			seen[key] = true
+			heap.Push(open, &node{p: np, t: nt, f: nt + np.Manhattan(r.To), prev: cur})
+		}
+	}
+	return nil, fmt.Errorf("no path within horizon %d", horizon)
+}
+
+// settle verifies the droplet can remain at its destination while
+// already-routed droplets finish their trajectories, extending the path
+// with stalls if needed (the destination itself must stay legal; if a later
+// cycle conflicts the route fails — in practice earlier-routed droplets
+// avoid settled positions because legalAt treats paths as persistent).
+func settle(conf Config, r Request, p Path, routed []routedDroplet, pending []Request) (Path, error) {
+	last := p[len(p)-1]
+	maxLen := len(p)
+	for _, rd := range routed {
+		if len(rd.path) > maxLen {
+			maxLen = len(rd.path)
+		}
+	}
+	for t := len(p); t < maxLen; t++ {
+		if !legalAt(conf, r, last, t, routed, pending) {
+			return nil, fmt.Errorf("destination %v conflicts at cycle %d after arrival", last, t)
+		}
+	}
+	return p, nil
+}
+
+// legalAt reports whether droplet r may occupy cell p at cycle t.
+func legalAt(conf Config, r Request, p arch.Point, t int, routed []routedDroplet, pending []Request) bool {
+	if !conf.Chip.InBounds(p) {
+		return false
+	}
+	for _, ob := range conf.Obstacles {
+		if ob.Contains(p) {
+			return false
+		}
+	}
+	if r.Group != 0 && p != r.To {
+		for _, mate := range conf.groupTargets[r.Group] {
+			if mate.ID != r.ID && p.Manhattan(mate.To) == 1 {
+				return false
+			}
+		}
+	}
+	for _, pr := range pending {
+		// Conservative: a yet-unrouted droplet occupies its start cell
+		// for the whole phase (it may leave earlier; we do not know
+		// when until it is routed).
+		if sameGroup(r, pr) && mergeExempt(conf, r, p, pr.From, pr.To) {
+			continue
+		}
+		if p.Adjacent(pr.From) {
+			return false
+		}
+	}
+	for _, rd := range routed {
+		exempt := func(q arch.Point) bool {
+			return sameGroup(r, rd.req) && mergeExempt(conf, r, p, q, rd.req.To)
+		}
+		// Static constraint (dt=0): no adjacency at the same cycle.
+		// Dynamic constraint (dt=±1), both directions: no adjacency to
+		// the other droplet's previous position (it may still be
+		// stretched there), and the other droplet's next move must not
+		// land adjacent to where we sit now. Merge mates are exempt
+		// while both positions lie inside the merge module.
+		for dt := -1; dt <= 1; dt++ {
+			q := rd.at(t + dt)
+			if p.Adjacent(q) && !exempt(q) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameGroup(a, b Request) bool { return a.Group != 0 && a.Group == b.Group }
+
+// mergeExempt decides whether droplet r may occupy p despite a same-group
+// droplet's presence at q (that droplet's final staging cell is otherTo).
+// Inside the merge module mates may come close, but with two restrictions
+// that keep the electrode frames unambiguous for the runtime interpreter:
+// they never share a cell, and they become orthogonally adjacent only when
+// both sit on their final staging cells, where each droplet's own electrode
+// holds it. Mid-route they stay diagonal — a moving droplet orthogonally
+// adjacent to another active electrode would be torn between two fields.
+func mergeExempt(conf Config, r Request, p, q, otherTo arch.Point) bool {
+	if p == q {
+		return false
+	}
+	rect, ok := conf.Groups[r.Group]
+	if !ok || !rect.Contains(p) || !rect.Contains(q) {
+		return false
+	}
+	if p.Manhattan(q) == 1 && !(p == r.To && q == otherTo) {
+		return false // orthogonal contact only between settled mates
+	}
+	return true
+}
+
+// Check validates a routing result against the constraints: endpoints
+// honored, single-orthogonal-step motion, obstacles avoided, and the
+// static+dynamic fluidic constraints between distinct-group droplets.
+func Check(conf Config, reqs []Request, res *Result) error {
+	byID := map[ir.FluidID]Request{}
+	for _, r := range reqs {
+		byID[r.ID] = r
+		p, ok := res.Paths[r.ID]
+		if !ok {
+			return fmt.Errorf("route: no path for %s", r.ID)
+		}
+		if p[0] != r.From || p[len(p)-1] != r.To {
+			return fmt.Errorf("route: %s path endpoints %v..%v do not match request %v->%v",
+				r.ID, p[0], p[len(p)-1], r.From, r.To)
+		}
+		for t := 1; t < len(p); t++ {
+			d := p[t-1].Manhattan(p[t])
+			if d > 1 {
+				return fmt.Errorf("route: %s jumps %v->%v at cycle %d", r.ID, p[t-1], p[t], t)
+			}
+		}
+		for t, cell := range p {
+			if !conf.Chip.InBounds(cell) {
+				return fmt.Errorf("route: %s off chip at cycle %d", r.ID, t)
+			}
+			for _, ob := range conf.Obstacles {
+				if ob.Contains(cell) {
+					return fmt.Errorf("route: %s enters obstacle %v at cycle %d", r.ID, ob, t)
+				}
+			}
+		}
+	}
+	ids := make([]ir.FluidID, 0, len(res.Paths))
+	for id := range res.Paths {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Name != ids[j].Name {
+			return ids[i].Name < ids[j].Name
+		}
+		return ids[i].Ver < ids[j].Ver
+	})
+	at := func(p Path, t int) arch.Point {
+		if t < 0 {
+			t = 0
+		}
+		if t >= len(p) {
+			t = len(p) - 1
+		}
+		return p[t]
+	}
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			ra, rb := byID[a], byID[b]
+			pa, pb := res.Paths[a], res.Paths[b]
+			exempt := func(x, y arch.Point) bool {
+				if !sameGroup(ra, rb) || x == y {
+					return false
+				}
+				rect, ok := conf.Groups[ra.Group]
+				if !ok || !rect.Contains(x) || !rect.Contains(y) {
+					return false
+				}
+				if x.Manhattan(y) == 1 && !(x == ra.To && y == rb.To) && !(x == rb.To && y == ra.To) {
+					return false
+				}
+				return true
+			}
+			for t := 0; t <= res.Cycles; t++ {
+				if at(pa, t).Adjacent(at(pb, t)) && !exempt(at(pa, t), at(pb, t)) {
+					return fmt.Errorf("route: %s and %s adjacent at cycle %d (%v, %v)", a, b, t, at(pa, t), at(pb, t))
+				}
+				if at(pa, t).Adjacent(at(pb, t-1)) && !exempt(at(pa, t), at(pb, t-1)) {
+					return fmt.Errorf("route: %s and %s violate the dynamic constraint at cycle %d", a, b, t)
+				}
+				if at(pb, t).Adjacent(at(pa, t-1)) && !exempt(at(pb, t), at(pa, t-1)) {
+					return fmt.Errorf("route: %s and %s violate the dynamic constraint at cycle %d", a, b, t)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package route
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/ir"
+)
+
+func fid(name string) ir.FluidID { return ir.FluidID{Name: name} }
+
+func openChip(cols, rows int) *arch.Chip {
+	return &arch.Chip{Cols: cols, Rows: rows, CyclePeriod: 10 * time.Millisecond}
+}
+
+func TestRouteSingleDroplet(t *testing.T) {
+	conf := Config{Chip: openChip(10, 10)}
+	reqs := []Request{{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 7, Y: 5}}}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := Check(conf, reqs, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 12 { // Manhattan distance: optimal with no obstacles
+		t.Errorf("cycles = %d, want 12", res.Cycles)
+	}
+}
+
+func TestRouteStationary(t *testing.T) {
+	conf := Config{Chip: openChip(5, 5)}
+	reqs := []Request{{ID: fid("a"), From: arch.Point{X: 2, Y: 2}, To: arch.Point{X: 2, Y: 2}}}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 0 {
+		t.Errorf("stationary droplet should take 0 cycles, got %d", res.Cycles)
+	}
+}
+
+// Fig. 4 of the paper: two droplets transported toward one another must
+// never violate the fluidic constraints.
+func TestRouteTwoDropletsHeadOn(t *testing.T) {
+	// Opposing droplets need two clear rows to pass each other (the
+	// static constraint is eight-adjacent), so give the corridor five.
+	conf := Config{Chip: openChip(16, 5)}
+	reqs := []Request{
+		{ID: fid("d1"), From: arch.Point{X: 0, Y: 2}, To: arch.Point{X: 12, Y: 2}},
+		{ID: fid("d2"), From: arch.Point{X: 15, Y: 2}, To: arch.Point{X: 3, Y: 2}},
+	}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := Check(conf, reqs, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteAvoidsObstacles(t *testing.T) {
+	conf := Config{
+		Chip:      openChip(10, 10),
+		Obstacles: []arch.Rect{{X: 3, Y: 0, W: 2, H: 9}}, // wall with gap at bottom
+	}
+	reqs := []Request{{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 9, Y: 0}}}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := Check(conf, reqs, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 9 {
+		t.Errorf("path through wall? cycles = %d", res.Cycles)
+	}
+}
+
+func TestRouteFailsWhenWalledOff(t *testing.T) {
+	conf := Config{
+		Chip:      openChip(10, 10),
+		Obstacles: []arch.Rect{{X: 3, Y: 0, W: 2, H: 10}}, // full wall
+	}
+	reqs := []Request{{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 9, Y: 0}}}
+	if _, err := Route(conf, reqs); err == nil {
+		t.Fatal("route through a full wall should fail")
+	}
+}
+
+func TestRouteOffChipEndpoints(t *testing.T) {
+	conf := Config{Chip: openChip(5, 5)}
+	reqs := []Request{{ID: fid("a"), From: arch.Point{X: -1, Y: 0}, To: arch.Point{X: 2, Y: 2}}}
+	if _, err := Route(conf, reqs); err == nil || !strings.Contains(err.Error(), "off chip") {
+		t.Fatalf("want off-chip error, got %v", err)
+	}
+}
+
+func TestMergeGroupAllowsContact(t *testing.T) {
+	target := arch.Rect{X: 4, Y: 4, W: 2, H: 2}
+	conf := Config{
+		Chip:   openChip(10, 10),
+		Groups: map[int]arch.Rect{1: target},
+	}
+	reqs := []Request{
+		{ID: fid("a"), From: arch.Point{X: 0, Y: 4}, To: arch.Point{X: 4, Y: 4}, Group: 1},
+		{ID: fid("b"), From: arch.Point{X: 9, Y: 4}, To: arch.Point{X: 5, Y: 4}, Group: 1},
+	}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := Check(conf, reqs, res); err != nil {
+		t.Fatal(err)
+	}
+	// The two droplets end adjacent inside the merge rect — that is the
+	// point of the group.
+	pa, pb := res.Paths[fid("a")], res.Paths[fid("b")]
+	if !pa[len(pa)-1].Adjacent(pb[len(pb)-1]) {
+		t.Errorf("merging droplets should end adjacent: %v vs %v", pa[len(pa)-1], pb[len(pb)-1])
+	}
+}
+
+func TestDistinctGroupsStillConstrained(t *testing.T) {
+	conf := Config{
+		Chip: openChip(12, 12),
+		Groups: map[int]arch.Rect{
+			1: {X: 4, Y: 4, W: 2, H: 2},
+			2: {X: 4, Y: 8, W: 2, H: 2},
+		},
+	}
+	reqs := []Request{
+		{ID: fid("a"), From: arch.Point{X: 0, Y: 5}, To: arch.Point{X: 4, Y: 5}, Group: 1},
+		{ID: fid("b"), From: arch.Point{X: 11, Y: 5}, To: arch.Point{X: 5, Y: 8}, Group: 2},
+	}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := Check(conf, reqs, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteManyDroplets(t *testing.T) {
+	conf := Config{Chip: openChip(15, 15)}
+	// Four droplets moving between distinct free cells (targets never
+	// coincide with another droplet's start — the compiler's placer
+	// guarantees this by assigning distinct slots).
+	reqs := []Request{
+		{ID: fid("a"), From: arch.Point{X: 1, Y: 1}, To: arch.Point{X: 7, Y: 1}},
+		{ID: fid("b"), From: arch.Point{X: 13, Y: 1}, To: arch.Point{X: 13, Y: 7}},
+		{ID: fid("c"), From: arch.Point{X: 13, Y: 13}, To: arch.Point{X: 7, Y: 13}},
+		{ID: fid("d"), From: arch.Point{X: 1, Y: 13}, To: arch.Point{X: 1, Y: 7}},
+	}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if err := Check(conf, reqs, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on an empty chip, any single-droplet route completes in exactly
+// the Manhattan distance and passes validation.
+func TestRouteOptimalityProperty(t *testing.T) {
+	conf := Config{Chip: openChip(12, 12)}
+	f := func(x1, y1, x2, y2 uint8) bool {
+		from := arch.Point{X: int(x1 % 12), Y: int(y1 % 12)}
+		to := arch.Point{X: int(x2 % 12), Y: int(y2 % 12)}
+		reqs := []Request{{ID: fid("p"), From: from, To: to}}
+		res, err := Route(conf, reqs)
+		if err != nil {
+			return false
+		}
+		if err := Check(conf, reqs, res); err != nil {
+			return false
+		}
+		return res.Cycles == from.Manhattan(to)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	conf := Config{Chip: openChip(10, 10)}
+	reqs := []Request{{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 2, Y: 0}}}
+	// Teleporting path.
+	bad := &Result{Paths: map[ir.FluidID]Path{
+		fid("a"): {{X: 0, Y: 0}, {X: 2, Y: 0}},
+	}, Cycles: 1}
+	if err := Check(conf, reqs, bad); err == nil {
+		t.Error("Check accepted a teleporting path")
+	}
+	// Wrong endpoint.
+	bad2 := &Result{Paths: map[ir.FluidID]Path{
+		fid("a"): {{X: 0, Y: 0}, {X: 1, Y: 0}},
+	}, Cycles: 1}
+	if err := Check(conf, reqs, bad2); err == nil {
+		t.Error("Check accepted wrong endpoint")
+	}
+	// Adjacent droplets.
+	reqs2 := []Request{
+		{ID: fid("a"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 1, Y: 0}},
+		{ID: fid("b"), From: arch.Point{X: 5, Y: 0}, To: arch.Point{X: 2, Y: 0}},
+	}
+	bad3 := &Result{Paths: map[ir.FluidID]Path{
+		fid("a"): {{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 0}},
+		fid("b"): {{X: 5, Y: 0}, {X: 4, Y: 0}, {X: 3, Y: 0}, {X: 2, Y: 0}},
+	}, Cycles: 3}
+	if err := Check(conf, reqs2, bad3); err == nil {
+		t.Error("Check accepted adjacent droplets")
+	}
+}
+
+func TestPathsEqualLength(t *testing.T) {
+	conf := Config{Chip: openChip(20, 20)}
+	reqs := []Request{
+		{ID: fid("far"), From: arch.Point{X: 0, Y: 0}, To: arch.Point{X: 19, Y: 19}},
+		{ID: fid("near"), From: arch.Point{X: 10, Y: 0}, To: arch.Point{X: 11, Y: 0}},
+	}
+	res, err := Route(conf, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range res.Paths {
+		if len(p) != res.Cycles+1 {
+			t.Errorf("path %s has length %d, want %d", id, len(p), res.Cycles+1)
+		}
+	}
+}

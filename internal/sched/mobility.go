@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"biocoder/internal/ir"
+)
+
+// Mobility-driven scheduling (a light variant of the force-directed list
+// scheduling of O'Neal, Grissom & Brisk, VLSI-SoC'12 — the paper's ref
+// [60]): instead of ranking ready operations by the length of the
+// dependence chain they head, rank them by *slack* — the gap between their
+// as-late-as-possible and as-soon-as-possible start times under an
+// unconstrained schedule. Zero-slack operations sit on the critical path
+// and must go first; high-slack operations can yield their module to more
+// urgent work, which flattens resource-demand peaks the same way full
+// force-directed scheduling's distribution graphs do.
+
+// mobility returns, per instruction, the negated slack (so that the common
+// "higher priority value first" comparison applies): ops with the least
+// slack get the largest priority. Ties inherit the critical-path length so
+// the tie-break still favors long chains.
+func mobility(wet []*ir.Instr, conf Config) map[*ir.Instr]int {
+	producers := map[ir.FluidID]*ir.Instr{}
+	consumers := map[ir.FluidID][]*ir.Instr{}
+	for _, in := range wet {
+		for _, r := range in.Results {
+			producers[r] = in
+		}
+		for _, a := range in.Args {
+			consumers[a] = append(consumers[a], in)
+		}
+	}
+
+	// ASAP: earliest start assuming unlimited resources. φ destinations
+	// (args with no in-block producer) are available at 0.
+	asap := map[*ir.Instr]int{}
+	var asapOf func(in *ir.Instr) int
+	asapOf = func(in *ir.Instr) int {
+		if v, ok := asap[in]; ok {
+			return v
+		}
+		asap[in] = 0 // DAG per block; provisional value unused
+		start := 0
+		for _, a := range in.Args {
+			if p, ok := producers[a]; ok {
+				if end := asapOf(p) + conf.cyclesFor(p); end > start {
+					start = end
+				}
+			}
+		}
+		asap[in] = start
+		return start
+	}
+	makespan := 0
+	for _, in := range wet {
+		if end := asapOf(in) + conf.cyclesFor(in); end > makespan {
+			makespan = end
+		}
+	}
+
+	// ALAP: latest start that still meets the unconstrained makespan.
+	alap := map[*ir.Instr]int{}
+	var alapOf func(in *ir.Instr) int
+	alapOf = func(in *ir.Instr) int {
+		if v, ok := alap[in]; ok {
+			return v
+		}
+		latestEnd := makespan
+		alap[in] = latestEnd - conf.cyclesFor(in)
+		for _, r := range in.Results {
+			for _, c := range consumers[r] {
+				if s := alapOf(c); s < latestEnd {
+					latestEnd = s
+				}
+			}
+		}
+		alap[in] = latestEnd - conf.cyclesFor(in)
+		return alap[in]
+	}
+
+	// Priority: primary key = -slack (scaled), secondary = critical path.
+	cp := criticalPath(wet, conf)
+	out := map[*ir.Instr]int{}
+	for _, in := range wet {
+		slack := alapOf(in) - asapOf(in)
+		if slack < 0 {
+			slack = 0
+		}
+		out[in] = -slack*(makespan+1) + cp[in]
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"biocoder/internal/ir"
+	"biocoder/internal/lang"
+)
+
+func TestMobilityPrioritizesCriticalPath(t *testing.T) {
+	conf := testConfig()
+	// Chain A (long): d1 -> mix 60s -> out; Chain B (short): d2 -> out.
+	d1 := &ir.Instr{ID: 1, Kind: ir.Dispense, Results: []ir.FluidID{{Name: "a", Ver: 1}}, FluidType: "F", Volume: 1}
+	m1 := &ir.Instr{ID: 2, Kind: ir.Mix, Args: []ir.FluidID{{Name: "a", Ver: 1}}, Results: []ir.FluidID{{Name: "a", Ver: 2}}, Duration: 60 * time.Second}
+	o1 := &ir.Instr{ID: 3, Kind: ir.Output, Args: []ir.FluidID{{Name: "a", Ver: 2}}}
+	d2 := &ir.Instr{ID: 4, Kind: ir.Dispense, Results: []ir.FluidID{{Name: "b", Ver: 1}}, FluidType: "F", Volume: 1}
+	o2 := &ir.Instr{ID: 5, Kind: ir.Output, Args: []ir.FluidID{{Name: "b", Ver: 1}}}
+	wet := []*ir.Instr{d1, m1, o1, d2, o2}
+	prio := mobility(wet, conf)
+	// Chain A ops have zero slack; chain B has huge slack.
+	if prio[d1] <= prio[d2] {
+		t.Errorf("critical-chain dispense should outrank slack one: %d vs %d", prio[d1], prio[d2])
+	}
+	if prio[m1] <= prio[o2] {
+		t.Errorf("critical mix should outrank slack output: %d vs %d", prio[m1], prio[o2])
+	}
+}
+
+func TestMobilityZeroSlackEqualsCriticalPathOrder(t *testing.T) {
+	// On a pure chain every op has zero slack; the tie-break (critical
+	// path) must order them exactly as the default policy.
+	conf := testConfig()
+	f := func(v int) ir.FluidID { return ir.FluidID{Name: "x", Ver: v} }
+	d := &ir.Instr{ID: 1, Kind: ir.Dispense, Results: []ir.FluidID{f(1)}, FluidType: "F", Volume: 1}
+	m := &ir.Instr{ID: 2, Kind: ir.Mix, Args: []ir.FluidID{f(1)}, Results: []ir.FluidID{f(2)}, Duration: time.Second}
+	h := &ir.Instr{ID: 3, Kind: ir.Heat, Args: []ir.FluidID{f(2)}, Results: []ir.FluidID{f(3)}, Temp: 95, Duration: time.Second}
+	o := &ir.Instr{ID: 4, Kind: ir.Output, Args: []ir.FluidID{f(3)}}
+	wet := []*ir.Instr{d, m, h, o}
+	mob := mobility(wet, conf)
+	cp := criticalPath(wet, conf)
+	order := func(p map[*ir.Instr]int) [4]int {
+		var out [4]int
+		for i, in := range wet {
+			rank := 0
+			for _, other := range wet {
+				if p[other] > p[in] {
+					rank++
+				}
+			}
+			out[i] = rank
+		}
+		return out
+	}
+	if order(mob) != order(cp) {
+		t.Errorf("zero-slack chain ordered differently: mobility %v vs critical-path %v", order(mob), order(cp))
+	}
+}
+
+// Both policies must produce valid schedules on a real protocol, and the
+// same makespan on serial chains.
+func TestMinSlackPolicyEndToEnd(t *testing.T) {
+	g := buildSSI(t, func(bs *lang.BioSystem) {
+		f := bs.NewFluid("F", 5)
+		a := bs.NewContainer("a")
+		b := bs.NewContainer("b")
+		bs.MeasureFluid(f, a)
+		bs.MeasureFluid(f, b)
+		bs.Vortex(a, 10*time.Second)
+		bs.Vortex(b, 2*time.Second)
+		bs.StoreFor(a, 95, 5*time.Second)
+		bs.Drain(a, "")
+		bs.Drain(b, "")
+	})
+	conf := testConfig()
+	conf.Priority = MinSlack
+	res, err := Schedule(g, conf)
+	if err != nil {
+		t.Fatalf("Schedule(MinSlack): %v", err)
+	}
+	for _, bsch := range res.Blocks {
+		checkSchedule(t, bsch, conf.Res)
+	}
+	// Makespan must not exceed the critical-path policy's by more than
+	// the longest single op (both are list schedules on the same DAG).
+	confCP := testConfig()
+	resCP, err := Schedule(g, confCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, bsch := range res.Blocks {
+		if other := resCP.Blocks[id]; bsch.Length > other.Length+1000 {
+			t.Errorf("block %d: MinSlack makespan %d far exceeds critical-path %d",
+				id, bsch.Length, other.Length)
+		}
+	}
+}

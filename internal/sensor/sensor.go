@@ -1,0 +1,144 @@
+// Package sensor models the integrated sensors of a cyber-physical DMFB.
+// Following the paper's simulator (§7.1), readings are pseudo-random
+// numbers drawn uniformly from a configured [min,max] interval per sensor —
+// no further statistical structure is assumed. A scripted model provides
+// deterministic readings for tests and reproducible experiment runs.
+package sensor
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Model produces the scalar a sensing operation reads. Implementations
+// receive the sensor variable name (the dry variable the assay binds),
+// the physical device name, and the absolute cycle of the reading.
+type Model interface {
+	Read(variable, device string, cycle int) float64
+}
+
+// Range is an inclusive reading interval.
+type Range struct {
+	Min, Max float64
+}
+
+// Uniform draws readings uniformly from per-variable ranges, falling back
+// to a default range. It is safe for concurrent use.
+type Uniform struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	ranges map[string]Range
+	def    Range
+}
+
+// NewUniform returns a seeded uniform model with default range [0,1].
+func NewUniform(seed int64) *Uniform {
+	return &Uniform{
+		rng:    rand.New(rand.NewSource(seed)),
+		ranges: map[string]Range{},
+		def:    Range{0, 1},
+	}
+}
+
+// SetRange configures the reading interval of a sensor variable.
+func (u *Uniform) SetRange(variable string, min, max float64) *Uniform {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.ranges[variable] = Range{min, max}
+	return u
+}
+
+// SetDefault configures the fallback interval.
+func (u *Uniform) SetDefault(min, max float64) *Uniform {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.def = Range{min, max}
+	return u
+}
+
+// Read implements Model.
+func (u *Uniform) Read(variable, device string, cycle int) float64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	r, ok := u.ranges[variable]
+	if !ok {
+		r = u.def
+	}
+	return r.Min + u.rng.Float64()*(r.Max-r.Min)
+}
+
+// Scripted replays a fixed series of readings per variable; when a
+// variable's series is exhausted (or absent) the final value repeats, or
+// Fallback is consulted if set. Useful to pin both outcomes of an assay.
+type Scripted struct {
+	mu       sync.Mutex
+	values   map[string][]float64
+	consumed map[string]int
+	// Fallback handles variables with no script.
+	Fallback Model
+}
+
+// NewScripted builds a scripted model.
+func NewScripted(values map[string][]float64) *Scripted {
+	vs := make(map[string][]float64, len(values))
+	for k, v := range values {
+		vs[k] = append([]float64(nil), v...)
+	}
+	return &Scripted{values: vs, consumed: map[string]int{}}
+}
+
+// Read implements Model.
+func (s *Scripted) Read(variable, device string, cycle int) float64 {
+	s.mu.Lock()
+	series, ok := s.values[variable]
+	if !ok || len(series) == 0 {
+		fb := s.Fallback
+		s.mu.Unlock()
+		if fb != nil {
+			return fb.Read(variable, device, cycle)
+		}
+		return 0
+	}
+	i := s.consumed[variable]
+	if i >= len(series) {
+		i = len(series) - 1
+	} else {
+		s.consumed[variable] = i + 1
+	}
+	v := series[i]
+	s.mu.Unlock()
+	return v
+}
+
+// Constant always returns the same value; handy in examples.
+type Constant float64
+
+// Read implements Model.
+func (c Constant) Read(variable, device string, cycle int) float64 { return float64(c) }
+
+// ParseRanges parses "name=min:max" specs (as accepted by the CLI tools).
+func ParseRanges(u *Uniform, specs []string) error {
+	for _, s := range specs {
+		name, rest, ok := strings.Cut(s, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("sensor: bad range spec %q (want name=min:max)", s)
+		}
+		lo, hi, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("sensor: bad range spec %q (want name=min:max)", s)
+		}
+		min, err := strconv.ParseFloat(lo, 64)
+		if err != nil {
+			return fmt.Errorf("sensor: bad range spec %q: %v", s, err)
+		}
+		max, err := strconv.ParseFloat(hi, 64)
+		if err != nil {
+			return fmt.Errorf("sensor: bad range spec %q: %v", s, err)
+		}
+		u.SetRange(name, min, max)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package sensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformInRange(t *testing.T) {
+	u := NewUniform(42).SetRange("w", 2, 5).SetDefault(-1, 1)
+	for i := 0; i < 1000; i++ {
+		v := u.Read("w", "sensor1", i)
+		if v < 2 || v > 5 {
+			t.Fatalf("reading %g outside [2,5]", v)
+		}
+		d := u.Read("other", "sensor1", i)
+		if d < -1 || d > 1 {
+			t.Fatalf("default reading %g outside [-1,1]", d)
+		}
+	}
+}
+
+func TestUniformSeedDeterminism(t *testing.T) {
+	a := NewUniform(7).SetRange("w", 0, 10)
+	b := NewUniform(7).SetRange("w", 0, 10)
+	for i := 0; i < 100; i++ {
+		if a.Read("w", "", i) != b.Read("w", "", i) {
+			t.Fatal("same seed must give the same reading series")
+		}
+	}
+	c := NewUniform(8).SetRange("w", 0, 10)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Read("w", "", i) != c.Read("w", "", i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+func TestUniformRangeProperty(t *testing.T) {
+	f := func(seed int64, lo, width float64) bool {
+		if width < 0 || width > 1e12 || lo < -1e12 || lo > 1e12 {
+			return true
+		}
+		u := NewUniform(seed).SetRange("x", lo, lo+width)
+		v := u.Read("x", "", 0)
+		return v >= lo && v <= lo+width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScriptedSequence(t *testing.T) {
+	s := NewScripted(map[string][]float64{"w": {1, 2, 3}})
+	want := []float64{1, 2, 3, 3, 3} // repeats last when exhausted
+	for i, w := range want {
+		if got := s.Read("w", "", i); got != w {
+			t.Errorf("reading %d = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestScriptedFallback(t *testing.T) {
+	s := NewScripted(map[string][]float64{"w": {1}})
+	s.Fallback = Constant(9)
+	if got := s.Read("unknown", "", 0); got != 9 {
+		t.Errorf("fallback reading = %g, want 9", got)
+	}
+	if got := s.Read("unknown", "", 1); got != 9 {
+		t.Errorf("fallback reading = %g, want 9", got)
+	}
+	// No fallback: zero.
+	s2 := NewScripted(nil)
+	if got := s2.Read("x", "", 0); got != 0 {
+		t.Errorf("scriptless reading = %g, want 0", got)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	if Constant(3.5).Read("anything", "dev", 99) != 3.5 {
+		t.Error("constant model broken")
+	}
+}
+
+func TestParseRanges(t *testing.T) {
+	u := NewUniform(1)
+	if err := ParseRanges(u, []string{"weightSensor=2:5", "optical=0:100"}); err != nil {
+		t.Fatalf("ParseRanges: %v", err)
+	}
+	v := u.Read("weightSensor", "", 0)
+	if v < 2 || v > 5 {
+		t.Errorf("parsed range not applied: %g", v)
+	}
+	if err := ParseRanges(u, []string{"bogus"}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}

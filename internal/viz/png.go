@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/codegen"
+	"biocoder/internal/exec"
+)
+
+// PNG rendering produces raster frames (stdlib image/png), the closest
+// analogue to the per-cycle images the paper's visualizer stitches into
+// videos (§7.1).
+
+const pngCell = 16
+
+var (
+	colBackground = color.RGBA{18, 18, 20, 255}
+	colElectrode  = color.RGBA{38, 38, 44, 255}
+	colActive     = color.RGBA{240, 220, 80, 255}
+	colDroplet    = color.RGBA{70, 160, 255, 255}
+	colSensor     = color.RGBA{60, 170, 110, 255}
+	colHeater     = color.RGBA{200, 110, 60, 255}
+	colInPort     = color.RGBA{80, 110, 200, 255}
+	colOutPort    = color.RGBA{180, 90, 190, 255}
+	colFault      = color.RGBA{220, 60, 60, 255}
+)
+
+// RenderImage draws one frame of chip state as an image.
+func RenderImage(chip *arch.Chip, frame codegen.Frame, droplets []*exec.Droplet, faults []arch.Point) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, chip.Cols*pngCell, chip.Rows*pngCell))
+	fill(img, img.Bounds(), colBackground)
+	for y := 0; y < chip.Rows; y++ {
+		for x := 0; x < chip.Cols; x++ {
+			cellRect(img, x, y, 1, colElectrode)
+		}
+	}
+	for _, d := range chip.Devices {
+		c := colSensor
+		if d.Kind == arch.Heater {
+			c = colHeater
+		}
+		for _, cell := range d.Loc.Cells() {
+			cellRect(img, cell.X, cell.Y, 3, c)
+		}
+	}
+	for _, p := range chip.Ports {
+		c := colInPort
+		if p.Kind == arch.Output {
+			c = colOutPort
+		}
+		cellRect(img, p.Cell.X, p.Cell.Y, 2, c)
+	}
+	for _, f := range faults {
+		cellRect(img, f.X, f.Y, 2, colFault)
+	}
+	for _, cell := range frame {
+		cellRect(img, cell.X, cell.Y, 3, colActive)
+	}
+	for _, d := range droplets {
+		disc(img, d.Pos.X, d.Pos.Y, colDroplet)
+	}
+	return img
+}
+
+// WritePNG renders one frame and encodes it to w.
+func WritePNG(w io.Writer, chip *arch.Chip, frame codegen.Frame, droplets []*exec.Droplet, faults []arch.Point) error {
+	return png.Encode(w, RenderImage(chip, frame, droplets, faults))
+}
+
+func fill(img *image.RGBA, r image.Rectangle, c color.RGBA) {
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+}
+
+// cellRect fills the cell at chip coordinates (cx, cy), inset to leave the
+// grid visible.
+func cellRect(img *image.RGBA, cx, cy, inset int, c color.RGBA) {
+	fill(img, image.Rect(cx*pngCell+inset, cy*pngCell+inset,
+		(cx+1)*pngCell-inset, (cy+1)*pngCell-inset), c)
+}
+
+// disc draws the droplet as a filled circle within the cell.
+func disc(img *image.RGBA, cx, cy int, c color.RGBA) {
+	centerX := cx*pngCell + pngCell/2
+	centerY := cy*pngCell + pngCell/2
+	r := pngCell/2 - 2
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				img.SetRGBA(centerX+dx, centerY+dy, c)
+			}
+		}
+	}
+}

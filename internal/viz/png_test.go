@@ -1,0 +1,48 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/codegen"
+	"biocoder/internal/exec"
+	"biocoder/internal/ir"
+)
+
+func TestRenderImageGeometry(t *testing.T) {
+	chip := arch.Default()
+	droplets := []*exec.Droplet{
+		{ID: ir.FluidID{Name: "d", Ver: 1}, Pos: arch.Point{X: 7, Y: 2}},
+	}
+	img := RenderImage(chip, codegen.Frame{{X: 7, Y: 2}}, droplets, []arch.Point{{X: 5, Y: 5}})
+	b := img.Bounds()
+	if b.Dx() != chip.Cols*pngCell || b.Dy() != chip.Rows*pngCell {
+		t.Fatalf("image %dx%d, want %dx%d", b.Dx(), b.Dy(), chip.Cols*pngCell, chip.Rows*pngCell)
+	}
+	// Droplet center pixel is droplet-colored.
+	cx, cy := 7*pngCell+pngCell/2, 2*pngCell+pngCell/2
+	if img.RGBAAt(cx, cy) != colDroplet {
+		t.Errorf("droplet pixel = %v", img.RGBAAt(cx, cy))
+	}
+	// Fault cell marked.
+	fx, fy := 5*pngCell+pngCell/2, 5*pngCell+pngCell/2
+	if img.RGBAAt(fx, fy) != colFault {
+		t.Errorf("fault pixel = %v", img.RGBAAt(fx, fy))
+	}
+}
+
+func TestWritePNGDecodes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, arch.Small(), nil, nil, nil); err != nil {
+		t.Fatalf("WritePNG: %v", err)
+	}
+	cfgPNG, err := png.DecodeConfig(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cfgPNG.Width != 9*pngCell || cfgPNG.Height != 9*pngCell {
+		t.Errorf("png %dx%d", cfgPNG.Width, cfgPNG.Height)
+	}
+}

@@ -1,0 +1,159 @@
+// Package viz renders DMFB simulation state. The paper's framework stitches
+// per-cycle images into animated videos of bioassay execution (§7.1); this
+// package produces the equivalent frame stream as ASCII art (for terminals
+// and golden tests) and SVG (for reports), plus a Recorder that plugs into
+// the simulator's frame hook and downsamples long runs.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/codegen"
+	"biocoder/internal/exec"
+)
+
+// ASCII renders one frame as a character grid:
+//
+//	.  idle electrode        *  activated electrode
+//	o  droplet               S/H  sensor/heater footprint
+//	I/O  input/output port
+//
+// Droplets override activation marks; device and port marks show through
+// only when idle.
+func ASCII(chip *arch.Chip, frame codegen.Frame, droplets []*exec.Droplet) string {
+	grid := make([][]byte, chip.Rows)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", chip.Cols))
+	}
+	mark := func(p arch.Point, c byte) {
+		if chip.InBounds(p) {
+			grid[p.Y][p.X] = c
+		}
+	}
+	for _, d := range chip.Devices {
+		c := byte('S')
+		if d.Kind == arch.Heater {
+			c = 'H'
+		}
+		for _, cell := range d.Loc.Cells() {
+			mark(cell, c)
+		}
+	}
+	for _, p := range chip.Ports {
+		c := byte('I')
+		if p.Kind == arch.Output {
+			c = 'O'
+		}
+		mark(p.Cell, c)
+	}
+	for _, cell := range frame {
+		mark(cell, '*')
+	}
+	for _, d := range droplets {
+		mark(d.Pos, 'o')
+	}
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SVG renders one frame as a standalone SVG image.
+func SVG(chip *arch.Chip, frame codegen.Frame, droplets []*exec.Droplet) string {
+	const cell = 20
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`,
+		chip.Cols*cell, chip.Rows*cell)
+	fmt.Fprintf(&sb, `<rect width="100%%" height="100%%" fill="#111"/>`)
+	for y := 0; y < chip.Rows; y++ {
+		for x := 0; x < chip.Cols; x++ {
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#222" stroke="#333"/>`,
+				x*cell+1, y*cell+1, cell-2, cell-2)
+		}
+	}
+	for _, d := range chip.Devices {
+		color := "#2a6"
+		if d.Kind == arch.Heater {
+			color = "#a52"
+		}
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.35"/>`,
+			d.Loc.X*cell, d.Loc.Y*cell, d.Loc.W*cell, d.Loc.H*cell, color)
+	}
+	for _, p := range chip.Ports {
+		color := "#46c"
+		if p.Kind == arch.Output {
+			color = "#c4c"
+		}
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.5"/>`,
+			p.Cell.X*cell, p.Cell.Y*cell, cell, cell, color)
+	}
+	for _, c := range frame {
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#ff5" fill-opacity="0.6"/>`,
+			c.X*cell+2, c.Y*cell+2, cell-4, cell-4)
+	}
+	for _, d := range droplets {
+		fmt.Fprintf(&sb, `<circle cx="%d" cy="%d" r="%d" fill="#3af"/>`,
+			d.Pos.X*cell+cell/2, d.Pos.Y*cell+cell/2, cell/2-3)
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// Recorder captures frames during a simulation run; attach Hook to
+// exec.Options.FrameHook. Every-th frame is kept (1 keeps all).
+type Recorder struct {
+	Chip  *arch.Chip
+	Every int
+	// Format renders a frame; defaults to ASCII.
+	Format func(chip *arch.Chip, frame codegen.Frame, droplets []*exec.Droplet) string
+
+	frames []string
+	labels []string
+	cycles []int
+}
+
+// NewRecorder builds a Recorder keeping every-th frame.
+func NewRecorder(chip *arch.Chip, every int) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{Chip: chip, Every: every}
+}
+
+// Hook is the exec.Options.FrameHook adapter.
+func (r *Recorder) Hook(cycle int, label string, frame codegen.Frame, droplets []*exec.Droplet) {
+	if cycle%r.Every != 0 {
+		return
+	}
+	format := r.Format
+	if format == nil {
+		format = ASCII
+	}
+	r.frames = append(r.frames, format(r.Chip, frame, droplets))
+	r.labels = append(r.labels, label)
+	r.cycles = append(r.cycles, cycle)
+}
+
+// Len returns the number of captured frames.
+func (r *Recorder) Len() int { return len(r.frames) }
+
+// Frame returns the i-th captured frame.
+func (r *Recorder) Frame(i int) (cycle int, label, rendered string) {
+	return r.cycles[i], r.labels[i], r.frames[i]
+}
+
+// WriteAnimation writes all captured frames to w separated by headers — the
+// flat-file analogue of the paper's stitched videos.
+func (r *Recorder) WriteAnimation(w io.Writer) error {
+	for i := range r.frames {
+		if _, err := fmt.Fprintf(w, "--- cycle %d (%s) ---\n%s\n", r.cycles[i], r.labels[i], r.frames[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/codegen"
+	"biocoder/internal/exec"
+	"biocoder/internal/ir"
+)
+
+func sampleDroplets() []*exec.Droplet {
+	return []*exec.Droplet{
+		{ID: ir.FluidID{Name: "tube", Ver: 1}, Pos: arch.Point{X: 7, Y: 2}, Volume: 10},
+	}
+}
+
+func TestASCIIGeometry(t *testing.T) {
+	chip := arch.Default()
+	frame := codegen.Frame{{X: 7, Y: 2}, {X: 3, Y: 3}}
+	s := ASCII(chip, frame, sampleDroplets())
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != chip.Rows {
+		t.Fatalf("rows = %d, want %d", len(lines), chip.Rows)
+	}
+	for i, l := range lines {
+		if len(l) != chip.Cols {
+			t.Fatalf("row %d width = %d, want %d", i, len(l), chip.Cols)
+		}
+	}
+	if lines[2][7] != 'o' {
+		t.Errorf("droplet not rendered at (7,2): got %q", lines[2][7])
+	}
+	if lines[3][3] != '*' {
+		t.Errorf("active electrode not rendered at (3,3): got %q", lines[3][3])
+	}
+	// Device and port marks.
+	if lines[2][2] != 'S' {
+		t.Errorf("sensor at (2,2) not rendered: got %q", lines[2][2])
+	}
+	if lines[5][2] != 'H' {
+		t.Errorf("heater at (2,5) not rendered: got %q", lines[5][2])
+	}
+	if lines[1][0] != 'I' {
+		t.Errorf("input port at (0,1) not rendered: got %q", lines[1][0])
+	}
+	if lines[2][18] != 'O' {
+		t.Errorf("output port at (18,2) not rendered: got %q", lines[2][18])
+	}
+}
+
+func TestSVGContainsElements(t *testing.T) {
+	chip := arch.Small()
+	s := SVG(chip, codegen.Frame{{X: 4, Y: 4}}, sampleDroplets())
+	for _, want := range []string{"<svg", "</svg>", "<circle", "fill=\"#ff5\""} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRecorderDownsamples(t *testing.T) {
+	chip := arch.Small()
+	r := NewRecorder(chip, 10)
+	for c := 1; c <= 100; c++ {
+		r.Hook(c, "b1", codegen.Frame{}, nil)
+	}
+	if r.Len() != 10 {
+		t.Errorf("recorded %d frames, want 10", r.Len())
+	}
+	cycle, label, rendered := r.Frame(0)
+	if cycle != 10 || label != "b1" || rendered == "" {
+		t.Errorf("Frame(0) = %d,%q", cycle, label)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteAnimation(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "--- cycle"); got != 10 {
+		t.Errorf("animation has %d frame headers, want 10", got)
+	}
+}
+
+func TestRecorderKeepAll(t *testing.T) {
+	r := NewRecorder(arch.Small(), 0) // clamps to 1
+	for c := 1; c <= 5; c++ {
+		r.Hook(c, "x", nil, nil)
+	}
+	if r.Len() != 5 {
+		t.Errorf("recorded %d frames, want 5", r.Len())
+	}
+}

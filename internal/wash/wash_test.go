@@ -1,0 +1,139 @@
+package wash_test
+
+import (
+	"testing"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/wash"
+)
+
+func TestPlanCoversAllDirtyCells(t *testing.T) {
+	chip := arch.Default()
+	dirty := []arch.Point{{X: 3, Y: 3}, {X: 10, Y: 7}, {X: 15, Y: 12}, {X: 2, Y: 13}}
+	tour, err := wash.Plan(chip, dirty, nil)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(tour.Skipped) != 0 {
+		t.Errorf("skipped cells on an empty chip: %v", tour.Skipped)
+	}
+	onPath := map[arch.Point]bool{}
+	for i, p := range tour.Path {
+		onPath[p] = true
+		if i > 0 && tour.Path[i-1].Manhattan(p) != 1 {
+			t.Fatalf("tour jumps %v -> %v", tour.Path[i-1], p)
+		}
+		if !chip.InBounds(p) {
+			t.Fatalf("tour leaves the chip at %v", p)
+		}
+	}
+	for _, c := range dirty {
+		if !onPath[c] {
+			t.Errorf("dirty cell %v not covered", c)
+		}
+	}
+	// Endpoints at ports.
+	src, _ := chip.Port(tour.Source)
+	drain, _ := chip.Port(tour.Drain)
+	if tour.Path[0] != src.Cell || tour.Path[len(tour.Path)-1] != drain.Cell {
+		t.Errorf("tour endpoints %v..%v not at ports", tour.Path[0], tour.Path[len(tour.Path)-1])
+	}
+}
+
+func TestPlanAvoidsOccupiedModules(t *testing.T) {
+	chip := arch.Default()
+	avoid := []arch.Rect{{X: 6, Y: 5, W: 4, H: 3}} // a busy module slot
+	dirty := []arch.Point{
+		{X: 7, Y: 6},  // inside the avoid region: must be skipped
+		{X: 5, Y: 6},  // on the street next to it: must be covered
+		{X: 12, Y: 3}, // elsewhere
+	}
+	tour, err := wash.Plan(chip, dirty, avoid)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(tour.Skipped) != 1 || tour.Skipped[0] != (arch.Point{X: 7, Y: 6}) {
+		t.Errorf("skipped = %v, want the in-module cell", tour.Skipped)
+	}
+	for _, p := range tour.Path {
+		if avoid[0].Contains(p) {
+			t.Fatalf("tour enters the avoided module at %v", p)
+		}
+	}
+	if len(tour.Covered) != 2 {
+		t.Errorf("covered = %v, want 2 cells", tour.Covered)
+	}
+}
+
+func TestPlanEmptyDirtySet(t *testing.T) {
+	tour, err := wash.Plan(arch.Default(), nil, nil)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(tour.Covered) != 0 || tour.Cycles() <= 0 {
+		t.Errorf("empty wash should still cross from source to drain: %d cycles", tour.Cycles())
+	}
+}
+
+func TestScrub(t *testing.T) {
+	residue := map[arch.Point][]string{
+		{X: 1, Y: 1}: {"A"},
+		{X: 5, Y: 5}: {"B", "C"},
+	}
+	tour := &wash.Tour{Path: []arch.Point{{X: 0, Y: 1}, {X: 1, Y: 1}}}
+	out := wash.Scrub(residue, tour)
+	if _, still := out[arch.Point{X: 1, Y: 1}]; still {
+		t.Error("washed cell still dirty")
+	}
+	if _, kept := out[arch.Point{X: 5, Y: 5}]; !kept {
+		t.Error("unwashed cell lost its residue")
+	}
+}
+
+// End-to-end: run an assay whose reagents differ, collect the residue
+// report, plan a wash, and verify the post-wash chip is clean.
+func TestWashAfterContaminatedRun(t *testing.T) {
+	bs := biocoder.New()
+	a := bs.NewFluid("ReagentA", biocoder.Microliters(10))
+	b := bs.NewFluid("ReagentB", biocoder.Microliters(10))
+	c1 := bs.NewContainer("c1")
+	c2 := bs.NewContainer("c2")
+	bs.MeasureFluid(a, c1)
+	bs.Vortex(c1, time.Second)
+	bs.Drain(c1, "")
+	bs.Barrier() // second stage reuses the same streets: contamination
+	bs.MeasureFluid(b, c2)
+	bs.Vortex(c2, time.Second)
+	bs.Drain(c2, "")
+	prog, err := biocoder.Compile(bs, biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(biocoder.RunOptions{TrackContamination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contamination == nil || res.Contamination.DirtyCells == 0 {
+		t.Fatal("expected residue after the run")
+	}
+	// ReagentB's droplet crosses ReagentA's trail (same port-to-slot
+	// street), so the report must show incidents.
+	if len(res.Contamination.Incidents) == 0 {
+		t.Error("expected cross-contamination incidents between the stages")
+	}
+
+	var dirty []arch.Point
+	for p := range res.Contamination.Residue {
+		dirty = append(dirty, p)
+	}
+	tour, err := wash.Plan(prog.Chip, dirty, nil)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	clean := wash.Scrub(res.Contamination.Residue, tour)
+	if len(clean) != 0 {
+		t.Errorf("%d cells still dirty after the wash tour", len(clean))
+	}
+}

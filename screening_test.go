@@ -1,0 +1,113 @@
+package biocoder_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder"
+)
+
+// screeningProtocol is the examples/screening workload: n samples prepared
+// in one basic block (maximal parallelism), each split into test+retain,
+// with per-sample confirmatory control flow. It is the hardest routing
+// workload in the repository: the burst at the split/merge boundary is a
+// cyclic droplet exchange that requires the code generator's serialization
+// and cycle-breaking fallbacks.
+func screeningProtocol(n int) *biocoder.BioSystem {
+	bs := biocoder.New()
+	reagent := bs.NewFluid("EnzymeReagent", biocoder.Microliters(10))
+	tests := make([]*biocoder.Container, n)
+	retains := make([]*biocoder.Container, n)
+	for i := 0; i < n; i++ {
+		sample := bs.NewFluid(fmt.Sprintf("Sample%d", i+1), biocoder.Microliters(20))
+		tests[i] = bs.NewContainer(fmt.Sprintf("test%d", i+1))
+		retains[i] = bs.NewContainer(fmt.Sprintf("retain%d", i+1))
+		bs.MeasureFluid(sample, tests[i])
+		bs.SplitInto(tests[i], retains[i])
+		bs.MeasureFluid(reagent, tests[i])
+		bs.Vortex(tests[i], 30*time.Second)
+		bs.StoreFor(tests[i], 37, 2*time.Minute)
+		bs.Detect(tests[i], fmt.Sprintf("glucose%d", i+1), 30*time.Second)
+		bs.Drain(tests[i], "")
+	}
+	for i := 0; i < n; i++ {
+		bs.If(fmt.Sprintf("glucose%d", i+1), biocoder.GreaterThan, 0.6)
+		bs.MeasureFluid(reagent, retains[i])
+		bs.Vortex(retains[i], 30*time.Second)
+		bs.StoreFor(retains[i], 37, 2*time.Minute)
+		bs.Detect(retains[i], fmt.Sprintf("confirm%d", i+1), 30*time.Second)
+		bs.EndIf()
+		bs.Drain(retains[i], "")
+	}
+	bs.EndProtocol()
+	return bs
+}
+
+func TestScreeningParallelism(t *testing.T) {
+	large := biocoder.LargeChip()
+	readings := map[string][]float64{
+		"glucose1": {0.2}, "glucose2": {0.8}, "glucose3": {0.4}, "glucose4": {0.9},
+		"confirm2": {0.7}, "confirm4": {0.5},
+	}
+	run := func(opt biocoder.Options) *biocoder.Result {
+		t.Helper()
+		opt.Chip = large
+		prog, err := biocoder.Compile(screeningProtocol(4), opt)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		res, err := prog.Run(biocoder.RunOptions{Sensors: biocoder.NewScriptedSensors(readings)})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	par := run(biocoder.Options{})
+	ser := run(biocoder.Options{SerialSchedules: true})
+
+	// 4 samples + 4 test reagents + 2 confirmation reagents.
+	if par.Dispensed != 10 || par.Collected != 8 {
+		t.Errorf("I/O = %d/%d, want 10/8", par.Dispensed, par.Collected)
+	}
+	// Only the two positives get confirmed.
+	if _, ok := par.DryEnv["confirm2"]; !ok {
+		t.Error("positive sample 2 not confirmed")
+	}
+	if _, ok := par.DryEnv["confirm1"]; ok {
+		t.Error("negative sample 1 was confirmed")
+	}
+	// The list scheduler must overlap the four screens substantially.
+	speedup := ser.Time.Seconds() / par.Time.Seconds()
+	if speedup < 1.5 {
+		t.Errorf("parallel speedup = %.2fx, want >1.5x (par %v, ser %v)", speedup, par.Time, ser.Time)
+	}
+}
+
+// The paper's 19x15 chip has three plain module slots; even two-patient
+// screening with retained halves needs four droplets on chip at the merge
+// point (two retains, the working droplet, and the incoming reagent), so
+// compilation must fail at the scheduler — the §6.6 capacity cliff.
+func TestScreeningExceedsPaperChip(t *testing.T) {
+	_, err := biocoder.Compile(screeningProtocol(2), biocoder.Options{})
+	if err == nil {
+		t.Fatal("two-patient screening should not fit the 3-plain-slot chip")
+	}
+	if !strings.Contains(err.Error(), "§6.6") {
+		t.Errorf("failure should cite the capacity limit: %v", err)
+	}
+	// A single patient fits.
+	prog, err := biocoder.Compile(screeningProtocol(1), biocoder.Options{})
+	if err != nil {
+		t.Fatalf("one-patient screening should fit: %v", err)
+	}
+	readings := map[string][]float64{"glucose1": {0.9}, "confirm1": {0.9}}
+	res, err := prog.Run(biocoder.RunOptions{Sensors: biocoder.NewScriptedSensors(readings)})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Dispensed != 3 || res.Collected != 2 {
+		t.Errorf("I/O = %d/%d, want 3/2", res.Dispensed, res.Collected)
+	}
+}
