@@ -28,6 +28,7 @@ import (
 	"biocoder/internal/codegen"
 	"biocoder/internal/parser"
 	"biocoder/internal/sched"
+	"biocoder/internal/verify"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	chipCfg := flag.String("chip", "", "chip configuration file (default: the paper's 15x19 chip)")
 	emit := flag.String("emit", "summary", "artifact to emit: cfg|ssi|sched|place|delta|summary|fmt")
 	out := flag.String("o", "", "write the serialized executable to this file")
+	doVerify := flag.Bool("verify", false, "run the static verifier over the compiled program; fail on error diagnostics")
 	list := flag.Bool("list", false, "list benchmark assays and exit")
 	flag.Parse()
 
@@ -88,6 +90,20 @@ func main() {
 	prog, err := biocoder.CompileGraph(g, chip)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *doVerify {
+		rep := verify.Run(&verify.Unit{
+			Graph:     prog.Graph,
+			Exec:      prog.Executable,
+			Placement: prog.Placement,
+		})
+		if s := rep.String(); s != "" {
+			fmt.Fprint(os.Stderr, s)
+		}
+		if rep.HasErrors() {
+			fatal(fmt.Errorf("verification failed with %d error(s)", rep.Count(verify.Error)))
+		}
 	}
 
 	if *out != "" {

@@ -1,0 +1,162 @@
+// Command bfvet is the static verifier and linter for BioCoder programs
+// and compiled DMFB executables — "go vet" for bioassays.
+//
+// For every BioScript source given (positional arguments or -assay), bfvet
+// lints the pre-SSI control-flow graph (fluid linearity, droplet
+// conservation, dead sensor readings, dry-variable flow), compiles the
+// program for the target chip, and then verifies the compiled executable by
+// symbolically replaying every activation sequence (fluidic constraints,
+// port and device discipline, split symmetry, droplet conservation across
+// every CFG edge). With -exe, a serialized executable is verified directly.
+//
+// Usage:
+//
+//	bfvet protocol.bio ...
+//	bfvet -assay "PCR"
+//	bfvet -exe protocol.bfx
+//	bfvet -chip chip.cfg -Werror protocol.bio
+//
+// Diagnostics print one per line as CODE severity [location]: message.
+// bfvet exits 1 when any error-severity diagnostic is found (-Werror
+// promotes warnings), 2 on usage or I/O problems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/cfg"
+	"biocoder/internal/verify"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bfvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	assayName := fs.String("assay", "", "verify a benchmark assay by name")
+	exeFile := fs.String("exe", "", "verify a serialized executable (.bfx)")
+	chipCfg := fs.String("chip", "", "chip configuration file (default: the paper's 15x19 chip)")
+	wError := fs.Bool("Werror", false, "treat warnings as errors")
+	list := fs.Bool("list", false, "list benchmark assays and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range assays.All() {
+			fmt.Fprintf(stdout, "%-32s %s\n", a.Name, a.Source)
+		}
+		return 0
+	}
+
+	chip := arch.Default()
+	if *chipCfg != "" {
+		f, err := os.Open(*chipCfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "bfvet:", err)
+			return 2
+		}
+		chip, err = arch.ParseConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "bfvet:", err)
+			return 2
+		}
+	}
+
+	type job struct {
+		name  string
+		graph func() (*cfg.Graph, error)
+	}
+	var jobs []job
+	if *assayName != "" {
+		a := assays.ByName(*assayName)
+		if a == nil {
+			fmt.Fprintf(stderr, "bfvet: unknown assay %q (try -list)\n", *assayName)
+			return 2
+		}
+		jobs = append(jobs, job{name: a.Name, graph: func() (*cfg.Graph, error) { return a.Build().Build() }})
+	}
+	for _, file := range fs.Args() {
+		file := file
+		jobs = append(jobs, job{name: file, graph: func() (*cfg.Graph, error) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return nil, err
+			}
+			bs, err := biocoder.ParseScript(string(src))
+			if err != nil {
+				return nil, err
+			}
+			return bs.Build()
+		}})
+	}
+	if len(jobs) == 0 && *exeFile == "" {
+		fmt.Fprintln(stderr, "bfvet: nothing to verify (give .bio files, -assay, or -exe)")
+		fs.Usage()
+		return 2
+	}
+
+	failed := false
+	report := func(name string, rep *verify.Report) {
+		for _, d := range rep.Diags {
+			fmt.Fprintf(stdout, "%s: %s\n", name, d)
+		}
+		if rep.HasErrors() || (*wError && rep.Count(verify.Warning) > 0) {
+			failed = true
+		}
+	}
+
+	for _, j := range jobs {
+		g, err := j.graph()
+		if err != nil {
+			fmt.Fprintf(stderr, "bfvet: %s: %v\n", j.name, err)
+			failed = true
+			continue
+		}
+		// Lint the source-level IR before SSI conversion, while diagnostics
+		// still map onto the protocol the author wrote.
+		rep := verify.Run(&verify.Unit{Graph: g})
+		prog, err := biocoder.CompileGraph(g, chip)
+		if err != nil {
+			report(j.name, rep)
+			fmt.Fprintf(stderr, "bfvet: %s: compile: %v\n", j.name, err)
+			failed = true
+			continue
+		}
+		rep.Merge(verify.Run(&verify.Unit{
+			Graph:     prog.Graph,
+			Exec:      prog.Executable,
+			Placement: prog.Placement,
+		}))
+		report(j.name, rep)
+	}
+
+	if *exeFile != "" {
+		f, err := os.Open(*exeFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "bfvet:", err)
+			return 2
+		}
+		prog, err := biocoder.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "bfvet: %s: %v\n", *exeFile, err)
+			return 1
+		}
+		report(*exeFile, verify.Run(&verify.Unit{Exec: prog.Executable}))
+	}
+
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanScript = `fluid water 10
+fluid buffer 10
+container c
+measure water into c
+measure buffer into c
+vortex c 1s
+drain c out
+`
+
+func writeScript(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "protocol.bio")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCleanScript(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{writeScript(t, cleanScript)}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean protocol produced diagnostics:\n%s", stdout.String())
+	}
+}
+
+func TestRunAssay(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-assay", "PCR"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("PCR assay produced diagnostics:\n%s", stdout.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout.String(), "PCR") {
+		t.Errorf("assay listing lacks PCR:\n%s", stdout.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no inputs: exit %d, want 2", code)
+	}
+	if code := run([]string{"-assay", "No Such Assay"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown assay: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.bio")}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

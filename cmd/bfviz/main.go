@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -24,14 +25,25 @@ import (
 )
 
 func main() {
-	assayName := flag.String("assay", "", "benchmark assay name (see bfc -list)")
-	exe := flag.String("exe", "", "pre-compiled executable written by bfc -o")
-	scenarioName := flag.String("scenario", "", "scripted scenario (benchmark assays)")
-	seed := flag.Int64("seed", 0, "sensor seed")
-	out := flag.String("o", "frames", "output directory (svg) or file (ascii)")
-	every := flag.Int("every", 100, "keep every N-th frame")
-	format := flag.String("format", "svg", "frame format: svg|ascii|png")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bfviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bfviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	assayName := fs.String("assay", "", "benchmark assay name (see bfc -list)")
+	exe := fs.String("exe", "", "pre-compiled executable written by bfc -o")
+	scenarioName := fs.String("scenario", "", "scripted scenario (benchmark assays)")
+	seed := fs.Int64("seed", 0, "sensor seed")
+	out := fs.String("o", "frames", "output directory (svg) or file (ascii)")
+	every := fs.Int("every", 100, "keep every N-th frame")
+	format := fs.String("format", "svg", "frame format: svg|ascii|png")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var prog *biocoder.Compiled
 	var assay *assays.Assay
@@ -39,25 +51,25 @@ func main() {
 	case *exe != "":
 		f, err := os.Open(*exe)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		prog, err = biocoder.Load(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	case *assayName != "":
 		assay = assays.ByName(*assayName)
 		if assay == nil {
-			fatal(fmt.Errorf("unknown assay %q", *assayName))
+			return fmt.Errorf("unknown assay %q", *assayName)
 		}
 		var err error
 		prog, err = biocoder.Compile(assay.Build(), biocoder.Options{})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("need -assay or -exe"))
+		return fmt.Errorf("need -assay or -exe")
 	}
 
 	model := sensor.Model(sensor.NewUniform(*seed))
@@ -95,62 +107,58 @@ func main() {
 	}
 	res, err := prog.Run(biocoder.RunOptions{Sensors: model, FrameHook: rec.Hook})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("simulated %v in %d frames (1 frame per %d cycles)\n", res.Time, rec.Len(), *every)
+	fmt.Fprintf(stdout, "simulated %v in %d frames (1 frame per %d cycles)\n", res.Time, rec.Len(), *every)
 
 	switch *format {
 	case "ascii":
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := rec.WriteAnimation(f); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote flip-book to %s\n", *out)
+		fmt.Fprintf(stdout, "wrote flip-book to %s\n", *out)
 	case "svg":
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 		for i := 0; i < rec.Len(); i++ {
 			cycle, _, rendered := rec.Frame(i)
 			name := filepath.Join(*out, fmt.Sprintf("frame_%08d.svg", cycle))
 			if err := os.WriteFile(name, []byte(rendered), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
 		}
-		fmt.Printf("wrote %d SVG frames to %s/\n", rec.Len(), *out)
+		fmt.Fprintf(stdout, "wrote %d SVG frames to %s/\n", rec.Len(), *out)
 	case "png":
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 		for i, pf := range pngFrames {
 			cycle, _, _ := rec.Frame(i)
 			name := filepath.Join(*out, fmt.Sprintf("frame_%08d.png", cycle))
 			f, err := os.Create(name)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			err = viz.WritePNG(f, prog.Chip, pf.frame, pf.droplets, prog.Topology.Faults)
 			f.Close()
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		}
-		fmt.Printf("wrote %d PNG frames to %s/\n", len(pngFrames), *out)
+		fmt.Fprintf(stdout, "wrote %d PNG frames to %s/\n", len(pngFrames), *out)
 	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
+		return fmt.Errorf("unknown format %q", *format)
 	}
+	return nil
 }
 
 type pngFrame struct {
 	frame    codegen.Frame
 	droplets []*exec.Droplet
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bfviz:", err)
-	os.Exit(1)
 }

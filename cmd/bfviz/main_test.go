@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder"
+)
+
+// compileTinyExe compiles a minimal protocol and serializes it to a
+// temporary .bfx file, the input format of bfviz -exe.
+func compileTinyExe(t *testing.T) string {
+	t.Helper()
+	bs := biocoder.New()
+	water := bs.NewFluid("water", biocoder.Microliters(10))
+	buffer := bs.NewFluid("buffer", biocoder.Microliters(10))
+	c := bs.NewContainer("c")
+	bs.MeasureFluid(water, c)
+	bs.MeasureFluid(buffer, c)
+	bs.Vortex(c, 500*time.Millisecond)
+	bs.Drain(c, "")
+	bs.EndProtocol()
+	prog, err := biocoder.Compile(bs, biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.bfx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Save(f); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAsciiFlipbook(t *testing.T) {
+	exe := compileTinyExe(t)
+	out := filepath.Join(t.TempDir(), "run.txt")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-exe", exe, "-format", "ascii", "-o", out, "-every", "25"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote flip-book") {
+		t.Errorf("unexpected stdout: %q", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "cycle") {
+		t.Errorf("flip-book lacks cycle headers:\n%.200s", data)
+	}
+}
+
+func TestRunSVGFrames(t *testing.T) {
+	exe := compileTinyExe(t)
+	dir := filepath.Join(t.TempDir(), "frames")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-exe", exe, "-format", "svg", "-o", dir, "-every", "50"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	svgs, err := filepath.Glob(filepath.Join(dir, "frame_*.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svgs) == 0 {
+		t.Fatal("no SVG frames written")
+	}
+	data, err := os.ReadFile(svgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Errorf("frame is not SVG:\n%.120s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("run with no input did not fail")
+	}
+	exe := compileTinyExe(t)
+	if err := run([]string{"-exe", exe, "-format", "hologram"}, &stdout, &stderr); err == nil {
+		t.Error("unknown format did not fail")
+	}
+}

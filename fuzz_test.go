@@ -1,12 +1,15 @@
 package biocoder_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
 	"biocoder"
+	"biocoder/internal/verify"
 )
 
 // randomProtocol generates a structurally valid random protocol: a bounded
@@ -132,6 +135,7 @@ func TestFuzzPipeline(t *testing.T) {
 			res, err := prog.Run(biocoder.RunOptions{
 				Sensors:            biocoder.NewUniformSensors(int64(seed)),
 				TrackContamination: seed%4 == 0,
+				Verify:             true,
 			})
 			if err != nil {
 				t.Fatalf("seed %d variant %s: run: %v", seed, v.name, err)
@@ -143,4 +147,41 @@ func TestFuzzPipeline(t *testing.T) {
 		}
 		_ = r
 	}
+}
+
+// FuzzVerifyExecutable feeds serialized executables — valid ones from the
+// random-protocol generator plus whatever mutations the fuzzer finds —
+// through the decode → verify round trip. The verifier must never panic on
+// any input the decoder accepts, and must be deterministic: verifying the
+// same executable twice yields the identical report.
+func FuzzVerifyExecutable(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		bs := randomProtocol(rand.New(rand.NewSource(seed)))
+		prog, err := biocoder.Compile(bs, biocoder.Options{FoldEdges: seed%2 == 0})
+		if err != nil {
+			f.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		var buf bytes.Buffer
+		if err := prog.Save(&buf); err != nil {
+			f.Fatalf("seed %d: save: %v", seed, err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := biocoder.Load(bytes.NewReader(data))
+		if err != nil {
+			return // not a decodable executable; nothing to verify
+		}
+		unit := &verify.Unit{Exec: prog.Executable}
+		rep1 := verify.Run(unit)
+		rep2 := verify.Run(unit)
+		if !reflect.DeepEqual(rep1, rep2) {
+			t.Fatalf("verification is nondeterministic:\n--- first\n%s--- second\n%s", rep1, rep2)
+		}
+		// A decoded executable passed codegen's own Check on the way in;
+		// the bundled seeds must also satisfy the stronger verifier.
+		for _, d := range rep1.Diags {
+			t.Logf("diag: %s", d)
+		}
+	})
 }

@@ -83,6 +83,16 @@ func (g *Graph) NewBlock(label string) *Block {
 	return b
 }
 
+// BlockByID returns the block with the given ID, or nil.
+func (g *Graph) BlockByID(id int) *Block {
+	for _, b := range g.Blocks {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
 // NewInstrID hands out program-unique instruction IDs.
 func (g *Graph) NewInstrID() int {
 	id := g.nextInstrID

@@ -1,8 +1,6 @@
 package cfg
 
 import (
-	"sort"
-
 	"biocoder/internal/ir"
 )
 
@@ -16,12 +14,7 @@ func (s Set) Sorted() []ir.FluidID {
 	for f := range s {
 		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Name != out[j].Name {
-			return out[i].Name < out[j].Name
-		}
-		return out[i].Ver < out[j].Ver
-	})
+	ir.SortFluids(out)
 	return out
 }
 

@@ -101,12 +101,7 @@ func encodeBoundary(w io.Writer, kind string, m map[ir.FluidID]arch.Point) {
 	for f := range m {
 		fluids = append(fluids, f)
 	}
-	sort.Slice(fluids, func(i, j int) bool {
-		if fluids[i].Name != fluids[j].Name {
-			return fluids[i].Name < fluids[j].Name
-		}
-		return fluids[i].Ver < fluids[j].Ver
-	})
+	ir.SortFluids(fluids)
 	for _, f := range fluids {
 		p := m[f]
 		fmt.Fprintf(w, "%s %s %d %d\n", kind, encFluid(f), p.X, p.Y)
@@ -160,12 +155,7 @@ func encodeSequence(w io.Writer, s *Sequence) {
 	for f := range s.Tracks {
 		fluids = append(fluids, f)
 	}
-	sort.Slice(fluids, func(i, j int) bool {
-		if fluids[i].Name != fluids[j].Name {
-			return fluids[i].Name < fluids[j].Name
-		}
-		return fluids[i].Ver < fluids[j].Ver
-	})
+	ir.SortFluids(fluids)
 	for _, f := range fluids {
 		tr := s.Tracks[f]
 		fmt.Fprintf(w, "track %s %d", encFluid(f), tr.Start)

@@ -14,6 +14,7 @@ package codegen
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"biocoder/internal/arch"
 	"biocoder/internal/ir"
@@ -80,6 +81,29 @@ type Event struct {
 	Volume    float64 // EvDispense volume (µL)
 	SensorVar string  // EvSense dry variable
 	Device    string  // EvSense device name
+}
+
+func (ev Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v@%d", ev.Kind, ev.Cycle)
+	if len(ev.Inputs) > 0 {
+		fmt.Fprintf(&b, " %s", fluidList(ev.Inputs))
+	}
+	if len(ev.Results) > 0 {
+		fmt.Fprintf(&b, " -> %s", fluidList(ev.Results))
+	}
+	for _, c := range ev.Cells {
+		fmt.Fprintf(&b, " %v", c)
+	}
+	return b.String()
+}
+
+func fluidList(fs []ir.FluidID) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ",")
 }
 
 // Track records one droplet's position over a span of a sequence: the

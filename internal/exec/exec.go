@@ -18,6 +18,7 @@ import (
 	"biocoder/internal/codegen"
 	"biocoder/internal/ir"
 	"biocoder/internal/sensor"
+	"biocoder/internal/verify"
 )
 
 // Droplet is the simulator's view of one droplet on the array.
@@ -98,6 +99,11 @@ type Options struct {
 	// droplet touches is marked with its reagents, and crossings of
 	// foreign residue are reported (paper §5, wash droplets).
 	TrackContamination bool
+	// Verify runs the static verifier over the executable before the
+	// first cycle and refuses to run anything carrying error-severity
+	// diagnostics — a guard for executables loaded from disk or produced
+	// by experimental transformations.
+	Verify bool
 
 	// faults holds pending transient droplet losses; set only through
 	// RunWithRecovery.
@@ -106,6 +112,12 @@ type Options struct {
 
 // Run interprets the executable on the given chip.
 func Run(ex *codegen.Executable, chip *arch.Chip, opts Options) (*Result, error) {
+	if opts.Verify {
+		rep := verify.Run(&verify.Unit{Chip: chip, Exec: ex})
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("exec: refusing to run: %w", err)
+		}
+	}
 	if opts.Sensors == nil {
 		opts.Sensors = sensor.NewUniform(0)
 	}

@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -23,6 +24,30 @@ func (f FluidID) String() string {
 
 // IsZero reports whether f is the zero FluidID (no fluid).
 func (f FluidID) IsZero() bool { return f.Name == "" }
+
+// Compare orders FluidIDs by name then version, the canonical order used
+// everywhere deterministic fluid iteration is needed (liveness dumps,
+// executable serialization, verifier reports).
+func (f FluidID) Compare(g FluidID) int {
+	if f.Name != g.Name {
+		if f.Name < g.Name {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case f.Ver < g.Ver:
+		return -1
+	case f.Ver > g.Ver:
+		return 1
+	}
+	return 0
+}
+
+// SortFluids sorts fs in place into the canonical (name, version) order.
+func SortFluids(fs []FluidID) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Compare(fs[j]) < 0 })
+}
 
 // OpKind enumerates the operations of the hybrid IR (paper Fig. 7).
 // Transport and wash are not part of the IR: the back-end inserts them during

@@ -1,0 +1,93 @@
+// The clean-corpus gate: every bundled benchmark assay and every BioScript
+// file under internal/assays/scripts must compile for the default chip and
+// come out of the verifier with zero diagnostics — warnings included. This
+// is the regression oracle for the whole backend: any change to scheduling,
+// placement, routing, or code generation that breaks a fluidic invariant
+// surfaces here as a coded diagnostic rather than as a simulator crash.
+package verify_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/cfg"
+	"biocoder/internal/verify"
+)
+
+// verifyClean lints the pre-SSI graph, compiles it (with and without edge
+// folding), and requires zero diagnostics at every stage.
+func verifyClean(t *testing.T, name string, build func() (*cfg.Graph, error)) {
+	t.Helper()
+	for _, variant := range []struct {
+		name string
+		opt  biocoder.Options
+	}{
+		{"default", biocoder.Options{}},
+		{"folded", biocoder.Options{FoldEdges: true}},
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		if rep := verify.Run(&verify.Unit{Graph: g}); len(rep.Diags) != 0 {
+			t.Errorf("%s (%s): pre-SSI lint not clean:\n%s", name, variant.name, rep)
+		}
+		prog, err := biocoder.CompileGraphOptions(g, arch.Default(), variant.opt)
+		if err != nil {
+			t.Fatalf("%s (%s): compile: %v", name, variant.name, err)
+		}
+		rep := verify.Run(&verify.Unit{
+			Graph:     prog.Graph,
+			Exec:      prog.Executable,
+			Placement: prog.Placement,
+		})
+		if len(rep.Diags) != 0 {
+			t.Errorf("%s (%s): compiled program not clean:\n%s", name, variant.name, rep)
+		}
+	}
+}
+
+func TestAssayCorpusVerifiesClean(t *testing.T) {
+	all := assays.All()
+	if len(all) == 0 {
+		t.Fatal("no benchmark assays registered")
+	}
+	for _, a := range all {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			verifyClean(t, a.Name, func() (*cfg.Graph, error) { return a.Build().Build() })
+		})
+	}
+}
+
+func TestScriptCorpusVerifiesClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "assays", "scripts", "*.bio"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .bio scripts found in internal/assays/scripts")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			t.Parallel()
+			verifyClean(t, file, func() (*cfg.Graph, error) {
+				src, err := os.ReadFile(file)
+				if err != nil {
+					return nil, err
+				}
+				bs, err := biocoder.ParseScript(string(src))
+				if err != nil {
+					return nil, err
+				}
+				return bs.Build()
+			})
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package verify
+
+// The executable pass family. All BF1xx evidence comes from one shared
+// symbolic replay of the executable (replay.go), computed once per
+// verification; each pass is a filtered view selecting its own codes, so
+// users can run e.g. only the adjacency check without paying for a second
+// replay — and a full run never replays twice.
+
+var framesPass = &Pass{
+	Name:  "frames",
+	Doc:   "frame shape: cycle counts match frame counts and electrode counts match droplet counts",
+	Codes: []string{"BF101"},
+	Kind:  KindExec,
+	run:   (*context).copyFiltered,
+}
+
+var adjacencyPass = &Pass{
+	Name:  "adjacency",
+	Doc:   "no two distinct droplets become adjacent except sanctioned merges",
+	Codes: []string{"BF102"},
+	Kind:  KindExec,
+	run:   (*context).copyFiltered,
+}
+
+var boundsPass = &Pass{
+	Name:  "bounds",
+	Doc:   "every actuation targets a working on-chip electrode",
+	Codes: []string{"BF103"},
+	Kind:  KindExec,
+	run:   (*context).copyFiltered,
+}
+
+var ioPass = &Pass{
+	Name:  "io",
+	Doc:   "dispense and output happen only at matching reservoir ports",
+	Codes: []string{"BF104"},
+	Kind:  KindExec,
+	run:   (*context).copyFiltered,
+}
+
+var devicePass = &Pass{
+	Name:  "device",
+	Doc:   "sensing happens on sensors and heating on heaters",
+	Codes: []string{"BF105"},
+	Kind:  KindExec,
+	run:   (*context).copyFiltered,
+}
+
+var splitPass = &Pass{
+	Name:  "split",
+	Doc:   "splits divide droplets symmetrically (even volume division)",
+	Codes: []string{"BF108"},
+	Kind:  KindExec,
+	run:   (*context).copyFiltered,
+}
+
+var eventsPass = &Pass{
+	Name:  "events",
+	Doc:   "structural droplet events are well-formed and act on present droplets",
+	Codes: []string{"BF107", "BF109"},
+	Kind:  KindExec,
+	run:   (*context).copyFiltered,
+}
+
+var transferPass = &Pass{
+	Name:  "transfer",
+	Doc:   "droplet conservation across every CFG edge and block boundary contract",
+	Codes: []string{"BF106", "BF110"},
+	Kind:  KindExec,
+	run:   (*context).copyFiltered,
+}
+
+var placePass = &Pass{
+	Name:  "placement",
+	Doc:   "placement legality: modules on-chip, one-cell separation, device capability",
+	Codes: []string{"BF201"},
+	Kind:  KindPlace,
+	run: func(c *context) {
+		if err := c.unit.Placement.Check(); err != nil {
+			c.errorf("BF201", NoPos, "%v", err)
+		}
+	},
+}

@@ -1,0 +1,520 @@
+package verify
+
+// The IR/CFG pass family lints hybrid-IR graphs, pre- or post-SSI. The
+// rules operationalize the fluid discipline of the paper: fluids are linear
+// resources (§3), every block boundary hands live droplets to exactly one
+// consumer (§6.3.4), and volumes follow dispense/mix/split arithmetic.
+// cfg.Graph.Validate enforces a subset of these as hard errors; the passes
+// here re-derive them as structured diagnostics so a linter can report every
+// problem in one run instead of stopping at the first.
+
+import (
+	"sort"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+)
+
+var wellformedPass = &Pass{
+	Name:  "wellformed",
+	Doc:   "structural invariants: entry/exit shape, branch arity, edge symmetry, per-instruction arity",
+	Codes: []string{"BF010", "BF011"},
+	Kind:  KindIR,
+	run:   runWellformed,
+}
+
+var reachPass = &Pass{
+	Name:  "reach",
+	Doc:   "every block lies on a path from entry to exit",
+	Codes: []string{"BF007"},
+	Kind:  KindIR,
+	run:   runReach,
+}
+
+var linearityPass = &Pass{
+	Name:  "linearity",
+	Doc:   "droplets are linear resources: consumed at most once, defined before use, never redefined while live",
+	Codes: []string{"BF001", "BF003", "BF004"},
+	Kind:  KindIR,
+	run:   runLinearity,
+}
+
+var conservationPass = &Pass{
+	Name:  "conservation",
+	Doc:   "no droplet leaks at block exits and every CFG edge hands off exactly the live droplet set",
+	Codes: []string{"BF002", "BF009"},
+	Kind:  KindIR,
+	run:   runConservation,
+}
+
+var ssiPass = &Pass{
+	Name:  "ssi",
+	Doc:   "SSI well-formedness: unique versions, block-local uses, φ sources matching predecessors",
+	Codes: []string{"BF008"},
+	Kind:  KindIR,
+	run:   runSSI,
+}
+
+var volumePass = &Pass{
+	Name:  "volume",
+	Doc:   "volume conservation through dispense/mix/split arithmetic",
+	Codes: []string{"BF005"},
+	Kind:  KindIR,
+	run:   runVolume,
+}
+
+var sensePass = &Pass{
+	Name:  "sense",
+	Doc:   "sensor readings are not overwritten before being read",
+	Codes: []string{"BF006"},
+	Kind:  KindIR,
+	run:   runSense,
+}
+
+var dryPass = &Pass{
+	Name:  "dry",
+	Doc:   "every dry variable read has a definition somewhere in the program",
+	Codes: []string{"BF012"},
+	Kind:  KindIR,
+	run:   runDry,
+}
+
+func runWellformed(c *context) {
+	g := c.unit.Graph
+	if g.Entry == nil || g.Exit == nil {
+		c.errorf("BF011", NoPos, "graph is missing its virtual entry or exit block")
+		return
+	}
+	if len(g.Entry.Preds) != 0 {
+		c.errorf("BF011", blockPos(g.Entry), "entry block has %d predecessors", len(g.Entry.Preds))
+	}
+	if len(g.Exit.Succs) != 0 {
+		c.errorf("BF011", blockPos(g.Exit), "exit block has %d successors", len(g.Exit.Succs))
+	}
+	if len(g.Entry.Instrs) != 0 {
+		c.errorf("BF011", blockPos(g.Entry), "entry block must be empty, holds %d instructions", len(g.Entry.Instrs))
+	}
+	if len(g.Exit.Instrs) != 0 {
+		c.errorf("BF011", blockPos(g.Exit), "exit block must be empty, holds %d instructions", len(g.Exit.Instrs))
+	}
+	for _, b := range g.Blocks {
+		if b.Branch != nil && len(b.Succs) != 2 {
+			c.errorf("BF011", blockPos(b), "block has a branch condition but %d successors (want 2)", len(b.Succs))
+		}
+		if b.Branch == nil && len(b.Succs) > 1 {
+			c.errorf("BF011", blockPos(b), "block has %d successors but no branch condition", len(b.Succs))
+		}
+		for _, s := range b.Succs {
+			if !containsBlock(s.Preds, b) {
+				c.errorf("BF011", blockPos(b), "edge to %s is not mirrored in its predecessor list", s.Label)
+			}
+		}
+		for _, p := range b.Preds {
+			if !containsBlock(p.Succs, b) {
+				c.errorf("BF011", blockPos(b), "predecessor %s does not list this block as a successor", p.Label)
+			}
+		}
+		for _, in := range b.Instrs {
+			if err := in.Validate(); err != nil {
+				c.errorf("BF010", instrPos(b, in.ID), "%v", err)
+			}
+		}
+	}
+}
+
+func containsBlock(bs []*cfg.Block, b *cfg.Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func runReach(c *context) {
+	g := c.unit.Graph
+	if g.Entry == nil || g.Exit == nil {
+		return // wellformed reports BF011
+	}
+	fromEntry := reachableFrom(g.Entry, func(b *cfg.Block) []*cfg.Block { return b.Succs })
+	toExit := reachableFrom(g.Exit, func(b *cfg.Block) []*cfg.Block { return b.Preds })
+	for _, b := range g.Blocks {
+		switch {
+		case !fromEntry[b.ID]:
+			c.warnf("BF007", blockPos(b), "block is unreachable from entry")
+		case !toExit[b.ID]:
+			c.warnf("BF007", blockPos(b), "block cannot reach exit")
+		}
+	}
+}
+
+func reachableFrom(start *cfg.Block, next func(*cfg.Block) []*cfg.Block) map[int]bool {
+	seen := map[int]bool{start.ID: true}
+	stack := []*cfg.Block{start}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range next(b) {
+			if !seen[n.ID] {
+				seen[n.ID] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return seen
+}
+
+// availability runs the linear-resource walk over every block once, caching
+// for each block the fluid set available at its exit and whether the walk
+// completed without violations. Both the linearity and conservation passes
+// consume it; conservation skips blocks whose walk failed so one broken use
+// does not cascade into spurious leak reports.
+func (c *context) availability() (map[int]cfg.Set, map[int]bool) {
+	if c.availOnce {
+		return c.avail, c.availOK
+	}
+	c.availOnce = true
+	c.avail = map[int]cfg.Set{}
+	c.availOK = map[int]bool{}
+	live := c.liveness()
+	if live == nil {
+		return c.avail, c.availOK
+	}
+	for _, b := range c.unit.Graph.Blocks {
+		avail := cfg.Set{}
+		for f := range live.In[b.ID] {
+			avail[f] = true
+		}
+		for _, phi := range b.Phis {
+			avail[phi.Dst] = true
+		}
+		ok := true
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !avail[a] {
+					ok = false
+					continue
+				}
+				delete(avail, a)
+			}
+			for _, r := range in.Results {
+				if avail[r] {
+					ok = false
+				}
+				avail[r] = true
+			}
+		}
+		c.avail[b.ID] = avail
+		c.availOK[b.ID] = ok
+	}
+	return c.avail, c.availOK
+}
+
+func runLinearity(c *context) {
+	g := c.unit.Graph
+	live := c.liveness()
+	if live == nil {
+		return
+	}
+	if g.Entry != nil {
+		for _, f := range live.In[g.Entry.ID].Sorted() {
+			c.errorf("BF003", blockPos(g.Entry), "fluid %s is used without a definition on some path from entry", f)
+		}
+	}
+	for _, b := range g.Blocks {
+		avail := cfg.Set{}
+		for f := range live.In[b.ID] {
+			avail[f] = true
+		}
+		for _, phi := range b.Phis {
+			avail[phi.Dst] = true
+		}
+		consumedBy := map[ir.FluidID]int{} // fluid -> instr ID that consumed it
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				switch {
+				case avail[a]:
+					delete(avail, a)
+					consumedBy[a] = in.ID
+				case hasKey(consumedBy, a):
+					c.errorf("BF001", instrPos(b, in.ID),
+						"use of droplet %s already consumed by instr %d (fluids are linear resources)", a, consumedBy[a])
+				default:
+					c.errorf("BF003", instrPos(b, in.ID), "use of %s with no reaching definition", a)
+				}
+			}
+			for _, r := range in.Results {
+				if avail[r] {
+					c.errorf("BF004", instrPos(b, in.ID), "redefinition of live droplet %s", r)
+				}
+				avail[r] = true
+				delete(consumedBy, r)
+			}
+		}
+	}
+}
+
+func hasKey(m map[ir.FluidID]int, f ir.FluidID) bool {
+	_, ok := m[f]
+	return ok
+}
+
+func runConservation(c *context) {
+	g := c.unit.Graph
+	live := c.liveness()
+	if live == nil {
+		return
+	}
+	avail, walkOK := c.availability()
+	for _, b := range g.Blocks {
+		if !walkOK[b.ID] {
+			continue // linearity already reported; exit set is unreliable
+		}
+		exit := avail[b.ID]
+		for _, f := range exit.Sorted() {
+			if !live.Out[b.ID][f] {
+				c.errorf("BF002", blockPos(b), "droplet %s is leaked: held at block exit but neither consumed, output, nor live-out", f)
+			}
+		}
+		for _, f := range live.Out[b.ID].Sorted() {
+			if !exit[f] {
+				c.errorf("BF002", blockPos(b), "live-out fluid %s is not available at block exit", f)
+			}
+		}
+	}
+	// Per-edge hand-off: when an edge is taken, the droplets physically on
+	// the chip (the source block's exit set) must coincide with what the
+	// target accounts for — its φ sources on this edge post-SSI, its
+	// live-in set pre-SSI. A droplet missing from the target's view is
+	// silently abandoned on the chip; one the target expects but the source
+	// does not hold would have to materialize from nowhere. Block-level
+	// liveness (BF002) cannot see this: a droplet consumed down one branch
+	// is live-out of the source block yet still lost when the *other*
+	// branch is taken.
+	ssi := hasPhis(g)
+	for _, e := range g.Edges() {
+		if !walkOK[e.From.ID] {
+			continue
+		}
+		exit := avail[e.From.ID]
+		claimed := cfg.Set{}
+		if ssi {
+			for _, phi := range e.To.Phis {
+				if src, ok := phi.Srcs[e.From.ID]; ok {
+					claimed[src] = true
+				}
+			}
+		} else {
+			for f := range live.In[e.To.ID] {
+				claimed[f] = true
+			}
+		}
+		pos := Pos{Scope: edgeScope(e.From, e.To), InstrID: -1, Cycle: -1}
+		for _, f := range exit.Sorted() {
+			if !claimed[f] {
+				c.errorf("BF009", pos, "droplet %s is lost when this edge is taken (held at %s exit, not claimed by %s)",
+					f, e.From.Label, e.To.Label)
+			}
+		}
+		for _, f := range claimed.Sorted() {
+			if !exit[f] {
+				c.errorf("BF009", pos, "%s claims droplet %s which %s does not hold at exit",
+					e.To.Label, f, e.From.Label)
+			}
+		}
+	}
+}
+
+func hasPhis(g *cfg.Graph) bool {
+	for _, b := range g.Blocks {
+		if len(b.Phis) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runSSI checks SSI well-formedness as diagnostics, mirroring cfg.IsSSI:
+// unique definitions, block-local uses, and φ sources defined in exactly
+// the matching predecessor. It runs only on converted graphs (any φ
+// present) — pre-SSI IR legitimately reuses version 0 across blocks.
+func runSSI(c *context) {
+	g := c.unit.Graph
+	if !hasPhis(g) {
+		return
+	}
+	defined := map[ir.FluidID]int{} // version -> defining block ID
+	for _, b := range g.Blocks {
+		for _, phi := range b.Phis {
+			if _, dup := defined[phi.Dst]; dup {
+				c.errorf("BF008", blockPos(b), "version %s defined more than once", phi.Dst)
+			}
+			defined[phi.Dst] = b.ID
+		}
+		for _, in := range b.Instrs {
+			for _, r := range in.Results {
+				if _, dup := defined[r]; dup {
+					c.errorf("BF008", instrPos(b, in.ID), "version %s defined more than once", r)
+				}
+				defined[r] = b.ID
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		local := map[ir.FluidID]bool{}
+		for _, phi := range b.Phis {
+			local[phi.Dst] = true
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !local[a] {
+					c.errorf("BF008", instrPos(b, in.ID), "use of %s defined outside the block (SSI requires block-local live ranges)", a)
+				}
+			}
+			for _, r := range in.Results {
+				local[r] = true
+			}
+		}
+		predIDs := map[int]bool{}
+		for _, p := range b.Preds {
+			predIDs[p.ID] = true
+		}
+		for _, phi := range b.Phis {
+			for _, p := range b.Preds {
+				if _, ok := phi.Srcs[p.ID]; !ok {
+					c.errorf("BF008", blockPos(b), "φ for %s has no source on the edge from %s", phi.Dst, p.Label)
+				}
+			}
+			srcPreds := make([]int, 0, len(phi.Srcs))
+			for id := range phi.Srcs {
+				srcPreds = append(srcPreds, id)
+			}
+			sort.Ints(srcPreds)
+			for _, id := range srcPreds {
+				src := phi.Srcs[id]
+				if !predIDs[id] {
+					c.errorf("BF008", blockPos(b), "φ for %s has a source for block %d which is not a predecessor", phi.Dst, id)
+					continue
+				}
+				if db, ok := defined[src]; !ok {
+					c.errorf("BF008", blockPos(b), "φ source %s is never defined", src)
+				} else if db != id {
+					c.errorf("BF008", blockPos(b), "φ source %s is not defined in predecessor block %d", src, id)
+				}
+			}
+		}
+	}
+}
+
+// runVolume propagates droplet volumes through each block's dispense/mix/
+// split arithmetic (mix sums, split halves; heat/sense/store preserve) and
+// reports any droplet whose volume is provably non-positive. Volumes that
+// cross block boundaries are treated as unknown — a φ join may legitimately
+// merge different volumes (e.g. loop-carried dilution).
+func runVolume(c *context) {
+	g := c.unit.Graph
+	for _, b := range g.Blocks {
+		vol := map[ir.FluidID]float64{}
+		for _, in := range b.Instrs {
+			switch in.Kind {
+			case ir.Dispense:
+				if in.Volume <= 0 {
+					c.errorf("BF005", instrPos(b, in.ID), "dispense of %q has non-positive volume %g", in.FluidType, in.Volume)
+				}
+				if len(in.Results) == 1 {
+					vol[in.Results[0]] = in.Volume
+				}
+			case ir.Mix:
+				sum, known := 0.0, true
+				for _, a := range in.Args {
+					v, ok := vol[a]
+					if !ok {
+						known = false
+						break
+					}
+					sum += v
+				}
+				if known && len(in.Results) == 1 {
+					if sum <= 0 {
+						c.errorf("BF005", instrPos(b, in.ID), "mix result has non-positive volume %g", sum)
+					}
+					vol[in.Results[0]] = sum
+				}
+			case ir.Split:
+				if len(in.Args) == 1 && len(in.Results) == 2 {
+					if v, ok := vol[in.Args[0]]; ok {
+						if v <= 0 {
+							c.errorf("BF005", instrPos(b, in.ID), "split input has non-positive volume %g", v)
+						}
+						vol[in.Results[0]] = v / 2
+						vol[in.Results[1]] = v / 2
+					}
+				}
+			case ir.Heat, ir.Sense, ir.Store:
+				if len(in.Args) == 1 && len(in.Results) == 1 {
+					if v, ok := vol[in.Args[0]]; ok {
+						vol[in.Results[0]] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+// runSense flags a sensor reading (or computed dry value) that is
+// overwritten within the same block before anything reads it: the physical
+// sensing happened for nothing. Two idioms are deliberately exempt: a Sense
+// overwritten by another Sense of the same variable (kinetic sampling — a
+// timed series where only the final reading matters), and definitions still
+// pending at block exit (successors or the branch condition may read them,
+// and terminal readouts of an assay are legitimately never read by the
+// program itself).
+func runSense(c *context) {
+	g := c.unit.Graph
+	for _, b := range g.Blocks {
+		pending := map[string]*ir.Instr{} // dry var -> unread defining instr
+		for _, in := range b.Instrs {
+			for _, v := range in.DryUses() {
+				delete(pending, v)
+			}
+			if d := in.DryDef(); d != "" {
+				if prev, ok := pending[d]; ok && !(prev.Kind == ir.Sense && in.Kind == ir.Sense) {
+					c.warnf("BF006", instrPos(b, prev.ID),
+						"dry variable %q is overwritten by instr %d before any use (%v wasted)", d, in.ID, prev.Kind)
+				}
+				pending[d] = in
+			}
+		}
+	}
+}
+
+// runDry reports dry variables that are read somewhere but defined nowhere
+// in the whole program: the runtime interpreter would evaluate them against
+// an empty store.
+func runDry(c *context) {
+	g := c.unit.Graph
+	defined := map[string]bool{}
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if d := in.DryDef(); d != "" {
+				defined[d] = true
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			for _, v := range in.DryUses() {
+				if !defined[v] {
+					c.errorf("BF012", instrPos(b, in.ID), "dry variable %q is read but never defined", v)
+				}
+			}
+		}
+		if b.Branch != nil {
+			for _, v := range ir.Vars(b.Branch) {
+				if !defined[v] {
+					c.errorf("BF012", blockPos(b), "branch condition reads dry variable %q which is never defined", v)
+				}
+			}
+		}
+	}
+}

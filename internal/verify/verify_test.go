@@ -1,0 +1,297 @@
+// Negative tests for the IR/CFG pass family: each test hand-builds a small
+// graph violating exactly one rule of the fluid discipline and asserts the
+// verifier reports it under its documented code — and nothing worse.
+package verify_test
+
+import (
+	"regexp"
+	"testing"
+	"time"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+	"biocoder/internal/verify"
+)
+
+func fl(name string) ir.FluidID { return ir.FluidID{Name: name} }
+
+func disp(id int, name string, vol float64) *ir.Instr {
+	return &ir.Instr{ID: id, Kind: ir.Dispense, Results: []ir.FluidID{fl(name)}, FluidType: name, Volume: vol}
+}
+
+func outp(id int, name string) *ir.Instr {
+	return &ir.Instr{ID: id, Kind: ir.Output, Args: []ir.FluidID{fl(name)}}
+}
+
+func mix(id int, res string, args ...string) *ir.Instr {
+	in := &ir.Instr{ID: id, Kind: ir.Mix, Results: []ir.FluidID{fl(res)}, Duration: time.Second}
+	for _, a := range args {
+		in.Args = append(in.Args, fl(a))
+	}
+	return in
+}
+
+func comp(id int, lhs string, e ir.Expr) *ir.Instr {
+	return &ir.Instr{ID: id, Kind: ir.Compute, DryLHS: lhs, DryExpr: e}
+}
+
+// linearGraph wraps instrs in a single block between entry and exit.
+func linearGraph(instrs ...*ir.Instr) *cfg.Graph {
+	g := cfg.New()
+	b := g.NewBlock("b1")
+	b.Instrs = instrs
+	g.AddEdge(g.Entry, b)
+	g.AddEdge(b, g.Exit)
+	return g
+}
+
+func irReport(t *testing.T, g *cfg.Graph) *verify.Report {
+	t.Helper()
+	return verify.Run(&verify.Unit{Graph: g})
+}
+
+// wantCode asserts the report carries at least one diagnostic with the code.
+func wantCode(t *testing.T, rep *verify.Report, code string) {
+	t.Helper()
+	if len(rep.ByCode(code)) == 0 {
+		t.Errorf("want a %s diagnostic, got:\n%s", code, rep)
+	}
+}
+
+func wantNoCode(t *testing.T, rep *verify.Report, code string) {
+	t.Helper()
+	if ds := rep.ByCode(code); len(ds) != 0 {
+		t.Errorf("want no %s diagnostics, got:\n%s", code, rep)
+	}
+}
+
+func TestIRCleanGraph(t *testing.T) {
+	rep := irReport(t, linearGraph(
+		disp(0, "a", 1),
+		disp(1, "b", 1),
+		mix(2, "m", "a", "b"),
+		outp(3, "m"),
+	))
+	if len(rep.Diags) != 0 {
+		t.Fatalf("clean graph produced diagnostics:\n%s", rep)
+	}
+	if len(rep.Passes) == 0 {
+		t.Fatal("no passes ran on a Graph-only unit")
+	}
+}
+
+func TestBF001UseAfterConsume(t *testing.T) {
+	rep := irReport(t, linearGraph(
+		disp(0, "a", 1),
+		outp(1, "a"),
+		outp(2, "a"), // a already consumed by instr 1
+	))
+	wantCode(t, rep, "BF001")
+}
+
+func TestBF002Leak(t *testing.T) {
+	// Droplet dispensed but neither consumed nor live-out of its block.
+	rep := irReport(t, linearGraph(disp(0, "a", 1)))
+	wantCode(t, rep, "BF002")
+}
+
+func TestBF003NoReachingDef(t *testing.T) {
+	rep := irReport(t, linearGraph(outp(0, "ghost")))
+	wantCode(t, rep, "BF003")
+}
+
+func TestBF004Redefinition(t *testing.T) {
+	rep := irReport(t, linearGraph(
+		disp(0, "a", 1),
+		disp(1, "a", 1), // redefines a while live
+		outp(2, "a"),
+	))
+	wantCode(t, rep, "BF004")
+}
+
+func TestBF005NonPositiveVolume(t *testing.T) {
+	rep := irReport(t, linearGraph(
+		disp(0, "a", -1),
+		outp(1, "a"),
+	))
+	wantCode(t, rep, "BF005")
+}
+
+func TestBF006ShadowedDryDef(t *testing.T) {
+	rep := irReport(t, linearGraph(
+		disp(0, "a", 1),
+		outp(1, "a"),
+		comp(2, "x", ir.Const(1)),
+		comp(3, "x", ir.Const(2)), // instr 2's value never read
+		comp(4, "y", ir.Var("x")),
+	))
+	wantCode(t, rep, "BF006")
+	if rep.HasErrors() {
+		t.Errorf("BF006 must be a warning, got errors:\n%s", rep)
+	}
+}
+
+func TestBF006KineticSamplingExempt(t *testing.T) {
+	// Repeated sensing into the same variable is a timed series where only
+	// the final reading matters — not a wasted measurement.
+	g := linearGraph(
+		disp(0, "a", 1),
+		&ir.Instr{ID: 1, Kind: ir.Sense, Args: []ir.FluidID{fl("a")}, Results: []ir.FluidID{fl("a2")},
+			SensorVar: "v", Duration: time.Second},
+		&ir.Instr{ID: 2, Kind: ir.Sense, Args: []ir.FluidID{fl("a2")}, Results: []ir.FluidID{fl("a3")},
+			SensorVar: "v", Duration: time.Second},
+		outp(3, "a3"),
+	)
+	wantNoCode(t, irReport(t, g), "BF006")
+}
+
+func TestBF007Unreachable(t *testing.T) {
+	g := linearGraph(disp(0, "a", 1), outp(1, "a"))
+	g.NewBlock("orphan")
+	rep := irReport(t, g)
+	wantCode(t, rep, "BF007")
+	if rep.HasErrors() {
+		t.Errorf("BF007 must be a warning, got errors:\n%s", rep)
+	}
+}
+
+func TestBF008TamperedPhiSource(t *testing.T) {
+	g := cfg.New()
+	b1 := g.NewBlock("b1")
+	b1.Instrs = []*ir.Instr{disp(0, "a", 1)}
+	b2 := g.NewBlock("b2")
+	b2.Instrs = []*ir.Instr{outp(1, "a")}
+	g.AddEdge(g.Entry, b1)
+	g.AddEdge(b1, b2)
+	g.AddEdge(b2, g.Exit)
+	if err := cfg.ToSSI(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Phis) == 0 {
+		t.Fatal("SSI conversion placed no φ at the join")
+	}
+	b2.Phis[0].Srcs[b1.ID] = ir.FluidID{Name: "a", Ver: 99} // never defined
+	wantCode(t, irReport(t, g), "BF008")
+}
+
+func TestBF009DropletLostOnEdge(t *testing.T) {
+	// a is consumed only down the then-branch: taking the else-edge
+	// abandons the droplet even though block-level liveness is satisfied.
+	g := cfg.New()
+	b0 := g.NewBlock("b0")
+	b0.Instrs = []*ir.Instr{disp(0, "a", 1), comp(1, "x", ir.Const(1))}
+	b0.Branch = ir.Var("x")
+	b1 := g.NewBlock("then")
+	b1.Instrs = []*ir.Instr{outp(2, "a")}
+	b2 := g.NewBlock("else")
+	g.AddEdge(g.Entry, b0)
+	g.AddEdge(b0, b1)
+	g.AddEdge(b0, b2)
+	g.AddEdge(b1, g.Exit)
+	g.AddEdge(b2, g.Exit)
+	rep := irReport(t, g)
+	wantCode(t, rep, "BF009")
+	wantNoCode(t, rep, "BF002") // per-block conservation cannot see this
+}
+
+func TestBF010MalformedInstr(t *testing.T) {
+	g := linearGraph(
+		&ir.Instr{ID: 0, Kind: ir.Mix, Results: []ir.FluidID{fl("m")}}, // no args, no duration
+		outp(1, "m"),
+	)
+	wantCode(t, irReport(t, g), "BF010")
+}
+
+func TestBF011BranchArity(t *testing.T) {
+	g := cfg.New()
+	b := g.NewBlock("b1")
+	b.Instrs = []*ir.Instr{disp(0, "a", 1), outp(1, "a")}
+	g.AddEdge(g.Entry, b)
+	g.AddEdge(b, g.Exit)
+	g.AddEdge(b, g.Exit) // two successors but no branch condition
+	wantCode(t, irReport(t, g), "BF011")
+}
+
+func TestBF012UndefinedDryVar(t *testing.T) {
+	g := cfg.New()
+	b0 := g.NewBlock("b0")
+	b0.Instrs = []*ir.Instr{disp(0, "a", 1), outp(1, "a")}
+	b0.Branch = ir.Var("nope") // never defined anywhere
+	b1 := g.NewBlock("then")
+	b2 := g.NewBlock("else")
+	g.AddEdge(g.Entry, b0)
+	g.AddEdge(b0, b1)
+	g.AddEdge(b0, b2)
+	g.AddEdge(b1, g.Exit)
+	g.AddEdge(b2, g.Exit)
+	wantCode(t, irReport(t, g), "BF012")
+}
+
+var codeRE = regexp.MustCompile(`^BF\d{3}$`)
+
+func TestPassRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range verify.Passes() {
+		if p.Name == "" || p.Doc == "" {
+			t.Errorf("pass %+v lacks a name or doc", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate pass name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Codes) == 0 {
+			t.Errorf("pass %s declares no diagnostic codes", p.Name)
+		}
+		for _, c := range p.Codes {
+			if !codeRE.MatchString(c) {
+				t.Errorf("pass %s declares malformed code %q", p.Name, c)
+			}
+		}
+	}
+	if len(verify.IRPasses()) == 0 || len(verify.ExecPasses()) == 0 {
+		t.Fatal("a pass family is empty")
+	}
+}
+
+func TestRunSelectsApplicablePasses(t *testing.T) {
+	// A Graph-only unit must run the IR family but no executable pass.
+	rep := irReport(t, linearGraph(disp(0, "a", 1), outp(1, "a")))
+	ran := map[string]bool{}
+	for _, n := range rep.Passes {
+		ran[n] = true
+	}
+	for _, p := range verify.IRPasses() {
+		if !ran[p.Name] {
+			t.Errorf("IR pass %s did not run on a Graph unit", p.Name)
+		}
+	}
+	for _, p := range verify.ExecPasses() {
+		if ran[p.Name] {
+			t.Errorf("executable pass %s ran without an executable", p.Name)
+		}
+	}
+}
+
+func TestReportMergeDeduplicates(t *testing.T) {
+	g := linearGraph(disp(0, "a", 1)) // one BF002 leak (plus BF009 on the exit edge)
+	rep := irReport(t, g)
+	n := len(rep.Diags)
+	if n == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	rep.Merge(irReport(t, g))
+	if len(rep.Diags) != n {
+		t.Errorf("merge of an identical report grew diagnostics from %d to %d", n, len(rep.Diags))
+	}
+}
+
+func TestReportErr(t *testing.T) {
+	clean := irReport(t, linearGraph(disp(0, "a", 1), outp(1, "a")))
+	if err := clean.Err(); err != nil {
+		t.Errorf("clean report Err = %v", err)
+	}
+	bad := irReport(t, linearGraph(disp(0, "a", 1)))
+	if err := bad.Err(); err == nil {
+		t.Error("report with errors returned nil Err")
+	}
+}
