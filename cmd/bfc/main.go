@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"biocoder"
+	"biocoder/internal/analysis"
 	"biocoder/internal/arch"
 	"biocoder/internal/assays"
 	"biocoder/internal/cfg"
@@ -38,6 +39,7 @@ func main() {
 	emit := flag.String("emit", "summary", "artifact to emit: cfg|ssi|sched|place|delta|summary|fmt")
 	out := flag.String("o", "", "write the serialized executable to this file")
 	doVerify := flag.Bool("verify", false, "run the static verifier over the compiled program; fail on error diagnostics")
+	doAnalyze := flag.Bool("analyze", false, "run the abstract-interpretation analyses (volumes, timing, contamination); fail on error diagnostics")
 	list := flag.Bool("list", false, "list benchmark assays and exit")
 	flag.Parse()
 
@@ -103,6 +105,26 @@ func main() {
 		}
 		if rep.HasErrors() {
 			fatal(fmt.Errorf("verification failed with %d error(s)", rep.Count(verify.Error)))
+		}
+	}
+
+	if *doAnalyze {
+		res, err := analysis.Analyze(&verify.Unit{
+			Graph: prog.Graph,
+			Exec:  prog.Executable,
+		}, analysis.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		if s := res.Report.String(); s != "" {
+			fmt.Fprint(os.Stderr, s)
+		}
+		if t := res.Timing; t != nil {
+			fmt.Fprintf(os.Stderr, "analysis: best %d cycles (%v), worst %d cycles (%v)\n",
+				t.BestCycles, t.Best, t.WorstCycles, t.Worst)
+		}
+		if res.Report.HasErrors() {
+			fatal(fmt.Errorf("analysis failed with %d error(s)", res.Report.Count(verify.Error)))
 		}
 	}
 

@@ -1,7 +1,9 @@
 // Command bftable regenerates Table 1 of the paper: it compiles every
 // benchmark assay, runs each outcome scenario on the cycle-accurate
 // simulator with that scenario's scripted sensor readings, and prints the
-// paper-reported versus measured execution times side by side.
+// paper-reported versus measured execution times side by side, bracketed by
+// the static best/worst-case bounds from the abstract-interpretation timing
+// analysis (every measured run must land inside its bracket).
 //
 // Usage:
 //
@@ -16,8 +18,10 @@ import (
 	"time"
 
 	"biocoder"
+	"biocoder/internal/analysis"
 	"biocoder/internal/assays"
 	"biocoder/internal/sensor"
+	"biocoder/internal/verify"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 	type row struct {
 		assay, scenario, source string
 		paper, measured         time.Duration
+		best, worst             time.Duration
+		hasBounds               bool
 	}
 	var rows []row
 
@@ -36,6 +42,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bftable: %s: %v\n", a.Name, err)
 			os.Exit(1)
 		}
+		var best, worst time.Duration
+		hasBounds := false
+		ares, err := analysis.Analyze(&verify.Unit{
+			Graph: prog.Graph,
+			Exec:  prog.Executable,
+		}, analysis.Config{})
+		if err == nil && ares.Timing != nil {
+			best, worst, hasBounds = ares.Timing.Best, ares.Timing.Worst, true
+		}
 		for _, sc := range a.Scenarios {
 			model := sensor.NewScripted(sc.Script)
 			model.Fallback = sensor.NewUniform(1)
@@ -44,29 +59,34 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bftable: %s/%s: %v\n", a.Name, sc.Name, err)
 				os.Exit(1)
 			}
-			rows = append(rows, row{a.Name, sc.Name, a.Source, sc.PaperTime, res.Time})
+			rows = append(rows, row{a.Name, sc.Name, a.Source, sc.PaperTime, res.Time, best, worst, hasBounds})
 		}
 	}
 
 	if *tsv {
-		fmt.Println("benchmark\tscenario\tsource\tpaper_s\tmeasured_s")
+		fmt.Println("benchmark\tscenario\tsource\tpaper_s\tmeasured_s\tstatic_best_s\tstatic_worst_s")
 		for _, r := range rows {
-			fmt.Printf("%s\t%s\t%s\t%.0f\t%.1f\n",
-				r.assay, r.scenario, r.source, r.paper.Seconds(), r.measured.Seconds())
+			fmt.Printf("%s\t%s\t%s\t%.0f\t%.1f\t%.1f\t%.1f\n",
+				r.assay, r.scenario, r.source, r.paper.Seconds(), r.measured.Seconds(),
+				r.best.Seconds(), r.worst.Seconds())
 		}
 		return
 	}
 
 	fmt.Println("Table 1. Benchmark assays and simulated execution times (paper vs this implementation)")
 	fmt.Println()
-	fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %-6s |\n",
-		"Benchmark", "Scenario", "Source", "Paper", "Measured", "Dev")
-	fmt.Printf("|%s|%s|%s|%s|%s|%s|\n",
-		dashes(32), dashes(12), dashes(10), dashes(14), dashes(14), dashes(8))
+	fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %-6s | %-12s | %-12s |\n",
+		"Benchmark", "Scenario", "Source", "Paper", "Measured", "Dev", "Static best", "Static worst")
+	fmt.Printf("|%s|%s|%s|%s|%s|%s|%s|%s|\n",
+		dashes(32), dashes(12), dashes(10), dashes(14), dashes(14), dashes(8), dashes(14), dashes(14))
 	for _, r := range rows {
 		dev := (r.measured.Seconds() - r.paper.Seconds()) / r.paper.Seconds() * 100
-		fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %+5.1f%% |\n",
-			r.assay, r.scenario, r.source, fmtDur(r.paper), fmtDur(r.measured), dev)
+		sb, sw := "n/a", "n/a"
+		if r.hasBounds {
+			sb, sw = fmtDur(r.best), fmtDur(r.worst)
+		}
+		fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %+5.1f%% | %-12s | %-12s |\n",
+			r.assay, r.scenario, r.source, fmtDur(r.paper), fmtDur(r.measured), dev, sb, sw)
 	}
 }
 

@@ -9,16 +9,25 @@
 // port and device discipline, split symmetry, droplet conservation across
 // every CFG edge). With -exe, a serialized executable is verified directly.
 //
+// The analyze subcommand instead runs the abstract-interpretation analyses
+// of internal/analysis over the compiled program: droplet volume and
+// concentration intervals (BF301-BF303), static best/worst-case timing
+// bounds with inferred loop bounds (BF310-BF312), and cross-contamination
+// hazards with suggested wash insertion points (BF320-BF321).
+//
 // Usage:
 //
 //	bfvet protocol.bio ...
 //	bfvet -assay "PCR"
 //	bfvet -exe protocol.bfx
-//	bfvet -chip chip.cfg -Werror protocol.bio
+//	bfvet -chip chip.cfg -Werror -json protocol.bio
+//	bfvet analyze protocol.bio
+//	bfvet analyze -deadline 10m -target DNA=0.25:0.05 -json protocol.bio
 //
-// Diagnostics print one per line as CODE severity [location]: message.
-// bfvet exits 1 when any error-severity diagnostic is found (-Werror
-// promotes warnings), 2 on usage or I/O problems.
+// Diagnostics print one per line as CODE severity [location]: message, or as
+// a JSON array with -json. bfvet exits 1 when any error-severity diagnostic
+// is found (-Werror promotes warnings — including analysis warnings under
+// the analyze subcommand), 2 on usage or I/O problems.
 package main
 
 import (
@@ -26,8 +35,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"biocoder"
+	"biocoder/internal/analysis"
 	"biocoder/internal/arch"
 	"biocoder/internal/assays"
 	"biocoder/internal/cfg"
@@ -39,53 +52,29 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("bfvet", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	assayName := fs.String("assay", "", "verify a benchmark assay by name")
-	exeFile := fs.String("exe", "", "verify a serialized executable (.bfx)")
-	chipCfg := fs.String("chip", "", "chip configuration file (default: the paper's 15x19 chip)")
-	wError := fs.Bool("Werror", false, "treat warnings as errors")
-	list := fs.Bool("list", false, "list benchmark assays and exit")
-	if err := fs.Parse(args); err != nil {
-		return 2
+	if len(args) > 0 && args[0] == "analyze" {
+		return runAnalyze(args[1:], stdout, stderr)
 	}
+	return runVerify(args, stdout, stderr)
+}
 
-	if *list {
-		for _, a := range assays.All() {
-			fmt.Fprintf(stdout, "%-32s %s\n", a.Name, a.Source)
-		}
-		return 0
-	}
+// job is one program to verify or analyze: a named lazily built CFG.
+type job struct {
+	name  string
+	graph func() (*cfg.Graph, error)
+}
 
-	chip := arch.Default()
-	if *chipCfg != "" {
-		f, err := os.Open(*chipCfg)
-		if err != nil {
-			fmt.Fprintln(stderr, "bfvet:", err)
-			return 2
-		}
-		chip, err = arch.ParseConfig(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(stderr, "bfvet:", err)
-			return 2
-		}
-	}
-
-	type job struct {
-		name  string
-		graph func() (*cfg.Graph, error)
-	}
+func buildJobs(assayName string, files []string, stderr io.Writer) ([]job, bool) {
 	var jobs []job
-	if *assayName != "" {
-		a := assays.ByName(*assayName)
+	if assayName != "" {
+		a := assays.ByName(assayName)
 		if a == nil {
-			fmt.Fprintf(stderr, "bfvet: unknown assay %q (try -list)\n", *assayName)
-			return 2
+			fmt.Fprintf(stderr, "bfvet: unknown assay %q (try -list)\n", assayName)
+			return nil, false
 		}
 		jobs = append(jobs, job{name: a.Name, graph: func() (*cfg.Graph, error) { return a.Build().Build() }})
 	}
-	for _, file := range fs.Args() {
+	for _, file := range files {
 		file := file
 		jobs = append(jobs, job{name: file, graph: func() (*cfg.Graph, error) {
 			src, err := os.ReadFile(file)
@@ -99,6 +88,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return bs.Build()
 		}})
 	}
+	return jobs, true
+}
+
+func loadChip(path string, stderr io.Writer) (*arch.Chip, bool) {
+	if path == "" {
+		return arch.Default(), true
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "bfvet:", err)
+		return nil, false
+	}
+	chip, err := arch.ParseConfig(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "bfvet:", err)
+		return nil, false
+	}
+	return chip, true
+}
+
+func listAssays(stdout io.Writer) {
+	for _, a := range assays.All() {
+		fmt.Fprintf(stdout, "%-32s %s\n", a.Name, a.Source)
+	}
+}
+
+func runVerify(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bfvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	assayName := fs.String("assay", "", "verify a benchmark assay by name")
+	exeFile := fs.String("exe", "", "verify a serialized executable (.bfx)")
+	chipCfg := fs.String("chip", "", "chip configuration file (default: the paper's 15x19 chip)")
+	wError := fs.Bool("Werror", false, "treat warnings as errors")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	list := fs.Bool("list", false, "list benchmark assays and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		listAssays(stdout)
+		return 0
+	}
+
+	chip, ok := loadChip(*chipCfg, stderr)
+	if !ok {
+		return 2
+	}
+
+	jobs, ok := buildJobs(*assayName, fs.Args(), stderr)
+	if !ok {
+		return 2
+	}
 	if len(jobs) == 0 && *exeFile == "" {
 		fmt.Fprintln(stderr, "bfvet: nothing to verify (give .bio files, -assay, or -exe)")
 		fs.Usage()
@@ -106,9 +149,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	failed := false
+	var targets []jsonTarget
 	report := func(name string, rep *verify.Report) {
-		for _, d := range rep.Diags {
-			fmt.Fprintf(stdout, "%s: %s\n", name, d)
+		if *asJSON {
+			targets = append(targets, jsonTarget{Name: name, Diags: diagsJSON(rep)})
+		} else {
+			for _, d := range rep.Diags {
+				fmt.Fprintf(stdout, "%s: %s\n", name, d)
+			}
 		}
 		if rep.HasErrors() || (*wError && rep.Count(verify.Warning) > 0) {
 			failed = true
@@ -155,8 +203,174 @@ func run(args []string, stdout, stderr io.Writer) int {
 		report(*exeFile, verify.Run(&verify.Unit{Exec: prog.Executable}))
 	}
 
+	if *asJSON {
+		if err := writeJSON(stdout, targets); err != nil {
+			fmt.Fprintln(stderr, "bfvet:", err)
+			return 2
+		}
+	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+func runAnalyze(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bfvet analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	assayName := fs.String("assay", "", "analyze a benchmark assay by name")
+	chipCfg := fs.String("chip", "", "chip configuration file (default: the paper's 15x19 chip)")
+	wError := fs.Bool("Werror", false, "treat analysis warnings as errors")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON results")
+	deadline := fs.Duration("deadline", 0, "fail when the assay cannot finish within this wall-clock budget (BF312)")
+	loopBound := fs.Int("loop-bound", 0, "assumed trip count for loops with no derivable bound (default 64)")
+	capacity := fs.Float64("capacity", 0, "mixer module capacity in µL (default 40)")
+	minVolume := fs.Float64("min-volume", 0, "smallest reliably actuated droplet volume in µL (default 1)")
+	list := fs.Bool("list", false, "list benchmark assays and exit")
+	var targetsReq []analysis.Target
+	fs.Func("target", "require reagent=frac[:tol] reachable at some output (BF303); repeatable", func(s string) error {
+		t, err := parseTarget(s)
+		if err != nil {
+			return err
+		}
+		targetsReq = append(targetsReq, t)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		listAssays(stdout)
+		return 0
+	}
+
+	chip, ok := loadChip(*chipCfg, stderr)
+	if !ok {
+		return 2
+	}
+	jobs, ok := buildJobs(*assayName, fs.Args(), stderr)
+	if !ok {
+		return 2
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(stderr, "bfvet analyze: nothing to analyze (give .bio files or -assay)")
+		fs.Usage()
+		return 2
+	}
+
+	conf := analysis.Config{
+		Deadline:         *deadline,
+		AssumedLoopBound: *loopBound,
+		MixerCapacityUL:  *capacity,
+		MinVolumeUL:      *minVolume,
+		Targets:          targetsReq,
+	}
+
+	failed := false
+	var targets []jsonTarget
+	for _, j := range jobs {
+		g, err := j.graph()
+		if err != nil {
+			fmt.Fprintf(stderr, "bfvet: %s: %v\n", j.name, err)
+			failed = true
+			continue
+		}
+		prog, err := biocoder.CompileGraph(g, chip)
+		if err != nil {
+			fmt.Fprintf(stderr, "bfvet: %s: compile: %v\n", j.name, err)
+			failed = true
+			continue
+		}
+		res, err := analysis.Analyze(&verify.Unit{
+			Graph: prog.Graph,
+			Exec:  prog.Executable,
+		}, conf)
+		if err != nil {
+			fmt.Fprintf(stderr, "bfvet: %s: analyze: %v\n", j.name, err)
+			failed = true
+			continue
+		}
+		if *asJSON {
+			t := jsonTarget{Name: j.name}
+			analysisJSON(&t, res)
+			targets = append(targets, t)
+		} else {
+			printAnalysis(stdout, j.name, res)
+		}
+		if res.Report.HasErrors() || (*wError && res.Report.Count(verify.Warning) > 0) {
+			failed = true
+		}
+	}
+
+	if *asJSON {
+		if err := writeJSON(stdout, targets); err != nil {
+			fmt.Fprintln(stderr, "bfvet:", err)
+			return 2
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func printAnalysis(w io.Writer, name string, res *analysis.Result) {
+	for _, d := range res.Report.Diags {
+		fmt.Fprintf(w, "%s: %s\n", name, d)
+	}
+	if t := res.Timing; t != nil {
+		qual := ""
+		if t.Unbounded {
+			qual = " (assumed loop bounds)"
+		}
+		fmt.Fprintf(w, "%s: timing: best %d cycles (%v), worst %d cycles (%v)%s\n",
+			name, t.BestCycles, t.Best, t.WorstCycles, t.Worst, qual)
+		for _, l := range t.Loops {
+			how := "bound"
+			if l.Exact {
+				how = "exact"
+			} else if l.Assumed {
+				how = "assumed"
+			}
+			fmt.Fprintf(w, "%s: loop at %s: %d..%d iterations (%s)\n", name, l.Header, l.Lower, l.Upper, how)
+		}
+	}
+	for _, o := range res.Outputs {
+		var concs []string
+		for r := range o.Conc {
+			concs = append(concs, r)
+		}
+		sort.Strings(concs)
+		parts := make([]string, 0, len(concs))
+		for _, r := range concs {
+			parts = append(parts, fmt.Sprintf("%s %v", r, o.Conc[r]))
+		}
+		fmt.Fprintf(w, "%s: output at %s: volume %v µL, %s\n", name, o.Port, o.Vol, strings.Join(parts, ", "))
+	}
+	if n := len(res.Hazards); n > 0 {
+		fmt.Fprintf(w, "%s: %d cross-contamination hazard(s), %d wash insertion point(s) suggested\n",
+			name, n, len(res.Suggestions))
+	}
+}
+
+// parseTarget parses "reagent=frac" or "reagent=frac:tol".
+func parseTarget(s string) (analysis.Target, error) {
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return analysis.Target{}, fmt.Errorf("want reagent=frac[:tol], got %q", s)
+	}
+	fracStr, tolStr, hasTol := strings.Cut(rest, ":")
+	frac, err := strconv.ParseFloat(fracStr, 64)
+	if err != nil {
+		return analysis.Target{}, fmt.Errorf("bad fraction in %q: %v", s, err)
+	}
+	tol := 0.01
+	if hasTol {
+		tol, err = strconv.ParseFloat(tolStr, 64)
+		if err != nil {
+			return analysis.Target{}, fmt.Errorf("bad tolerance in %q: %v", s, err)
+		}
+	}
+	return analysis.Target{Reagent: name, Fraction: frac, Tolerance: tol}, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -68,5 +69,119 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{filepath.Join(t.TempDir(), "missing.bio")}, &stdout, &stderr); code != 1 {
 		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestRunJSONVerify(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := writeScript(t, cleanScript)
+	if code := run([]string{"-json", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var targets []jsonTarget
+	if err := json.Unmarshal(stdout.Bytes(), &targets); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(targets) != 1 || targets[0].Name != path {
+		t.Fatalf("targets = %+v, want one entry for %s", targets, path)
+	}
+	if len(targets[0].Diags) != 0 {
+		t.Errorf("clean protocol has diagnostics: %+v", targets[0].Diags)
+	}
+}
+
+func TestAnalyzeAssay(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"analyze", "-assay", "PCR"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"timing: best", "loop at", "output at"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"analyze", "-json", "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var targets []jsonTarget
+	if err := json.Unmarshal(stdout.Bytes(), &targets); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(targets))
+	}
+	tgt := targets[0]
+	if tgt.Timing == nil || tgt.Timing.WorstCycles <= 0 {
+		t.Errorf("timing missing or empty: %+v", tgt.Timing)
+	}
+	if len(tgt.Outputs) == 0 {
+		t.Error("no output intervals in JSON")
+	}
+	for _, d := range tgt.Diags {
+		if d.Severity == "error" {
+			t.Errorf("unexpected error diagnostic: %+v", d)
+		}
+	}
+}
+
+// The -Werror regression: analysis warnings (PCR emits BF320 contamination
+// warnings) must flip the exit code under -Werror, exactly like verifier
+// warnings do.
+func TestAnalyzeWerrorPromotesWarnings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"analyze", "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("without -Werror: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BF320") {
+		t.Skip("corpus no longer emits contamination warnings; pick another warning source")
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"analyze", "-Werror", "-assay", "PCR"}, &stdout, &stderr); code != 1 {
+		t.Errorf("with -Werror: exit %d, want 1", code)
+	}
+}
+
+func TestAnalyzeDeadlineFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// PCR needs ~11m40s; a 1-minute budget is provably missed.
+	if code := run([]string{"analyze", "-deadline", "1m", "-assay", "PCR"}, &stdout, &stderr); code != 1 {
+		t.Errorf("exit %d, want 1 for an impossible deadline", code)
+	}
+	if !strings.Contains(stdout.String(), "BF312") {
+		t.Errorf("no BF312 in output:\n%s", stdout.String())
+	}
+}
+
+func TestAnalyzeTargetFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"analyze", "-target", "Template=0.5:0.01", "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Errorf("reachable target: exit %d, want 0\n%s", code, stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"analyze", "-target", "Template=0.9", "-assay", "PCR"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unreachable target: exit %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "BF303") {
+		t.Errorf("no BF303 in output:\n%s", stdout.String())
+	}
+	if code := run([]string{"analyze", "-target", "garbage", "-assay", "PCR"}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed -target: exit %d, want 2", code)
+	}
+}
+
+func TestAnalyzeUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"analyze"}, &stdout, &stderr); code != 2 {
+		t.Errorf("no inputs: exit %d, want 2", code)
+	}
+	if code := run([]string{"analyze", "-assay", "No Such Assay"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown assay: exit %d, want 2", code)
 	}
 }

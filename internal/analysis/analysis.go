@@ -1,0 +1,131 @@
+// Package analysis is an abstract-interpretation layer over the hybrid
+// IR/CFG and the compiled executable: a generic worklist fixed-point solver
+// (join/widen on lattices, per-block transfer functions) with three concrete
+// analyses on top of it.
+//
+//  1. Volume & concentration intervals — [min,max] droplet volume and
+//     per-reagent dilution-factor ranges through mix/split/heat chains,
+//     flagging over/underfilled mixer modules and unreachable target
+//     concentrations before anything runs.
+//  2. Static timing bounds — per-block cycle counts from the emitted Δ
+//     sequences plus CFG path analysis with inferred (or assumed) loop
+//     bounds, reporting best/worst-case total bioassay time.
+//  3. Cross-contamination — reagent classes propagated through the routed
+//     electrode footprints of the symbolic replay, flagging hazardous
+//     sharing that no planned wash tour scrubs and suggesting wash
+//     insertion points.
+//
+// Findings are reported through the verify.Diag model with codes in the
+// BF3xx range, reserved for this package:
+//
+//	BF301  mix may overfill the mixer module (volume above capacity)
+//	BF302  droplet volume below the reliable minimum (underfill)
+//	BF303  requested target concentration unreachable at every output
+//	BF310  loop has no statically derivable iteration bound
+//	BF311  irreducible control flow: timing bounds not computable
+//	BF312  deadline violated (error when even the best case exceeds it)
+//	BF320  cross-contamination hazard: unwashed reagent crossing
+//	BF321  suggested wash insertion point (advisory)
+//
+// Severity follows provability: a finding that holds on every execution
+// (interval entirely past the limit, best case over the deadline) is an
+// Error; one that holds on some execution is a Warning; suggestions are
+// Info. Codes are stable: tests and tooling may match on them.
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"biocoder/internal/verify"
+	"biocoder/internal/wash"
+)
+
+// Target requests a reachability proof for one output concentration: some
+// output droplet must be able to carry Reagent at Fraction±Tolerance.
+type Target struct {
+	Reagent   string
+	Fraction  float64
+	Tolerance float64
+}
+
+// Config tunes the analyses. The zero value gets sensible defaults.
+type Config struct {
+	// MixerCapacityUL is the largest droplet a mixer module handles
+	// reliably, in µL. Default 40 (two 2x-droplets of the default 10 µL
+	// dispense merged once more).
+	MixerCapacityUL float64
+	// MinVolumeUL is the smallest droplet the chip can still actuate
+	// reliably, in µL. Default 1.
+	MinVolumeUL float64
+	// AssumedLoopBound caps loops whose trip count cannot be derived
+	// (BF310). Default 64.
+	AssumedLoopBound int
+	// Deadline, when positive, checks the static timing bounds against a
+	// wall-clock budget (BF312).
+	Deadline time.Duration
+	// Targets are output concentrations to prove reachable (BF303).
+	Targets []Target
+	// Washes are planned wash tours; cells they cover are considered
+	// scrubbed and do not contribute contamination hazards.
+	Washes []*wash.Tour
+}
+
+func (c Config) withDefaults() Config {
+	if c.MixerCapacityUL <= 0 {
+		c.MixerCapacityUL = 40
+	}
+	if c.MinVolumeUL <= 0 {
+		c.MinVolumeUL = 1
+	}
+	if c.AssumedLoopBound <= 0 {
+		c.AssumedLoopBound = 64
+	}
+	return c
+}
+
+// Result is the outcome of one analysis run.
+type Result struct {
+	// Report carries every BF3xx diagnostic, sorted like verifier output.
+	Report *verify.Report
+	// Outputs are the abstract droplets leaving the chip (volume analysis).
+	Outputs []OutputState
+	// Timing is the static best/worst-case execution time; nil when the
+	// unit has no executable or the CFG is irreducible.
+	Timing *TimingBounds
+	// Hazards and Suggestions come from the cross-contamination analysis.
+	Hazards     []Hazard
+	Suggestions []WashSuggestion
+}
+
+// Analyze runs every applicable analysis over the unit. The volume analysis
+// needs Graph; timing and contamination additionally need Exec (Graph and
+// Chip default from the executable as in verify.Run). The error is non-nil
+// only when the unit carries nothing to analyze.
+func Analyze(u *verify.Unit, conf Config) (*Result, error) {
+	conf = conf.withDefaults()
+	nu := *u
+	if nu.Exec != nil {
+		if nu.Graph == nil {
+			nu.Graph = nu.Exec.Graph
+		}
+		if nu.Topo == nil {
+			nu.Topo = nu.Exec.Topo
+		}
+	}
+	if nu.Chip == nil && nu.Topo != nil {
+		nu.Chip = nu.Topo.Chip
+	}
+	if nu.Graph == nil {
+		return nil, fmt.Errorf("analysis: unit has no control-flow graph")
+	}
+	rep := &reporter{}
+	res := &Result{}
+	res.Outputs = analyzeVolumes(nu.Graph, conf, rep)
+	if nu.Exec != nil {
+		res.Timing = analyzeTiming(&nu, conf, rep)
+		res.Hazards, res.Suggestions = analyzeContamination(&nu, conf, rep)
+	}
+	res.Report = verify.NewReport(rep.diags)
+	return res, nil
+}

@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/cfg"
+	"biocoder/internal/codegen"
+	"biocoder/internal/ir"
+	"biocoder/internal/sensor"
+	"biocoder/internal/verify"
+	"biocoder/internal/wash"
+)
+
+func TestIntervalOps(t *testing.T) {
+	if iv := Exact(3); !iv.IsExact() || iv.Lo != 3 || iv.Hi != 3 {
+		t.Errorf("Exact(3) = %v", iv)
+	}
+	if iv := Range(1, 5).Add(Range(2, 3)); iv != Range(3, 8) {
+		t.Errorf("[1,5]+[2,3] = %v, want [3,8]", iv)
+	}
+	if iv := Range(2, 6).Scale(0.5); iv != Range(1, 3) {
+		t.Errorf("[2,6]*0.5 = %v, want [1,3]", iv)
+	}
+	if iv := Range(0, math.Inf(1)).Scale(0); iv != Exact(0) {
+		t.Errorf("[0,+inf]*0 = %v, want 0 (not NaN)", iv)
+	}
+	if iv := Range(1, 3).Hull(Range(2, 7)); iv != Range(1, 7) {
+		t.Errorf("hull = %v, want [1,7]", iv)
+	}
+	// Widening jumps only the ends that moved, to the clamp bounds.
+	w := Range(2, 4).Widen(Range(2, 5), 0, math.Inf(1))
+	if w.Lo != 2 || !math.IsInf(w.Hi, 1) {
+		t.Errorf("widen = %v, want [2,+inf]", w)
+	}
+	if w := Range(2, 4).Widen(Range(2, 4), 0, math.Inf(1)); w != Range(2, 4) {
+		t.Errorf("widen of stable interval = %v, want unchanged", w)
+	}
+	if iv := Range(-1, 2).Clamp(0, 1); iv != Range(0, 1) {
+		t.Errorf("clamp = %v, want [0,1]", iv)
+	}
+	if !Range(1, 3).Contains(2) || Range(1, 3).Contains(4) {
+		t.Error("Contains misbehaves")
+	}
+	if !Range(1, 3).Intersects(Range(3, 5)) || Range(1, 3).Intersects(Range(4, 5)) {
+		t.Error("Intersects misbehaves")
+	}
+	if s := Range(0, math.Inf(1)).String(); s != "[0,+inf]" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Exact(2.5).String(); s != "2.5" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// analyzeScript compiles an inline BioScript source for the default chip
+// and runs the analyses over it.
+func analyzeScript(t *testing.T, src string, conf Config) *Result {
+	t.Helper()
+	bs, err := biocoder.ParseScript(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := bs.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	prog, err := biocoder.CompileGraph(g, arch.Default())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := Analyze(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable}, conf)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res
+}
+
+func countCode(rep *verify.Report, code string, sev verify.Severity) int {
+	n := 0
+	for _, d := range rep.ByCode(code) {
+		if d.Sev == sev {
+			n++
+		}
+	}
+	return n
+}
+
+const mixScript = `
+fluid A 10
+fluid B 10
+container t
+measure A into t
+measure B into t
+drain t out
+`
+
+func TestVolumeIntervalsExact(t *testing.T) {
+	res := analyzeScript(t, mixScript, Config{})
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs = %d, want 1", len(res.Outputs))
+	}
+	o := res.Outputs[0]
+	if o.Vol != Exact(20) {
+		t.Errorf("output volume = %v, want 20", o.Vol)
+	}
+	for _, r := range []string{"A", "B"} {
+		if iv := o.Conc[r]; iv != Exact(0.5) {
+			t.Errorf("conc[%s] = %v, want 0.5", r, iv)
+		}
+	}
+	if len(res.Report.Diags) != countCode(res.Report, "BF320", verify.Warning)+countCode(res.Report, "BF321", verify.Info) {
+		t.Errorf("unexpected non-contamination diagnostics:\n%s", res.Report)
+	}
+}
+
+// Mutation: a mix whose result provably exceeds the mixer capacity must
+// raise BF301 as an error.
+func TestOvercapacityMixFires(t *testing.T) {
+	res := analyzeScript(t, mixScript, Config{MixerCapacityUL: 15})
+	if countCode(res.Report, "BF301", verify.Error) == 0 {
+		t.Errorf("no BF301 error for 20 µL mix with 15 µL capacity:\n%s", res.Report)
+	}
+	// The default capacity accommodates the same mix.
+	res = analyzeScript(t, mixScript, Config{})
+	if len(res.Report.ByCode("BF301")) != 0 {
+		t.Errorf("spurious BF301 at default capacity:\n%s", res.Report)
+	}
+}
+
+// Mutation: split children that provably fall below the reliable minimum
+// volume must raise BF302 as an error.
+func TestUnderfillSplitFires(t *testing.T) {
+	const src = `
+fluid Water 10
+container a
+container b
+measure Water into a
+split a into b
+drain a out1
+drain b out2
+`
+	res := analyzeScript(t, src, Config{MinVolumeUL: 6})
+	if countCode(res.Report, "BF302", verify.Error) == 0 {
+		t.Errorf("no BF302 error for 5 µL split children with 6 µL minimum:\n%s", res.Report)
+	}
+	res = analyzeScript(t, src, Config{})
+	if len(res.Report.ByCode("BF302")) != 0 {
+		t.Errorf("spurious BF302 at default minimum:\n%s", res.Report)
+	}
+}
+
+func TestTargetConcentration(t *testing.T) {
+	// 0.5 is reachable; 0.9 provably is not.
+	res := analyzeScript(t, mixScript, Config{Targets: []Target{{Reagent: "A", Fraction: 0.5, Tolerance: 0.01}}})
+	if len(res.Report.ByCode("BF303")) != 0 {
+		t.Errorf("reachable target flagged:\n%s", res.Report)
+	}
+	res = analyzeScript(t, mixScript, Config{Targets: []Target{{Reagent: "A", Fraction: 0.9, Tolerance: 0.01}}})
+	if countCode(res.Report, "BF303", verify.Error) == 0 {
+		t.Errorf("no BF303 error for unreachable 0.9 target:\n%s", res.Report)
+	}
+}
+
+func TestLoopBoundExactPCR(t *testing.T) {
+	a := assays.ByName("PCR")
+	g, err := a.Build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := biocoder.CompileGraph(g, arch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Timing
+	if tb == nil {
+		t.Fatal("no timing bounds")
+	}
+	if tb.Unbounded {
+		t.Error("PCR marked unbounded")
+	}
+	if len(tb.Loops) != 1 || !tb.Loops[0].Exact || tb.Loops[0].Upper != 10 || tb.Loops[0].Lower != 10 {
+		t.Errorf("loops = %+v, want one exact 10..10", tb.Loops)
+	}
+	if tb.BestCycles != tb.WorstCycles {
+		t.Errorf("deterministic assay has best %d != worst %d", tb.BestCycles, tb.WorstCycles)
+	}
+	if len(res.Report.ByCode("BF310")) != 0 {
+		t.Errorf("spurious BF310:\n%s", res.Report)
+	}
+}
+
+// Mutation: a loop governed only by a sensor reading has no derivable
+// bound and must raise BF310, falling back to the assumed bound.
+func TestUnboundedLoopFires(t *testing.T) {
+	const src = `
+fluid Sample 10
+container t
+measure Sample into t
+let amp = 1
+while amp > 0.3 {
+  heat t at 95 for 10s
+  detect t -> amp for 1s
+}
+drain t out
+`
+	res := analyzeScript(t, src, Config{AssumedLoopBound: 7})
+	if countCode(res.Report, "BF310", verify.Warning) == 0 {
+		t.Fatalf("no BF310 warning for sensor-bound loop:\n%s", res.Report)
+	}
+	tb := res.Timing
+	if tb == nil || !tb.Unbounded {
+		t.Fatalf("timing = %+v, want Unbounded", tb)
+	}
+	if len(tb.Loops) != 1 || !tb.Loops[0].Assumed || tb.Loops[0].Upper != 7 {
+		t.Errorf("loops = %+v, want one assumed bound of 7", tb.Loops)
+	}
+}
+
+func TestCounterBoundedWhile(t *testing.T) {
+	// Probabilistic PCR: `while cycles < 10 && amp > 0.3` with cycles
+	// stepping by 2 — bounded by the counter conjunct at 5, inexact.
+	a := assays.ByName("Probabilistic PCR")
+	g, err := a.Build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := biocoder.CompileGraph(g, arch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Timing
+	if tb == nil || tb.Unbounded {
+		t.Fatalf("timing = %+v, want bounded", tb)
+	}
+	if len(tb.Loops) != 1 || tb.Loops[0].Exact || tb.Loops[0].Upper != 5 || tb.Loops[0].Lower != 0 {
+		t.Errorf("loops = %+v, want one inexact 0..5", tb.Loops)
+	}
+	if tb.BestCycles >= tb.WorstCycles {
+		t.Errorf("best %d should be below worst %d for a conditional loop", tb.BestCycles, tb.WorstCycles)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	a := assays.ByName("PCR") // deterministic, ~11m40s
+	g, err := a.Build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := biocoder.CompileGraph(g, arch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &verify.Unit{Graph: prog.Graph, Exec: prog.Executable}
+
+	res, err := Analyze(unit, Config{Deadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countCode(res.Report, "BF312", verify.Error) == 0 {
+		t.Errorf("no BF312 error for a 1m deadline on an ~11m assay:\n%s", res.Report)
+	}
+	res, err = Analyze(unit, Config{Deadline: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.ByCode("BF312")) != 0 {
+		t.Errorf("spurious BF312 for a 1h deadline:\n%s", res.Report)
+	}
+
+	// A deadline between best and worst is a warning, not an error.
+	b := assays.ByName("Probabilistic PCR")
+	g, err = b.Build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err = biocoder.CompileGraph(g, arch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Analyze(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable}, Config{Deadline: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countCode(res.Report, "BF312", verify.Warning) == 0 || countCode(res.Report, "BF312", verify.Error) != 0 {
+		t.Errorf("want BF312 warning only for a mid-bracket deadline:\n%s", res.Report)
+	}
+}
+
+// Every simulated execution must land inside the static timing bracket.
+func TestSimulationWithinBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus simulation is slow")
+	}
+	for _, a := range assays.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Analyze(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable}, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb := res.Timing
+			if tb == nil {
+				t.Fatal("no timing bounds")
+			}
+			scenarios := a.Scenarios
+			for _, sc := range scenarios {
+				model := sensor.NewScripted(sc.Script)
+				model.Fallback = sensor.NewUniform(1)
+				run, err := prog.Run(biocoder.RunOptions{Sensors: model})
+				if err != nil {
+					t.Fatalf("%s: %v", sc.Name, err)
+				}
+				if run.Cycles < tb.BestCycles || run.Cycles > tb.WorstCycles {
+					t.Errorf("%s: simulated %d cycles outside static bracket [%d, %d]",
+						sc.Name, run.Cycles, tb.BestCycles, tb.WorstCycles)
+				}
+			}
+		})
+	}
+}
+
+// Mutation: an irreducible flow graph defeats natural-loop analysis and
+// must raise BF311 instead of fabricating bounds.
+func TestIrreducibleFlowFires(t *testing.T) {
+	g := cfg.New()
+	a := g.NewBlock("a")
+	b := g.NewBlock("b")
+	c := g.NewBlock("c")
+	d := g.NewBlock("d")
+	g.AddEdge(g.Entry, c)
+	c.Branch = ir.Cmp("x", ir.Lt, 1)
+	g.AddEdge(c, a)
+	g.AddEdge(c, b)
+	g.AddEdge(a, b)
+	g.AddEdge(b, d)
+	d.Branch = ir.Cmp("x", ir.Lt, 2)
+	g.AddEdge(d, a)
+	g.AddEdge(d, g.Exit)
+	exec := &codegen.Executable{
+		Graph:  g,
+		Blocks: map[int]*codegen.BlockCode{},
+		Edges:  map[[2]int]*codegen.EdgeCode{},
+	}
+	res, err := Analyze(&verify.Unit{Graph: g, Exec: exec, Chip: arch.Default()}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countCode(res.Report, "BF311", verify.Warning) == 0 {
+		t.Errorf("no BF311 for an irreducible graph:\n%s", res.Report)
+	}
+	if res.Timing != nil {
+		t.Errorf("timing bounds fabricated for an irreducible graph: %+v", res.Timing)
+	}
+}
+
+// Mutation: two reagent classes crossing the same electrode with no wash in
+// between must raise BF320; a planned wash tour covering the crossing
+// suppresses it.
+func TestContaminationHazardAndWashSuppression(t *testing.T) {
+	a := assays.ByName("PCR")
+	g, err := a.Build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := arch.Default()
+	prog, err := biocoder.CompileGraph(g, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &verify.Unit{Graph: prog.Graph, Exec: prog.Executable}
+
+	res, err := Analyze(unit, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hazards) == 0 {
+		t.Fatal("no contamination hazards found for unwashed PCR")
+	}
+	if countCode(res.Report, "BF320", verify.Warning) != len(res.Hazards) {
+		t.Errorf("BF320 warnings %d != hazards %d", countCode(res.Report, "BF320", verify.Warning), len(res.Hazards))
+	}
+	if len(res.Suggestions) == 0 {
+		t.Fatal("no wash suggestions for hazardous crossings")
+	}
+	if countCode(res.Report, "BF321", verify.Info) != len(res.Suggestions) {
+		t.Errorf("BF321 infos %d != suggestions %d", countCode(res.Report, "BF321", verify.Info), len(res.Suggestions))
+	}
+
+	// Plan a wash over every hazardous cell and re-analyze: all hazards
+	// must be scrubbed.
+	var dirty []arch.Point
+	for _, s := range res.Suggestions {
+		dirty = append(dirty, s.Cells...)
+	}
+	tour, err := wash.Plan(chip, dirty, nil)
+	if err != nil {
+		t.Fatalf("wash plan: %v", err)
+	}
+	if len(tour.Skipped) != 0 {
+		t.Fatalf("wash tour skipped cells: %v", tour.Skipped)
+	}
+	res, err = Analyze(unit, Config{Washes: []*wash.Tour{tour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hazards) != 0 {
+		t.Errorf("hazards survive a covering wash tour: %+v", res.Hazards)
+	}
+	if len(res.Report.ByCode("BF320")) != 0 {
+		t.Errorf("BF320 survives a covering wash tour:\n%s", res.Report)
+	}
+}
+
+func TestReplayTouchesNonEmpty(t *testing.T) {
+	a := assays.ByName("PCR")
+	g, err := a.Build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := biocoder.CompileGraph(g, arch.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, edges := verify.ReplayTouches(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable})
+	total := 0
+	for _, ts := range blocks {
+		total += len(ts)
+	}
+	if total == 0 {
+		t.Error("no block touches recorded")
+	}
+	moved := 0
+	for _, ts := range edges {
+		moved += len(ts)
+	}
+	if moved == 0 {
+		t.Error("no edge touches recorded (PCR has transport edges)")
+	}
+}

@@ -1,0 +1,350 @@
+package analysis
+
+// Cross-contamination analysis. A droplet sliding over an electrode leaves
+// trace residue of its reagents; a later droplet crossing the same electrode
+// absorbs it. That is harmless between droplets of the same lineage (a
+// renamed, split or merged droplet already contains everything its ancestors
+// carried) but hazardous when the residue holds reagents foreign to the
+// later droplet — the cyber-physical failure mode that motivates wash
+// droplets (paper §5).
+//
+// The analysis composes three ingredients. (1) Reagent classes per fluid
+// version, a fixpoint over the CFG (dispense introduces its fluid type, mix
+// unions, split/heat/sense/store preserve, φ unions across predecessors).
+// (2) Electrode-touch histories per block and per edge from the symbolic
+// replay (verify.ReplayTouches) — the actual routed footprints, not the
+// module rectangles. (3) The execution order of activation sequences: block
+// a runs before edge (a,b) runs before block b; reachability over that
+// order decides which touch pairs can happen in sequence on a real run.
+// Every hazardous crossing not scrubbed by a planned wash tour becomes a
+// BF320 warning, and feasible wash insertions are suggested as BF321 infos.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+	"biocoder/internal/verify"
+	"biocoder/internal/wash"
+)
+
+// Hazard is one cross-contamination finding: droplet Victim crosses a cell
+// where droplet Carrier earlier left residue of reagents foreign to Victim.
+type Hazard struct {
+	// Carrier left the residue; Victim picks it up.
+	Carrier, Victim ir.FluidID
+	// Reagents are the foreign reagent classes transferred, sorted.
+	Reagents []string
+	// Cell is one electrode where the crossing happens; Cells counts how
+	// many distinct electrodes this carrier/victim pair shares.
+	Cell  arch.Point
+	Cells int
+	// CarrierScope and VictimScope name the sequences ("block x",
+	// "edge a->b") in which each droplet touches the shared electrodes.
+	CarrierScope, VictimScope string
+}
+
+// WashSuggestion proposes one wash insertion point: after the named
+// sequence, a wash tour over the listed cells removes every residue that
+// sequence contributes to downstream hazards.
+type WashSuggestion struct {
+	// After names the sequence whose residue the wash scrubs.
+	After string
+	// Cells are the hazardous electrodes to cover, sorted.
+	Cells []arch.Point
+	// TourCycles is the planned tour length (wash.Plan on the chip).
+	TourCycles int
+}
+
+// seqNode identifies one activation sequence in execution order: a block
+// or an edge.
+type seqNode struct {
+	scope string
+	succs []*seqNode
+	// touches per cell, in replay order.
+	byCell map[arch.Point][]verify.Touch
+}
+
+// analyzeContamination runs the full cross-contamination analysis, emitting
+// BF320/BF321, and returns the hazards and suggestions.
+func analyzeContamination(u *verify.Unit, conf Config, rep *reporter) ([]Hazard, []WashSuggestion) {
+	g := u.Graph
+	if u.Exec == nil || g == nil || u.Chip == nil {
+		return nil, nil
+	}
+	reagents := reagentSets(g)
+	blockTouch, edgeTouch := verify.ReplayTouches(u)
+
+	// Execution-order graph over sequences.
+	nodes := map[string]*seqNode{}
+	blockNode := map[int]*seqNode{}
+	mk := func(scope string, touches []verify.Touch) *seqNode {
+		n := &seqNode{scope: scope, byCell: map[arch.Point][]verify.Touch{}}
+		for _, t := range touches {
+			n.byCell[t.Cell] = append(n.byCell[t.Cell], t)
+		}
+		nodes[scope] = n
+		return n
+	}
+	for _, b := range g.Blocks {
+		blockNode[b.ID] = mk("block "+b.Label, blockTouch[b.ID])
+	}
+	for _, e := range g.Edges() {
+		en := mk(fmt.Sprintf("edge %s->%s", e.From.Label, e.To.Label), edgeTouch[[2]int{e.From.ID, e.To.ID}])
+		blockNode[e.From.ID].succs = append(blockNode[e.From.ID].succs, en)
+		en.succs = append(en.succs, blockNode[e.To.ID])
+	}
+	reach := reachability(nodes)
+
+	washed := washedCells(conf.Washes)
+
+	// Find every hazardous ordered crossing, aggregated per carrier/victim
+	// pair.
+	type pairKey struct{ carrier, victim ir.FluidID }
+	type pairAgg struct {
+		reagents map[string]bool
+		cells    map[arch.Point]bool
+		first    Hazard
+	}
+	pairs := map[pairKey]*pairAgg{}
+	// carrierCells groups hazardous cells by the scope leaving the residue,
+	// for wash suggestions.
+	carrierCells := map[string]map[arch.Point]bool{}
+
+	scopes := sortedScopes(nodes)
+	for _, s1 := range scopes {
+		n1 := nodes[s1]
+		for _, s2 := range scopes {
+			n2 := nodes[s2]
+			sameSeq := n1 == n2
+			if !sameSeq && !reach[s1][s2] {
+				continue
+			}
+			selfLoop := reach[s1][s1]
+			for cell, ts1 := range n1.byCell {
+				if washed[cell] {
+					continue
+				}
+				ts2, ok := n2.byCell[cell]
+				if !ok {
+					continue
+				}
+				for _, t1 := range ts1 {
+					for _, t2 := range ts2 {
+						if t1.Fluid == t2.Fluid {
+							continue
+						}
+						if sameSeq && t2.Cycle <= t1.Cycle && !selfLoop {
+							continue
+						}
+						foreign := subtract(reagents[t1.Fluid], reagents[t2.Fluid])
+						if len(foreign) == 0 {
+							continue
+						}
+						k := pairKey{t1.Fluid, t2.Fluid}
+						agg := pairs[k]
+						if agg == nil {
+							agg = &pairAgg{reagents: map[string]bool{}, cells: map[arch.Point]bool{}}
+							agg.first = Hazard{
+								Carrier: t1.Fluid, Victim: t2.Fluid,
+								Cell: cell, CarrierScope: s1, VictimScope: s2,
+							}
+							pairs[k] = agg
+						}
+						for _, r := range foreign {
+							agg.reagents[r] = true
+						}
+						agg.cells[cell] = true
+						cc := carrierCells[s1]
+						if cc == nil {
+							cc = map[arch.Point]bool{}
+							carrierCells[s1] = cc
+						}
+						cc[cell] = true
+					}
+				}
+			}
+		}
+	}
+
+	var hazards []Hazard
+	for _, agg := range pairs {
+		h := agg.first
+		h.Reagents = sortedKeys(agg.reagents)
+		h.Cells = len(agg.cells)
+		hazards = append(hazards, h)
+	}
+	sort.Slice(hazards, func(i, j int) bool {
+		a, b := hazards[i], hazards[j]
+		if a.CarrierScope != b.CarrierScope {
+			return a.CarrierScope < b.CarrierScope
+		}
+		if a.Carrier != b.Carrier {
+			return a.Carrier.String() < b.Carrier.String()
+		}
+		return a.Victim.String() < b.Victim.String()
+	})
+	for _, h := range hazards {
+		rep.warnf("BF320", verify.Pos{Scope: h.VictimScope, InstrID: -1, Cycle: -1, Cell: h.Cell, HasCell: true},
+			"cross-contamination hazard: droplet %s crosses %d electrode(s) carrying unwashed residue of %s from droplet %s (%s)",
+			h.Victim, h.Cells, strings.Join(h.Reagents, ", "), h.Carrier, h.CarrierScope)
+	}
+
+	var suggestions []WashSuggestion
+	for _, scope := range sortedKeys2(carrierCells) {
+		cells := make([]arch.Point, 0, len(carrierCells[scope]))
+		for c := range carrierCells[scope] {
+			cells = append(cells, c)
+		}
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].Y != cells[j].Y {
+				return cells[i].Y < cells[j].Y
+			}
+			return cells[i].X < cells[j].X
+		})
+		sug := WashSuggestion{After: scope, Cells: cells}
+		if tour, err := wash.Plan(u.Chip, cells, nil); err == nil && len(tour.Skipped) == 0 {
+			sug.TourCycles = tour.Cycles()
+			rep.infof("BF321", verify.Pos{Scope: scope, InstrID: -1, Cycle: -1},
+				"suggest wash after %s covering %d residue cell(s); a tour of %d cycles scrubs them",
+				scope, len(cells), sug.TourCycles)
+		} else {
+			rep.infof("BF321", verify.Pos{Scope: scope, InstrID: -1, Cycle: -1},
+				"suggest wash after %s covering %d residue cell(s); no full tour is feasible on this chip",
+				scope, len(cells))
+		}
+		suggestions = append(suggestions, sug)
+	}
+	return hazards, suggestions
+}
+
+// reagentSets computes, for every fluid version in the graph, the set of
+// reagent classes it can carry — a may-analysis fixpoint over def-use and φ
+// relations.
+func reagentSets(g *cfg.Graph) map[ir.FluidID]map[string]bool {
+	sets := map[ir.FluidID]map[string]bool{}
+	add := func(f ir.FluidID, rs map[string]bool) bool {
+		s := sets[f]
+		if s == nil {
+			s = map[string]bool{}
+			sets[f] = s
+		}
+		changed := false
+		for r := range rs {
+			if !s[r] {
+				s[r] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			for _, phi := range b.Phis {
+				for _, src := range phi.Srcs {
+					if add(phi.Dst, sets[src]) {
+						changed = true
+					}
+				}
+			}
+			for _, in := range b.Instrs {
+				switch in.Kind {
+				case ir.Dispense:
+					for _, res := range in.Results {
+						if add(res, map[string]bool{in.FluidType: true}) {
+							changed = true
+						}
+					}
+				case ir.Mix, ir.Split, ir.Heat, ir.Sense, ir.Store:
+					for _, res := range in.Results {
+						for _, a := range in.Args {
+							if add(res, sets[a]) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return sets
+}
+
+// reachability returns, per sequence, the set of sequences that can run
+// after it (transitive closure over the execution-order graph; a node on a
+// cycle reaches itself).
+func reachability(nodes map[string]*seqNode) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for scope, n := range nodes {
+		seen := map[string]bool{}
+		stack := append([]*seqNode{}, n.succs...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur.scope] {
+				continue
+			}
+			seen[cur.scope] = true
+			stack = append(stack, cur.succs...)
+		}
+		out[scope] = seen
+	}
+	return out
+}
+
+// washedCells collects every cell covered by the configured wash tours.
+func washedCells(tours []*wash.Tour) map[arch.Point]bool {
+	washed := map[arch.Point]bool{}
+	for _, t := range tours {
+		if t == nil {
+			continue
+		}
+		for _, p := range t.Path {
+			washed[p] = true
+		}
+	}
+	return washed
+}
+
+// subtract returns the sorted elements of a not in b.
+func subtract(a, b map[string]bool) []string {
+	var out []string
+	for r := range a {
+		if !b[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedScopes(nodes map[string]*seqNode) []string {
+	out := make([]string, 0, len(nodes))
+	for s := range nodes {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]map[arch.Point]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

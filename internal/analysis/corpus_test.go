@@ -1,0 +1,102 @@
+// The analysis clean-corpus gate: every bundled benchmark assay and every
+// BioScript file under internal/assays/scripts must come out of the
+// abstract-interpretation analyses with zero error-severity diagnostics and
+// a derived bound for every loop. Contamination warnings (BF320/BF321) are
+// expected — the corpus compiles without wash tours — but anything the
+// analyses can prove wrong (overfilled mixer, missed deadline, irreducible
+// flow) fails the gate.
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/analysis"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/cfg"
+	"biocoder/internal/verify"
+)
+
+// analyzeClean compiles the graph (with and without edge folding) and
+// requires an error-free analysis with bounded timing at every stage.
+func analyzeClean(t *testing.T, name string, build func() (*cfg.Graph, error)) {
+	t.Helper()
+	for _, variant := range []struct {
+		name string
+		opt  biocoder.Options
+	}{
+		{"default", biocoder.Options{}},
+		{"folded", biocoder.Options{FoldEdges: true}},
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		prog, err := biocoder.CompileGraphOptions(g, arch.Default(), variant.opt)
+		if err != nil {
+			t.Fatalf("%s (%s): compile: %v", name, variant.name, err)
+		}
+		res, err := analysis.Analyze(&verify.Unit{
+			Graph: prog.Graph,
+			Exec:  prog.Executable,
+		}, analysis.Config{})
+		if err != nil {
+			t.Fatalf("%s (%s): analyze: %v", name, variant.name, err)
+		}
+		if res.Report.HasErrors() {
+			t.Errorf("%s (%s): analysis reports errors:\n%s", name, variant.name, res.Report)
+		}
+		if res.Timing == nil {
+			t.Errorf("%s (%s): no static timing bounds", name, variant.name)
+		} else if res.Timing.Unbounded {
+			t.Errorf("%s (%s): loop bound not derivable: %+v", name, variant.name, res.Timing.Loops)
+		}
+		if len(res.Outputs) == 0 {
+			t.Errorf("%s (%s): no output volume intervals", name, variant.name)
+		}
+	}
+}
+
+func TestAssayCorpusAnalyzesClean(t *testing.T) {
+	all := assays.All()
+	if len(all) == 0 {
+		t.Fatal("no benchmark assays registered")
+	}
+	for _, a := range all {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			analyzeClean(t, a.Name, func() (*cfg.Graph, error) { return a.Build().Build() })
+		})
+	}
+}
+
+func TestScriptCorpusAnalyzesClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "assays", "scripts", "*.bio"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .bio scripts found in internal/assays/scripts")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			t.Parallel()
+			analyzeClean(t, file, func() (*cfg.Graph, error) {
+				src, err := os.ReadFile(file)
+				if err != nil {
+					return nil, err
+				}
+				bs, err := biocoder.ParseScript(string(src))
+				if err != nil {
+					return nil, err
+				}
+				return bs.Build()
+			})
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Lo, Hi] over the extended reals — the base
+// lattice of the volume and concentration analyses. Lo may be -Inf and Hi
+// +Inf (the widened "unknown" ends). The empty interval is not represented:
+// absence of a fluid from an abstract state stands for bottom.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Exact returns the degenerate interval [v, v].
+func Exact(v float64) Interval { return Interval{v, v} }
+
+// Range returns [lo, hi].
+func Range(lo, hi float64) Interval { return Interval{lo, hi} }
+
+// IsExact reports whether the interval pins a single finite value.
+func (iv Interval) IsExact() bool {
+	return iv.Lo == iv.Hi && !math.IsInf(iv.Lo, 0)
+}
+
+// Add returns the interval sum [Lo+o.Lo, Hi+o.Hi]. Infinite ends absorb.
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{iv.Lo + o.Lo, iv.Hi + o.Hi}
+}
+
+// Scale returns the interval scaled by k >= 0.
+func (iv Interval) Scale(k float64) Interval {
+	lo, hi := iv.Lo*k, iv.Hi*k
+	// 0 * Inf is NaN; a zero scale collapses to the point 0.
+	if k == 0 {
+		return Exact(0)
+	}
+	return Interval{lo, hi}
+}
+
+// Hull returns the smallest interval containing both iv and o (the lattice
+// join).
+func (iv Interval) Hull(o Interval) Interval {
+	return Interval{math.Min(iv.Lo, o.Lo), math.Max(iv.Hi, o.Hi)}
+}
+
+// Widen accelerates convergence: any end of next that moved past prev jumps
+// straight to the corresponding clamp bound (lo or hi, typically 0/+Inf for
+// volumes and 0/1 for concentrations).
+func (iv Interval) Widen(next Interval, lo, hi float64) Interval {
+	out := next
+	if next.Lo < iv.Lo {
+		out.Lo = lo
+	}
+	if next.Hi > iv.Hi {
+		out.Hi = hi
+	}
+	return out
+}
+
+// Clamp restricts the interval to [lo, hi].
+func (iv Interval) Clamp(lo, hi float64) Interval {
+	return Interval{math.Max(iv.Lo, lo), math.Min(iv.Hi, hi)}
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Intersects reports whether iv and o share at least one point.
+func (iv Interval) Intersects(o Interval) bool {
+	return iv.Lo <= o.Hi && o.Lo <= iv.Hi
+}
+
+func fmtEnd(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+func (iv Interval) String() string {
+	if iv.IsExact() {
+		return fmtEnd(iv.Lo)
+	}
+	return fmt.Sprintf("[%s,%s]", fmtEnd(iv.Lo), fmtEnd(iv.Hi))
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/verify"
+)
+
+// reporter accumulates the analysis diagnostics. The solver runs transfer
+// functions with a nil reporter while iterating to a fixed point; a final
+// pass over the solved in-states runs them once more with a live reporter so
+// every diagnostic is emitted exactly once, against converged intervals.
+type reporter struct {
+	diags []verify.Diag
+}
+
+const maxDiags = 2000
+
+func (r *reporter) report(sev verify.Severity, code string, pos verify.Pos, format string, args ...any) {
+	if r == nil || len(r.diags) >= maxDiags {
+		return
+	}
+	r.diags = append(r.diags, verify.Diag{Code: code, Sev: sev, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (r *reporter) errorf(code string, pos verify.Pos, format string, args ...any) {
+	r.report(verify.Error, code, pos, format, args...)
+}
+
+func (r *reporter) warnf(code string, pos verify.Pos, format string, args ...any) {
+	r.report(verify.Warning, code, pos, format, args...)
+}
+
+func (r *reporter) infof(code string, pos verify.Pos, format string, args ...any) {
+	r.report(verify.Info, code, pos, format, args...)
+}
+
+// problem is one forward dataflow problem over the CFG: a lattice of
+// abstract states S plus the transfer functions. The solver drives it to a
+// fixed point with a worklist in reverse postorder, widening the out-state
+// of any block revisited more than widenAfter times so loop-carried chains
+// (volumes that grow every iteration) converge.
+type problem[S any] interface {
+	// bottom is the state of an unreached block (the lattice bottom).
+	bottom() S
+	// boundary is the state at the graph entry.
+	boundary() S
+	// join computes the least upper bound of two states.
+	join(a, b S) S
+	// widen accelerates convergence: next is the freshly computed state,
+	// prev the previous one; any part of next that grew past prev must
+	// jump toward top.
+	widen(prev, next S) S
+	// equal reports whether two states are indistinguishable.
+	equal(a, b S) bool
+	// transfer computes the block's out-state from its in-state. rep is
+	// nil during fixed-point iteration and non-nil on the final reporting
+	// pass.
+	transfer(b *cfg.Block, in S, rep *reporter) S
+	// edgeState adapts from's out-state for the edge into to (φ renaming
+	// after SSI conversion; identity pre-SSI).
+	edgeState(from, to *cfg.Block, out S) S
+}
+
+// widenAfter is the number of visits after which a block's out-state is
+// widened instead of joined exactly.
+const widenAfter = 4
+
+// solution holds the fixed point: the abstract state at every block's entry
+// and exit.
+type solution[S any] struct {
+	in, out map[int]S
+}
+
+// solve runs the worklist algorithm to a fixed point.
+func solve[S any](g *cfg.Graph, p problem[S]) *solution[S] {
+	rpo := g.ReversePostorder()
+	order := make(map[int]int, len(rpo))
+	for i, b := range rpo {
+		order[b.ID] = i
+	}
+	sol := &solution[S]{in: map[int]S{}, out: map[int]S{}}
+	for _, b := range g.Blocks {
+		sol.out[b.ID] = p.bottom()
+	}
+	reached := map[int]bool{g.Entry.ID: true}
+	visits := map[int]int{}
+	inList := map[int]bool{}
+	work := make([]*cfg.Block, len(rpo))
+	copy(work, rpo)
+	for _, b := range work {
+		inList[b.ID] = true
+	}
+	// Hard cap: widening guarantees convergence, but a buggy transfer
+	// function must degrade into a partial result, not an infinite loop.
+	budget := (widenAfter + 8) * (len(g.Blocks) + 1) * (len(g.Blocks) + 1)
+	for len(work) > 0 && budget > 0 {
+		budget--
+		// Pop the earliest block in reverse postorder.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if order[work[i].ID] < order[work[best].ID] {
+				best = i
+			}
+		}
+		b := work[best]
+		work = append(work[:best], work[best+1:]...)
+		inList[b.ID] = false
+
+		in := p.bottom()
+		if b == g.Entry {
+			in = p.boundary()
+		}
+		for _, pred := range b.Preds {
+			if !reached[pred.ID] {
+				continue
+			}
+			in = p.join(in, p.edgeState(pred, b, sol.out[pred.ID]))
+		}
+		sol.in[b.ID] = in
+		next := p.transfer(b, in, nil)
+		visits[b.ID]++
+		if visits[b.ID] > widenAfter {
+			next = p.widen(sol.out[b.ID], next)
+		}
+		// An unchanged out-state needs no successor revisit — except on
+		// the first visit, which must seed them.
+		if visits[b.ID] > 1 && p.equal(sol.out[b.ID], next) {
+			continue
+		}
+		sol.out[b.ID] = next
+		for _, s := range b.Succs {
+			reached[s.ID] = true
+			if !inList[s.ID] {
+				inList[s.ID] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return sol
+}

@@ -1,0 +1,648 @@
+package analysis
+
+// Static timing bounds. Each compiled block and edge carries an activation
+// sequence with a fixed cycle count — the Δ sequences ARE the block/edge
+// weights. What remains is pure CFG path analysis: find the natural loops,
+// bound their trip counts from the branch conditions (the compiler lowers
+// `loop n` to a fresh counter with a constant init, a constant step, and a
+// comparison against a constant, all of which are recognized here; `while`
+// loops over sensor readings have no static bound and fall back to
+// Config.AssumedLoopBound with a BF310 warning), collapse the loops
+// innermost-first into supernodes, and take the longest/shortest path
+// through the remaining DAG. The result brackets every possible execution:
+// best <= simulated cycles <= worst for any run whose loops respect the
+// bounds.
+
+import (
+	"math"
+	"time"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+	"biocoder/internal/verify"
+)
+
+// LoopBound describes one natural loop and the trip-count bounds the
+// analysis derived for it. Bounds count body executions.
+type LoopBound struct {
+	// Header is the label of the loop header block.
+	Header string
+	// Lower and Upper bound the trip count.
+	Lower, Upper int
+	// Exact reports that the loop provably runs exactly Upper times.
+	Exact bool
+	// Assumed reports that no bound was derivable and Upper is
+	// Config.AssumedLoopBound (BF310 was emitted).
+	Assumed bool
+}
+
+// TimingBounds is the static best/worst-case execution time of a compiled
+// bioassay.
+type TimingBounds struct {
+	// BestCycles and WorstCycles bound the total electrode-actuation cycle
+	// count over all CFG paths consistent with the loop bounds.
+	BestCycles, WorstCycles int
+	// Best and Worst are the cycle bounds scaled by the chip's cycle period.
+	Best, Worst time.Duration
+	// Unbounded reports that at least one loop bound was assumed rather
+	// than derived, so WorstCycles is relative to AssumedLoopBound.
+	Unbounded bool
+	// Loops lists every natural loop with its bounds, in header RPO order.
+	Loops []LoopBound
+}
+
+// bw is a (best, worst) cycle-weight pair for a collapsed node or edge.
+type bw struct{ best, worst float64 }
+
+// natLoop is one natural loop: the header and the set of member block IDs.
+type natLoop struct {
+	header  *cfg.Block
+	blocks  map[int]bool
+	latches map[int]bool
+}
+
+// analyzeTiming computes TimingBounds for the unit's executable, emitting
+// BF310 (underivable loop bound), BF311 (irreducible flow) and BF312
+// (deadline violation). Returns nil when the CFG is irreducible.
+func analyzeTiming(u *verify.Unit, conf Config, rep *reporter) *TimingBounds {
+	ex := u.Exec
+	g := u.Graph
+	if ex == nil || g == nil || g.Entry == nil || g.Exit == nil {
+		return nil
+	}
+	rpo := g.ReversePostorder()
+	order := map[int]int{}
+	for i, b := range rpo {
+		order[b.ID] = i
+	}
+	idom := dominators(rpo, order)
+
+	// Classify edges. A retreating edge whose target does not dominate its
+	// source makes the flow graph irreducible: no natural-loop structure,
+	// no bound.
+	loops := map[int]*natLoop{} // header ID -> loop
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			if _, ok := order[s.ID]; !ok {
+				continue
+			}
+			if order[s.ID] > order[b.ID] {
+				continue // forward edge
+			}
+			if !dominates(idom, order, s.ID, b.ID) {
+				rep.warnf("BF311", verify.Pos{Scope: "block " + b.Label, InstrID: -1, Cycle: -1},
+					"irreducible control flow: retreating edge %s->%s has no dominating loop header; timing bounds are not computable",
+					b.Label, s.Label)
+				return nil
+			}
+			l := loops[s.ID]
+			if l == nil {
+				l = &natLoop{header: s, blocks: map[int]bool{s.ID: true}, latches: map[int]bool{}}
+				loops[s.ID] = l
+			}
+			l.latches[b.ID] = true
+			collectLoop(l, b)
+		}
+	}
+
+	// Node and edge weights straight from the emitted Δ sequences.
+	nodeW := map[int]bw{}
+	alive := map[int]bool{}
+	edges := map[int]map[int]bw{}
+	for _, b := range rpo {
+		alive[b.ID] = true
+		w := 0.0
+		if bc := ex.Blocks[b.ID]; bc != nil && bc.Seq != nil {
+			w = float64(bc.Seq.NumCycles)
+		}
+		nodeW[b.ID] = bw{w, w}
+		for _, s := range b.Succs {
+			if _, ok := order[s.ID]; !ok {
+				continue
+			}
+			ew := 0.0
+			if ec := ex.Edge(b, s); ec != nil && ec.Seq != nil {
+				ew = float64(ec.Seq.NumCycles)
+			}
+			addEdge(edges, b.ID, s.ID, bw{ew, ew})
+		}
+	}
+
+	// Bound every loop, then collapse innermost-first (smaller member sets
+	// are nested inside larger ones in a reducible graph).
+	headers := make([]*natLoop, 0, len(loops))
+	for _, l := range loops {
+		headers = append(headers, l)
+	}
+	for i := 0; i < len(headers); i++ {
+		for j := i + 1; j < len(headers); j++ {
+			li, lj := headers[i], headers[j]
+			if len(lj.blocks) < len(li.blocks) ||
+				(len(lj.blocks) == len(li.blocks) && order[lj.header.ID] < order[li.header.ID]) {
+				headers[i], headers[j] = headers[j], headers[i]
+			}
+		}
+	}
+
+	res := &TimingBounds{}
+	for _, l := range headers {
+		lb, ub, exact, ok := loopBound(g, l)
+		assumed := false
+		if !ok {
+			rep.warnf("BF310", verify.Pos{Scope: "block " + l.header.Label, InstrID: -1, Cycle: -1},
+				"loop at %s has no statically derivable iteration bound; worst case assumes %d iterations",
+				l.header.Label, conf.AssumedLoopBound)
+			lb, ub, assumed = 0, conf.AssumedLoopBound, true
+			res.Unbounded = true
+		}
+		res.Loops = append(res.Loops, LoopBound{
+			Header: l.header.Label, Lower: lb, Upper: ub, Exact: exact, Assumed: assumed,
+		})
+		collapseLoop(l, lb, ub, order, alive, nodeW, edges)
+	}
+	// Loops were collapsed innermost-first; report them in header order.
+	for i := 0; i < len(res.Loops); i++ {
+		for j := i + 1; j < len(res.Loops); j++ {
+			if res.Loops[j].Header < res.Loops[i].Header {
+				res.Loops[i], res.Loops[j] = res.Loops[j], res.Loops[i]
+			}
+		}
+	}
+
+	// The collapsed graph is a DAG and RPO restricted to surviving nodes is
+	// a topological order of it.
+	best := map[int]float64{}
+	worst := map[int]float64{}
+	for _, b := range rpo {
+		if !alive[b.ID] {
+			continue
+		}
+		if b == g.Entry {
+			best[b.ID], worst[b.ID] = nodeW[b.ID].best, nodeW[b.ID].worst
+		}
+		bIn, ok := best[b.ID]
+		if !ok {
+			continue // unreachable after collapse (cannot happen in valid graphs)
+		}
+		wIn := worst[b.ID]
+		for to, ew := range edges[b.ID] {
+			if !alive[to] {
+				continue
+			}
+			cb := bIn + ew.best + nodeW[to].best
+			cw := wIn + ew.worst + nodeW[to].worst
+			if old, ok := best[to]; !ok || cb < old {
+				best[to] = cb
+			}
+			if old, ok := worst[to]; !ok || cw > old {
+				worst[to] = cw
+			}
+		}
+	}
+	if _, ok := best[g.Exit.ID]; !ok {
+		return nil
+	}
+	res.BestCycles = int(math.Round(best[g.Exit.ID]))
+	res.WorstCycles = int(math.Round(worst[g.Exit.ID]))
+	if u.Chip != nil {
+		res.Best = u.Chip.Duration(res.BestCycles)
+		res.Worst = u.Chip.Duration(res.WorstCycles)
+	}
+
+	if conf.Deadline > 0 && u.Chip != nil {
+		switch {
+		case res.Best > conf.Deadline:
+			rep.errorf("BF312", verify.NoPos,
+				"deadline violated on every path: best-case assay time %v exceeds the deadline %v", res.Best, conf.Deadline)
+		case res.Worst > conf.Deadline:
+			rep.warnf("BF312", verify.NoPos,
+				"deadline may be violated: worst-case assay time %v exceeds the deadline %v (best case %v)",
+				res.Worst, conf.Deadline, res.Best)
+		}
+	}
+	return res
+}
+
+// dominators computes immediate dominators over the reachable blocks with
+// the iterative RPO algorithm (Cooper, Harvey, Kennedy).
+func dominators(rpo []*cfg.Block, order map[int]int) map[int]int {
+	idom := map[int]int{}
+	if len(rpo) == 0 {
+		return idom
+	}
+	entry := rpo[0]
+	idom[entry.ID] = entry.ID
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			newIdom := -1
+			for _, p := range b.Preds {
+				if _, ok := idom[p.ID]; !ok {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p.ID
+				} else {
+					newIdom = intersect(newIdom, p.ID)
+				}
+			}
+			if old, ok := idom[b.ID]; newIdom >= 0 && (!ok || old != newIdom) {
+				idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominates reports whether block a dominates block b.
+func dominates(idom map[int]int, order map[int]int, a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// collectLoop grows the natural loop of a back edge: every block that
+// reaches the latch without passing through the header belongs to the loop.
+func collectLoop(l *natLoop, latch *cfg.Block) {
+	if l.blocks[latch.ID] {
+		return
+	}
+	l.blocks[latch.ID] = true
+	stack := []*cfg.Block{latch}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range b.Preds {
+			if !l.blocks[p.ID] {
+				l.blocks[p.ID] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// collapseLoop replaces the loop's members with a single supernode at the
+// header. The supernode's weight is the cost of the bounded iterations; the
+// cost of the final partial pass from the header to each exit point is
+// folded into the corresponding exit edge.
+func collapseLoop(l *natLoop, lb, ub int, order map[int]int, alive map[int]bool, nodeW map[int]bw, edges map[int]map[int]bw) {
+	h := l.header.ID
+	members := make([]int, 0, len(l.blocks))
+	for id := range l.blocks {
+		if alive[id] {
+			members = append(members, id)
+		}
+	}
+	// Internal best/worst path costs from the header, over members in RPO
+	// (back edges into the header excluded, so this walks a DAG).
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if order[members[j]] < order[members[i]] {
+				members[i], members[j] = members[j], members[i]
+			}
+		}
+	}
+	path := map[int]bw{h: nodeW[h]}
+	for _, id := range members {
+		p, ok := path[id]
+		if !ok {
+			continue
+		}
+		for to, ew := range edges[id] {
+			if to == h || !l.blocks[to] || !alive[to] {
+				continue
+			}
+			cb := p.best + ew.best + nodeW[to].best
+			cw := p.worst + ew.worst + nodeW[to].worst
+			if old, ok := path[to]; !ok {
+				path[to] = bw{cb, cw}
+			} else {
+				path[to] = bw{math.Min(old.best, cb), math.Max(old.worst, cw)}
+			}
+		}
+	}
+	// One full iteration: header -> latch -> back edge.
+	iter := bw{math.Inf(1), 0}
+	for _, id := range members {
+		ew, ok := edges[id][h]
+		if !ok || !l.latches[id] {
+			continue
+		}
+		p, ok := path[id]
+		if !ok {
+			continue
+		}
+		iter.best = math.Min(iter.best, p.best+ew.best)
+		iter.worst = math.Max(iter.worst, p.worst+ew.worst)
+	}
+	if math.IsInf(iter.best, 1) {
+		iter.best = 0
+	}
+	// Exit edges leave from any member to outside the loop; their new
+	// weight prepends the partial pass from the header.
+	exits := map[int]bw{}
+	for _, id := range members {
+		p, ok := path[id]
+		if !ok {
+			continue
+		}
+		for to, ew := range edges[id] {
+			if l.blocks[to] {
+				continue
+			}
+			cb := p.best + ew.best
+			cw := p.worst + ew.worst
+			if old, ok := exits[to]; !ok {
+				exits[to] = bw{cb, cw}
+			} else {
+				exits[to] = bw{math.Min(old.best, cb), math.Max(old.worst, cw)}
+			}
+		}
+	}
+	// Remove the members; reinstate the header as the supernode.
+	for _, id := range members {
+		if id != h {
+			alive[id] = false
+		}
+		delete(edges, id)
+	}
+	for from, out := range edges {
+		_ = from
+		for to := range out {
+			if l.blocks[to] && to != h {
+				delete(out, to)
+			}
+		}
+	}
+	nodeW[h] = bw{float64(lb) * iter.best, float64(ub) * iter.worst}
+	edges[h] = exits
+}
+
+func addEdge(edges map[int]map[int]bw, from, to int, w bw) {
+	m := edges[from]
+	if m == nil {
+		m = map[int]bw{}
+		edges[from] = m
+	}
+	if old, ok := m[to]; ok {
+		m[to] = bw{math.Min(old.best, w.best), math.Max(old.worst, w.worst)}
+	} else {
+		m[to] = w
+	}
+}
+
+// loopBound derives trip-count bounds from the header's branch condition.
+// It recognizes the shape the compiler's own loop lowering produces — a
+// counter with one constant initialization outside the loop, one constant-
+// step update inside it, compared against a constant — and conjunctions
+// thereof. Returns lower and upper bounds on body executions, whether the
+// count is exact, and whether any bound was derivable at all.
+func loopBound(g *cfg.Graph, l *natLoop) (lb, ub int, exact, ok bool) {
+	h := l.header
+	if h.Branch == nil || len(h.Succs) != 2 {
+		return 0, 0, false, false
+	}
+	// The continue condition holds when control stays in the loop: the
+	// branch condition itself when the true successor is a member, its
+	// negation when the false successor is.
+	neg := false
+	switch {
+	case l.blocks[h.Then().ID] && !l.blocks[h.Else().ID]:
+		neg = false
+	case l.blocks[h.Else().ID] && !l.blocks[h.Then().ID]:
+		neg = true
+	default:
+		return 0, 0, false, false
+	}
+	n, exact, ok := condBound(g, l, h.Branch, neg)
+	if !ok {
+		return 0, 0, false, false
+	}
+	// An exit edge from a non-header member (a break) can end the loop
+	// before the counter runs out: the count is then only an upper bound.
+	if exact {
+	members:
+		for id := range l.blocks {
+			b := g.BlockByID(id)
+			if id == h.ID || b == nil {
+				continue
+			}
+			for _, s := range b.Succs {
+				if !l.blocks[s.ID] {
+					exact = false
+					break members
+				}
+			}
+		}
+	}
+	if exact {
+		return n, n, true, true
+	}
+	return 0, n, false, true
+}
+
+// condBound bounds the number of consecutive iterations for which the
+// continue condition e (negated when neg) can hold.
+func condBound(g *cfg.Graph, l *natLoop, e ir.Expr, neg bool) (int, bool, bool) {
+	switch x := e.(type) {
+	case ir.Const:
+		truthy := float64(x) != 0
+		if neg {
+			truthy = !truthy
+		}
+		if truthy {
+			return 0, false, false // `while true`: no bound
+		}
+		return 0, true, true // condition never holds: zero iterations
+	case *ir.Un:
+		if x.Op == ir.Not {
+			return condBound(g, l, x.X, !neg)
+		}
+	case *ir.Bin:
+		op := x.Op
+		if neg {
+			// De Morgan / comparison negation.
+			switch op {
+			case ir.And:
+				op = ir.Or
+			case ir.Or:
+				op = ir.And
+			case ir.Lt:
+				op = ir.Ge
+			case ir.Le:
+				op = ir.Gt
+			case ir.Gt:
+				op = ir.Le
+			case ir.Ge:
+				op = ir.Lt
+			case ir.Eq:
+				op = ir.Ne
+			case ir.Ne:
+				op = ir.Eq
+			}
+		}
+		childNeg := neg
+		switch op {
+		case ir.And:
+			// Continue while both hold: the first conjunct to fail ends
+			// the loop, so any bounded conjunct bounds the loop, and the
+			// count is the minimum when both are deterministic counters.
+			an, aex, aok := condBound(g, l, x.L, childNeg)
+			bn, bex, bok := condBound(g, l, x.R, childNeg)
+			switch {
+			case aok && bok:
+				if bn < an {
+					an, aex = bn, bex
+				} else if an < bn {
+					bex = aex
+				}
+				return an, aex && bex, true
+			case aok:
+				return an, false, true
+			case bok:
+				return bn, false, true
+			}
+			return 0, false, false
+		case ir.Or:
+			// Continue while either holds: both disjuncts must be bounded.
+			an, aex, aok := condBound(g, l, x.L, childNeg)
+			bn, bex, bok := condBound(g, l, x.R, childNeg)
+			if aok && bok {
+				n := an
+				if bn > n {
+					n = bn
+				}
+				return n, aex && bex && an == bn, true
+			}
+			return 0, false, false
+		case ir.Lt, ir.Le, ir.Gt, ir.Ge:
+			return comparisonBound(g, l, op, x.L, x.R)
+		}
+	}
+	return 0, false, false
+}
+
+// comparisonBound bounds a `counter OP constant` continue condition.
+func comparisonBound(g *cfg.Graph, l *natLoop, op ir.BinOp, lhs, rhs ir.Expr) (int, bool, bool) {
+	v, okv := lhs.(ir.Var)
+	c, okc := rhs.(ir.Const)
+	if !okv || !okc {
+		// Allow the mirrored form `constant OP counter`.
+		c2, okc2 := lhs.(ir.Const)
+		v2, okv2 := rhs.(ir.Var)
+		if !okc2 || !okv2 {
+			return 0, false, false
+		}
+		v, c = v2, c2
+		switch op {
+		case ir.Lt:
+			op = ir.Gt
+		case ir.Le:
+			op = ir.Ge
+		case ir.Gt:
+			op = ir.Lt
+		case ir.Ge:
+			op = ir.Le
+		}
+	}
+	init, step, ok := counterShape(g, l, string(v))
+	if !ok {
+		return 0, false, false
+	}
+	limit := float64(c)
+	var n float64
+	switch {
+	case step > 0 && op == ir.Lt:
+		n = math.Ceil((limit - init) / step)
+	case step > 0 && op == ir.Le:
+		n = math.Floor((limit-init)/step) + 1
+	case step < 0 && op == ir.Gt:
+		n = math.Ceil((init - limit) / -step)
+	case step < 0 && op == ir.Ge:
+		n = math.Floor((init-limit)/-step) + 1
+	default:
+		return 0, false, false // counter moves away from the limit: no bound
+	}
+	if n < 0 {
+		n = 0
+	}
+	return int(n), true, true
+}
+
+// counterShape recognizes a loop counter: a dry variable with exactly one
+// constant initialization outside the loop, exactly one constant-step update
+// inside it, and no other definitions (in particular no sensor writes).
+func counterShape(g *cfg.Graph, l *natLoop, name string) (init, step float64, ok bool) {
+	nInit, nStep := 0, 0
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			def := in.DryDef()
+			if def != name {
+				continue
+			}
+			if in.Kind != ir.Compute {
+				return 0, 0, false // sensor write: not a counter
+			}
+			if l.blocks[b.ID] {
+				s, sok := stepOf(in.DryExpr, name)
+				if !sok {
+					return 0, 0, false
+				}
+				step, nStep = s, nStep+1
+			} else {
+				cst, cok := in.DryExpr.(ir.Const)
+				if !cok {
+					return 0, 0, false
+				}
+				init, nInit = float64(cst), nInit+1
+			}
+		}
+	}
+	return init, step, nInit == 1 && nStep == 1 && step != 0
+}
+
+// stepOf matches the update expression `name ± const` (either operand
+// order for +) and returns the signed per-iteration step.
+func stepOf(e ir.Expr, name string) (float64, bool) {
+	b, ok := e.(*ir.Bin)
+	if !ok {
+		return 0, false
+	}
+	lv, lIsVar := b.L.(ir.Var)
+	rc, rIsConst := b.R.(ir.Const)
+	lc, lIsConst := b.L.(ir.Const)
+	rv, rIsVar := b.R.(ir.Var)
+	switch b.Op {
+	case ir.Add:
+		if lIsVar && string(lv) == name && rIsConst {
+			return float64(rc), true
+		}
+		if rIsVar && string(rv) == name && lIsConst {
+			return float64(lc), true
+		}
+	case ir.Sub:
+		if lIsVar && string(lv) == name && rIsConst {
+			return -float64(rc), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,360 @@
+package analysis
+
+// Volume and concentration interval analysis. Every fluidic variable is
+// abstracted as a droplet with a volume interval (µL) and, per reagent, a
+// concentration interval in [0,1] (the fraction of the droplet's volume
+// contributed by that reagent). Transfer functions follow the fluidic
+// arithmetic: dispense introduces a pure reagent at a known volume, mix sums
+// volumes and averages concentrations (volume-weighted when the volumes are
+// exact, interval hull otherwise — a weighted average always lies inside the
+// hull of its inputs), split halves volumes and preserves concentrations,
+// heat/sense/store preserve both. φ joins at block entries take interval
+// hulls, and loop-carried growth (e.g. PCR replenishment adding master mix
+// every iteration) is widened to [0,+inf) so the fixed point exists.
+
+import (
+	"math"
+	"sort"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+	"biocoder/internal/verify"
+)
+
+// drop is the abstract state of one droplet.
+type drop struct {
+	// Vol is the volume interval in microliters.
+	Vol Interval
+	// Conc maps reagent name to its concentration interval in [0,1].
+	// Reagents absent from the map are provably absent ([0,0]).
+	Conc map[string]Interval
+}
+
+func (d drop) clone() drop {
+	c := make(map[string]Interval, len(d.Conc))
+	for k, v := range d.Conc {
+		c[k] = v
+	}
+	return drop{Vol: d.Vol, Conc: c}
+}
+
+// Reagents returns the reagent names present in the droplet, sorted.
+func (d drop) reagents() []string {
+	out := make([]string, 0, len(d.Conc))
+	for r := range d.Conc {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// volState maps each live fluid version to its abstract droplet.
+type volState map[ir.FluidID]drop
+
+// OutputState reports the abstract droplet leaving the chip at one Output
+// instruction — the analysis' prediction of the product.
+type OutputState struct {
+	Block   string
+	InstrID int
+	Port    string
+	Vol     Interval
+	Conc    map[string]Interval
+}
+
+// volProblem implements the dataflow problem; outputs accumulate only
+// during the reporting pass so the fixed-point iterations stay pure.
+type volProblem struct {
+	conf    Config
+	outputs *[]OutputState
+}
+
+func (p *volProblem) bottom() volState   { return nil }
+func (p *volProblem) boundary() volState { return volState{} }
+
+func (p *volProblem) join(a, b volState) volState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := volState{}
+	for f, d := range a {
+		if e, ok := b[f]; ok {
+			out[f] = joinDrop(d, e)
+		} else {
+			out[f] = d
+		}
+	}
+	for f, e := range b {
+		if _, ok := a[f]; !ok {
+			out[f] = e
+		}
+	}
+	return out
+}
+
+func joinDrop(a, b drop) drop {
+	out := drop{Vol: a.Vol.Hull(b.Vol), Conc: map[string]Interval{}}
+	zero := Exact(0)
+	for r, iv := range a.Conc {
+		o := zero
+		if biv, ok := b.Conc[r]; ok {
+			o = biv
+		}
+		out.Conc[r] = iv.Hull(o)
+	}
+	for r, iv := range b.Conc {
+		if _, ok := a.Conc[r]; !ok {
+			out.Conc[r] = zero.Hull(iv)
+		}
+	}
+	return out
+}
+
+func (p *volProblem) widen(prev, next volState) volState {
+	if prev == nil {
+		return next
+	}
+	out := volState{}
+	for f, n := range next {
+		pr, ok := prev[f]
+		if !ok {
+			out[f] = n
+			continue
+		}
+		w := drop{Vol: pr.Vol.Widen(n.Vol, 0, math.Inf(1)), Conc: map[string]Interval{}}
+		for r, iv := range n.Conc {
+			if piv, ok := pr.Conc[r]; ok {
+				w.Conc[r] = piv.Widen(iv, 0, 1)
+			} else {
+				w.Conc[r] = Range(0, 1)
+			}
+		}
+		out[f] = w
+	}
+	return out
+}
+
+func (p *volProblem) equal(a, b volState) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for f, d := range a {
+		e, ok := b[f]
+		if !ok || d.Vol != e.Vol || len(d.Conc) != len(e.Conc) {
+			return false
+		}
+		for r, iv := range d.Conc {
+			if e.Conc[r] != iv {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *volProblem) edgeState(from, to *cfg.Block, out volState) volState {
+	if len(to.Phis) == 0 {
+		return out
+	}
+	// SSI form: the edge delivers exactly the φ sources, renamed.
+	in := volState{}
+	for _, phi := range to.Phis {
+		src, ok := phi.Srcs[from.ID]
+		if !ok {
+			continue
+		}
+		if d, ok := out[src]; ok {
+			in[phi.Dst] = d
+		}
+	}
+	return in
+}
+
+func (p *volProblem) transfer(b *cfg.Block, in volState, rep *reporter) volState {
+	if in == nil {
+		return nil // unreached
+	}
+	st := volState{}
+	for f, d := range in {
+		st[f] = d
+	}
+	for _, instr := range b.Instrs {
+		p.transferInstr(b, instr, st, rep)
+	}
+	return st
+}
+
+func (p *volProblem) transferInstr(b *cfg.Block, in *ir.Instr, st volState, rep *reporter) {
+	pos := verify.Pos{Scope: "block " + b.Label, InstrID: in.ID, Cycle: -1}
+	take := func(f ir.FluidID) (drop, bool) {
+		d, ok := st[f]
+		delete(st, f)
+		return d, ok
+	}
+	switch in.Kind {
+	case ir.Dispense:
+		d := drop{Vol: Exact(in.Volume), Conc: map[string]Interval{in.FluidType: Exact(1)}}
+		if in.Volume < p.conf.MinVolumeUL {
+			rep.warnf("BF302", pos, "dispense of %q at %g µL is below the reliable minimum droplet volume %g µL",
+				in.FluidType, in.Volume, p.conf.MinVolumeUL)
+		}
+		if len(in.Results) == 1 {
+			st[in.Results[0]] = d
+		}
+	case ir.Mix:
+		args := make([]drop, 0, len(in.Args))
+		known := true
+		for _, a := range in.Args {
+			d, ok := take(a)
+			if !ok {
+				known = false
+				continue
+			}
+			args = append(args, d)
+		}
+		if !known || len(in.Results) != 1 {
+			return
+		}
+		res := mixDrops(args)
+		cap := p.conf.MixerCapacityUL
+		switch {
+		case res.Vol.Lo > cap:
+			rep.errorf("BF301", pos, "mix overfills the mixer module: result volume %v µL exceeds capacity %g µL",
+				res.Vol, cap)
+		case res.Vol.Hi > cap && !math.IsInf(res.Vol.Hi, 1):
+			rep.warnf("BF301", pos, "mix may overfill the mixer module: result volume %v µL can exceed capacity %g µL",
+				res.Vol, cap)
+		}
+		st[in.Results[0]] = res
+	case ir.Split:
+		d, ok := take(in.Args[0])
+		if !ok || len(in.Results) != 2 {
+			return
+		}
+		half := drop{Vol: d.Vol.Scale(0.5), Conc: d.Conc}
+		min := p.conf.MinVolumeUL
+		switch {
+		case half.Vol.Hi < min:
+			rep.errorf("BF302", pos, "split children are provably underfilled: %v µL is below the reliable minimum %g µL",
+				half.Vol, min)
+		case half.Vol.Lo < min:
+			rep.warnf("BF302", pos, "split children may be underfilled: %v µL can drop below the reliable minimum %g µL",
+				half.Vol, min)
+		}
+		st[in.Results[0]] = half.clone()
+		st[in.Results[1]] = half.clone()
+	case ir.Heat, ir.Sense, ir.Store:
+		if len(in.Args) == 1 && len(in.Results) == 1 {
+			if d, ok := take(in.Args[0]); ok {
+				st[in.Results[0]] = d
+			}
+		}
+	case ir.Output:
+		d, ok := take(in.Args[0])
+		if ok && rep != nil && p.outputs != nil {
+			*p.outputs = append(*p.outputs, OutputState{
+				Block: b.Label, InstrID: in.ID, Port: in.Port,
+				Vol: d.Vol, Conc: d.clone().Conc,
+			})
+		}
+	case ir.Compute:
+		// Dry: no fluidic effect.
+	}
+}
+
+// mixDrops merges the abstract droplets of a mix. The result volume is the
+// interval sum. A reagent's concentration in the result is the
+// volume-weighted average of the inputs: when every input volume is exact,
+// the weighted interval [Σ v_i·lo_i / Σ v, Σ v_i·hi_i / Σ v] is computed;
+// otherwise the sound (coarser) hull over the inputs' concentrations is
+// used, since any weighted average lies inside it.
+func mixDrops(args []drop) drop {
+	vol := Exact(0)
+	exact := true
+	total := 0.0
+	for _, d := range args {
+		vol = vol.Add(d.Vol)
+		if !d.Vol.IsExact() {
+			exact = false
+		}
+		total += d.Vol.Lo
+	}
+	res := drop{Vol: vol, Conc: map[string]Interval{}}
+	names := map[string]bool{}
+	for _, d := range args {
+		for r := range d.Conc {
+			names[r] = true
+		}
+	}
+	for r := range names {
+		if exact && total > 0 {
+			lo, hi := 0.0, 0.0
+			for _, d := range args {
+				iv := d.Conc[r] // zero value [0,0] when absent
+				lo += d.Vol.Lo * iv.Lo
+				hi += d.Vol.Lo * iv.Hi
+			}
+			res.Conc[r] = Range(lo/total, hi/total)
+			continue
+		}
+		hull := Exact(0)
+		first := true
+		for _, d := range args {
+			iv, ok := d.Conc[r]
+			if !ok {
+				iv = Exact(0)
+			}
+			if first {
+				hull, first = iv, false
+			} else {
+				hull = hull.Hull(iv)
+			}
+		}
+		res.Conc[r] = hull.Clamp(0, 1)
+	}
+	return res
+}
+
+// analyzeVolumes solves the volume/concentration problem, emits BF301/BF302
+// along the way, checks BF303 targets, and returns the per-output states.
+func analyzeVolumes(g *cfg.Graph, conf Config, rep *reporter) []OutputState {
+	var outputs []OutputState
+	p := &volProblem{conf: conf, outputs: &outputs}
+	sol := solve(g, p)
+	for _, b := range g.ReversePostorder() {
+		in, ok := sol.in[b.ID]
+		if !ok {
+			continue
+		}
+		p.transfer(b, in, rep)
+	}
+	checkTargets(conf, outputs, rep)
+	return outputs
+}
+
+// checkTargets verifies every requested concentration target against the
+// analyzed outputs: a target is unreachable (BF303) when no output droplet
+// can possibly carry the reagent at the requested fraction.
+func checkTargets(conf Config, outputs []OutputState, rep *reporter) {
+	for _, t := range conf.Targets {
+		want := Range(t.Fraction-t.Tolerance, t.Fraction+t.Tolerance)
+		reachable := false
+		for _, o := range outputs {
+			iv, ok := o.Conc[t.Reagent]
+			if !ok {
+				iv = Exact(0)
+			}
+			if iv.Intersects(want) {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			rep.errorf("BF303", verify.NoPos,
+				"target concentration %g±%g of %q is unreachable: no output droplet can carry it (%d outputs analyzed)",
+				t.Fraction, t.Tolerance, t.Reagent, len(outputs))
+		}
+	}
+}

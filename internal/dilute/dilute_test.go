@@ -109,6 +109,44 @@ func TestSynthesizeRejectsBadInputs(t *testing.T) {
 	}
 }
 
+// Targets below half an ulp clamp up to the smallest nonzero level, and
+// targets that round to pure stock clamp down one step — a dilution always
+// actually dilutes.
+func TestClampingExtremes(t *testing.T) {
+	bs := lang.New()
+	stock := bs.NewFluid("Stock", lang.Microliters(8))
+	buffer := bs.NewFluid("Buffer", lang.Microliters(8))
+	cur := bs.NewContainer("cur")
+	spare := bs.NewContainer("spare")
+
+	plan, err := dilute.Synthesize(bs, stock, buffer, cur, spare, 1e-9, 4, time.Second)
+	if err != nil {
+		t.Fatalf("tiny target: %v", err)
+	}
+	if plan.Achieved != 1.0/16 {
+		t.Errorf("tiny target achieved %g, want 1/16 (smallest nonzero level)", plan.Achieved)
+	}
+
+	plan, err = dilute.Synthesize(bs, stock, buffer, cur, spare, 0.9999, 4, time.Second)
+	if err != nil {
+		t.Fatalf("near-1 target: %v", err)
+	}
+	if plan.Achieved != 15.0/16 {
+		t.Errorf("near-1 target achieved %g, want 15/16 (never pure stock)", plan.Achieved)
+	}
+}
+
+func TestSynthesizeRejectsExcessBits(t *testing.T) {
+	bs := lang.New()
+	stock := bs.NewFluid("Stock", lang.Microliters(8))
+	buffer := bs.NewFluid("Buffer", lang.Microliters(8))
+	cur := bs.NewContainer("cur")
+	spare := bs.NewContainer("spare")
+	if _, err := dilute.Synthesize(bs, stock, buffer, cur, spare, 0.5, 25, time.Second); err == nil {
+		t.Error("25 bits accepted (limit is 24)")
+	}
+}
+
 func TestWasteAccounting(t *testing.T) {
 	plan, _ := runDilution(t, 0.625, 4) // 0.1010₂: digits LSB→MSB 0,1,0,1
 	// scaled = 10 = 1010₂; trailing zero skipped: steps for digits at

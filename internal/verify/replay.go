@@ -32,6 +32,10 @@ type replayResult struct {
 	diags    []Diag
 	blockEnd map[int]map[ir.FluidID]arch.Point
 	edgeEnd  map[[2]int]map[ir.FluidID]arch.Point
+	// Touch histories, populated only when the replayer records (see
+	// ReplayTouches).
+	blockTouch map[int][]Touch
+	edgeTouch  map[[2]int][]Touch
 }
 
 func (c *context) replayExec() *replayResult {
@@ -75,6 +79,16 @@ type replayer struct {
 	instrs  map[int]*ir.Instr
 	res     *replayResult
 	heaters []arch.Device
+	// record turns on electrode-touch capture; cur collects the touches of
+	// the sequence currently being replayed.
+	record bool
+	cur    []Touch
+}
+
+func (r *replayer) touch(f ir.FluidID, c arch.Point, t int) {
+	if r.record {
+		r.cur = append(r.cur, Touch{Fluid: f, Cell: c, Cycle: t})
+	}
 }
 
 func indexInstrs(g *cfg.Graph) map[int]*ir.Instr {
@@ -88,6 +102,43 @@ func indexInstrs(g *cfg.Graph) map[int]*ir.Instr {
 		}
 	}
 	return m
+}
+
+// Touch records one droplet arriving on one electrode at one cycle of a
+// replayed activation sequence. A droplet holding its cell over several
+// cycles appears once, at the cycle it arrived.
+type Touch struct {
+	Fluid ir.FluidID
+	Cell  arch.Point
+	Cycle int
+}
+
+// ReplayTouches re-runs the symbolic replay over the unit's executable with
+// electrode-touch recording and returns, per block ID and per CFG edge
+// (from, to), every cell each droplet occupied in replay order. Blocks or
+// edges whose replay aborted carry the touches up to the abort point; the
+// diagnostics of this replay are discarded — use Run for those. This is the
+// substrate of the cross-contamination analysis in internal/analysis.
+func ReplayTouches(u *Unit) (blocks map[int][]Touch, edges map[[2]int][]Touch) {
+	u = u.normalized()
+	res := &replayResult{
+		blockEnd:   map[int]map[ir.FluidID]arch.Point{},
+		edgeEnd:    map[[2]int]map[ir.FluidID]arch.Point{},
+		blockTouch: map[int][]Touch{},
+		edgeTouch:  map[[2]int][]Touch{},
+	}
+	if u.Exec == nil || u.Chip == nil {
+		return res.blockTouch, res.edgeTouch
+	}
+	r := &replayer{
+		unit:    u,
+		instrs:  indexInstrs(u.Graph),
+		res:     res,
+		heaters: u.Chip.DevicesOf(arch.Heater),
+		record:  true,
+	}
+	r.run()
+	return res.blockTouch, res.edgeTouch
 }
 
 func (r *replayer) errorf(code string, pos Pos, format string, args ...any) {
@@ -111,8 +162,12 @@ func (r *replayer) run() {
 			r.errorf("BF110", Pos{Scope: scope, InstrID: -1, Cycle: -1}, "block has no compiled code")
 			continue
 		}
+		r.cur = nil
 		end := r.replaySequence(scope, bc.Seq, bc.Entry)
 		r.res.blockEnd[b.ID] = end
+		if r.record {
+			r.res.blockTouch[b.ID] = r.cur
+		}
 		if end != nil {
 			r.checkBoundary(scope, "exit contract", end, bc.Exit)
 		}
@@ -164,6 +219,7 @@ func (r *replayer) replaySequence(scope string, s *codegen.Sequence, start map[i
 	pos := make(map[ir.FluidID]arch.Point, len(start))
 	for f, p := range start {
 		pos[f] = p
+		r.touch(f, p, 0)
 	}
 	evIdx := 0
 	applyEvents := func(t int) bool {
@@ -354,6 +410,7 @@ func (r *replayer) applyEvent(scope string, ev codegen.Event, pos map[ir.FluidID
 			return false
 		}
 		pos[d] = ev.Cells[0]
+		r.touch(d, ev.Cells[0], ev.Cycle)
 	case codegen.EvOutput:
 		p, ok := take(ev.Inputs[0])
 		if !ok {
@@ -375,6 +432,7 @@ func (r *replayer) applyEvent(scope string, ev codegen.Event, pos map[ir.FluidID
 				return false
 			}
 			pos[rid] = ev.Cells[i]
+			r.touch(rid, ev.Cells[i], ev.Cycle)
 		}
 	case codegen.EvMerge:
 		for _, in := range ev.Inputs {
@@ -387,6 +445,7 @@ func (r *replayer) applyEvent(scope string, ev codegen.Event, pos map[ir.FluidID
 			return false
 		}
 		pos[ev.Results[0]] = ev.Cells[0]
+		r.touch(ev.Results[0], ev.Cells[0], ev.Cycle)
 	case codegen.EvRename:
 		p, ok := take(ev.Inputs[0])
 		if !ok {
@@ -401,6 +460,7 @@ func (r *replayer) applyEvent(scope string, ev codegen.Event, pos map[ir.FluidID
 			return false
 		}
 		pos[ev.Results[0]] = p
+		r.touch(ev.Results[0], p, ev.Cycle)
 		r.checkHeat(dpos, ev, p)
 	case codegen.EvSense:
 		p, ok := pos[ev.Inputs[0]]
@@ -485,6 +545,7 @@ func (r *replayer) applyFrame(scope string, f codegen.Frame, t int, pos map[ir.F
 		switch len(next) {
 		case 1:
 			pos[f] = next[0]
+			r.touch(f, next[0], t)
 		case 0:
 			r.errorf("BF107", Pos{Scope: scope, InstrID: -1, Cycle: t, Cell: p, HasCell: true},
 				"droplet %s at %v stranded: no active electrode in reach", f, p)
@@ -579,8 +640,12 @@ func (r *replayer) replayEdge(from, to *cfg.Block) {
 		if !ok {
 			return
 		}
+		r.cur = nil
 		end := r.replaySequence(scope, ec.Seq, start)
 		r.res.edgeEnd[[2]int{from.ID, to.ID}] = end
+		if r.record {
+			r.res.edgeTouch[[2]int{from.ID, to.ID}] = r.cur
+		}
 		if end == nil {
 			return
 		}

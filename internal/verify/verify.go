@@ -44,6 +44,10 @@
 //	BF110  block boundary contract violated (entry/exit positions)
 //	BF201  placement illegal (overlap, separation, capability)
 //
+// The BF3xx range is reserved for the abstract-interpretation analyses in
+// internal/analysis (volume/concentration intervals, static timing bounds,
+// cross-contamination), which report through this package's Diag model.
+//
 // Codes are stable: tests and tooling may match on them.
 package verify
 
@@ -259,6 +263,14 @@ func Run(u *Unit, passes ...*Pass) *Report {
 		p.run(ctx)
 	}
 	rep.Diags = ctx.diags
+	rep.sort()
+	return rep
+}
+
+// NewReport wraps externally produced diagnostics (e.g. from the analyses in
+// internal/analysis) in a Report, sorted and deduplicated like Run's output.
+func NewReport(diags []Diag) *Report {
+	rep := &Report{Diags: append([]Diag{}, diags...)}
 	rep.sort()
 	return rep
 }

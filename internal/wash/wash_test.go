@@ -92,6 +92,47 @@ func TestScrub(t *testing.T) {
 	}
 }
 
+func TestPlanDeduplicatesDirtyCells(t *testing.T) {
+	chip := arch.Default()
+	cell := arch.Point{X: 4, Y: 4}
+	tour, err := wash.Plan(chip, []arch.Point{cell, cell, cell}, nil)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(tour.Covered) != 1 || tour.Covered[0] != cell {
+		t.Errorf("covered = %v, want the cell exactly once", tour.Covered)
+	}
+}
+
+func TestPlanUnreachableDrainFails(t *testing.T) {
+	chip := arch.Default()
+	// Wall off the whole array: the wash droplet cannot leave its source
+	// cell, so the tour to the drain must fail loudly rather than return a
+	// truncated path.
+	avoid := []arch.Rect{{X: 0, Y: 0, W: chip.Cols, H: chip.Rows}}
+	if _, err := wash.Plan(chip, nil, avoid); err == nil {
+		t.Fatal("Plan succeeded with the drain walled off")
+	}
+}
+
+func TestTourCycles(t *testing.T) {
+	tour := &wash.Tour{Path: []arch.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}}
+	if tour.Cycles() != 2 {
+		t.Errorf("Cycles() = %d, want 2 (one per step)", tour.Cycles())
+	}
+}
+
+func TestScrubDoesNotAliasResidue(t *testing.T) {
+	residue := map[arch.Point][]string{
+		{X: 5, Y: 5}: {"B", "C"},
+	}
+	out := wash.Scrub(residue, &wash.Tour{Path: []arch.Point{{X: 0, Y: 0}}})
+	out[arch.Point{X: 5, Y: 5}][0] = "mutated"
+	if residue[arch.Point{X: 5, Y: 5}][0] != "B" {
+		t.Error("Scrub aliases the input residue slices")
+	}
+}
+
 // End-to-end: run an assay whose reagents differ, collect the residue
 // report, plan a wash, and verify the post-wash chip is clean.
 func TestWashAfterContaminatedRun(t *testing.T) {
