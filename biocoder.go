@@ -35,6 +35,7 @@ import (
 	"biocoder/internal/dilute"
 	"biocoder/internal/exec"
 	"biocoder/internal/lang"
+	"biocoder/internal/obs"
 	"biocoder/internal/parser"
 	"biocoder/internal/place"
 	"biocoder/internal/sched"
@@ -177,7 +178,28 @@ type Options struct {
 	// are dropped, ports on faults are unusable, and droplets route
 	// around them — the static half of hard-fault recovery (§8.4).
 	FaultyElectrodes []Point
+	// Tracer, when non-nil, collects hierarchical wall-clock spans for
+	// every compilation phase (SSI → topology → schedule → place →
+	// codegen), with per-block and per-routing-burst detail. A nil tracer
+	// costs nothing. Export the collected spans with obs.SpanEvents /
+	// obs.WriteChromeTrace or inspect them via Tracer.Roots.
+	Tracer *Tracer
 }
+
+// Observability re-exports: phase tracing and runtime telemetry live in
+// internal/obs; these aliases expose what external tooling needs.
+type (
+	// Tracer collects hierarchical compile-phase spans.
+	Tracer = obs.Tracer
+	// Span is one timed region of a traced compilation.
+	Span = obs.Span
+	// Metrics is the cycle-accurate runtime telemetry snapshot produced
+	// when RunOptions.Metrics is set (see Result.Metrics).
+	Metrics = obs.Metrics
+)
+
+// NewTracer returns an empty compile tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Compiled is a fully compiled protocol with its intermediate artifacts
 // exposed for inspection (SSI-form CFG, schedule, placement) and the final
@@ -202,7 +224,9 @@ func Compile(bs *BioSystem, opt Options) (*Compiled, error) {
 	if chip == nil {
 		chip = arch.Default()
 	}
+	sp := opt.Tracer.Start("lower")
 	g, err := bs.Build()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -228,10 +252,20 @@ func CompileGraphOptions(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled,
 }
 
 func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error) {
-	if err := cfg.ToSSI(g); err != nil {
+	tr := opt.Tracer
+	root := tr.Start("compile")
+	root.SetInt("blocks", len(g.Blocks))
+	defer root.End()
+
+	sp := tr.Start("ssi")
+	err := cfg.ToSSI(g)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("biocoder: SSI conversion: %w", err)
 	}
+	sp = tr.Start("topology")
 	topo, err := place.BuildTopologyFaulty(chip, opt.FaultyElectrodes)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -243,43 +277,61 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 	if opt.FreePlacement {
 		res = place.FreeResources(topo)
 	}
+	sp = tr.Start("schedule")
 	sr, err := sched.Schedule(g, sched.Config{
 		Res:             res,
 		CyclePeriod:     chip.CyclePeriod,
 		Serial:          opt.SerialSchedules,
 		Priority:        policy,
 		BoundaryStorage: opt.NoLiveRangeSplitting,
+		Tracer:          tr,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	var pl *place.Placement
+	sp = tr.Start("place")
 	switch {
 	case opt.NoLiveRangeSplitting && opt.FreePlacement:
+		sp.End()
 		return nil, fmt.Errorf("biocoder: NoLiveRangeSplitting and FreePlacement are mutually exclusive")
 	case opt.NoLiveRangeSplitting:
-		pl, err = place.PlaceHomed(g, sr, topo)
+		sp.SetStr("strategy", "homed")
+		pl, err = place.PlaceHomed(g, sr, topo, tr)
 	case opt.FreePlacement:
-		pl, err = place.PlaceFree(g, sr, topo)
+		sp.SetStr("strategy", "free")
+		pl, err = place.PlaceFree(g, sr, topo, tr)
 	default:
-		pl, err = place.Place(g, sr, topo)
+		sp.SetStr("strategy", "virtual")
+		pl, err = place.Place(g, sr, topo, tr)
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	if err := pl.Check(); err != nil {
 		return nil, err
 	}
-	ex, err := codegen.Generate(g, sr, pl, topo)
+	sp = tr.Start("codegen")
+	ex, err := codegen.Generate(g, sr, pl, topo, tr)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	if opt.FoldEdges {
-		if _, err := codegen.FoldNonCriticalEdges(ex); err != nil {
+		sp = tr.Start("fold")
+		folded, err := codegen.FoldNonCriticalEdges(ex)
+		sp.SetInt("folded", folded)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
-	if err := ex.Check(); err != nil {
+	sp = tr.Start("check")
+	err = ex.Check()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return &Compiled{

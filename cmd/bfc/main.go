@@ -12,6 +12,10 @@
 // splitting, the paper's Fig. 11 form), sched (per-block schedules), place
 // (module bindings), delta (executable summary: Σ per block and edge),
 // summary (whole-pipeline statistics).
+//
+// -trace FILE additionally records every compilation phase (parse → SSI →
+// schedule → place → codegen, with per-block and per-routing-burst detail)
+// as Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"biocoder"
 	"biocoder/internal/analysis"
@@ -27,6 +32,7 @@ import (
 	"biocoder/internal/assays"
 	"biocoder/internal/cfg"
 	"biocoder/internal/codegen"
+	"biocoder/internal/obs"
 	"biocoder/internal/parser"
 	"biocoder/internal/sched"
 	"biocoder/internal/verify"
@@ -40,6 +46,7 @@ func main() {
 	out := flag.String("o", "", "write the serialized executable to this file")
 	doVerify := flag.Bool("verify", false, "run the static verifier over the compiled program; fail on error diagnostics")
 	doAnalyze := flag.Bool("analyze", false, "run the abstract-interpretation analyses (volumes, timing, contamination); fail on error diagnostics")
+	tracePath := flag.String("trace", "", "write compile-phase spans as Chrome trace-event JSON (load in Perfetto) to this file")
 	list := flag.Bool("list", false, "list benchmark assays and exit")
 	flag.Parse()
 
@@ -79,7 +86,14 @@ func main() {
 		return
 	}
 
+	var tracer *biocoder.Tracer
+	if *tracePath != "" {
+		tracer = biocoder.NewTracer()
+	}
+
+	parseSpan := tracer.Start("parse")
 	g, err := loadGraph(*assayName, *file)
+	parseSpan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -89,9 +103,16 @@ func main() {
 		return
 	}
 
-	prog, err := biocoder.CompileGraph(g, chip)
+	prog, err := biocoder.CompileGraphOptions(g, chip, biocoder.Options{Tracer: tracer})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote compile trace to %s\n", *tracePath)
 	}
 
 	if *doVerify {
@@ -269,6 +290,20 @@ func printSummary(prog *biocoder.Compiled) {
 	fmt.Printf("executable:  %d block cycles total, %d events, %d/%d edges need transport\n",
 		totalCycles, totalEvents, edgeTransport, edges)
 	_ = codegen.EvMerge
+}
+
+// writeTrace exports the collected compile spans as Chrome trace JSON.
+func writeTrace(path string, tracer *biocoder.Tracer) error {
+	events := obs.SpanEvents(tracer.Roots(), obs.CompileTrack, time.Time{})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

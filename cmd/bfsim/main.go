@@ -7,19 +7,28 @@
 //
 //	bfsim -assay "PCR w/droplet replenishment" -scenario default
 //	bfsim -assay "Probabilistic PCR" -seed 7 -range amp=0:1
-//	bfsim -file protocol.bio -trace -video run.txt -every 100
+//	bfsim -file protocol.bio -print-trace -video run.txt -every 100
+//	bfsim -assay "PCR" -trace run.json -metrics -
+//
+// -trace FILE writes a combined Chrome trace-event JSON file (compile
+// phases plus the cycle-accurate runtime timeline) loadable in Perfetto.
+// -metrics FILE writes the runtime telemetry as JSON ("-" prints a
+// human-readable report with the actuation heatmap to stdout).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"biocoder"
 	"biocoder/internal/arch"
 	"biocoder/internal/assays"
 	"biocoder/internal/cfg"
+	"biocoder/internal/obs"
 	"biocoder/internal/parser"
 	"biocoder/internal/sensor"
 	"biocoder/internal/viz"
@@ -37,7 +46,9 @@ func main() {
 	scenarioName := flag.String("scenario", "", "scripted scenario to force an outcome (benchmark assays only)")
 	seed := flag.Int64("seed", 0, "seed for the pseudo-random sensor model")
 	chipCfg := flag.String("chip", "", "chip configuration file")
-	trace := flag.Bool("trace", false, "print the execution trace")
+	printTrace := flag.Bool("print-trace", false, "print the execution trace")
+	tracePath := flag.String("trace", "", "write compile spans + runtime timeline as Chrome trace-event JSON to this file")
+	metricsPath := flag.String("metrics", "", "write runtime telemetry as JSON to this file (\"-\": text report to stdout)")
 	contam := flag.Bool("contamination", false, "track residue and print the contamination report with a wash plan")
 	video := flag.String("video", "", "write an ASCII frame animation to this file")
 	every := flag.Int("every", 100, "keep every N-th frame in the video")
@@ -109,9 +120,13 @@ func main() {
 		fatal(fmt.Errorf("need -assay, -file, or -exe"))
 	}
 
+	var tracer *biocoder.Tracer
+	if *tracePath != "" {
+		tracer = biocoder.NewTracer()
+	}
 	if prog == nil {
 		var err error
-		prog, err = biocoder.CompileGraphOptions(g, chip, biocoder.Options{FaultyElectrodes: faultCells})
+		prog, err = biocoder.CompileGraphOptions(g, chip, biocoder.Options{FaultyElectrodes: faultCells, Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -124,6 +139,9 @@ func main() {
 		fatal(err)
 	}
 	opts := biocoder.RunOptions{Sensors: model, TrackContamination: *contam}
+	if *tracePath != "" || *metricsPath != "" {
+		opts.Metrics = true
+	}
 
 	var rec *viz.Recorder
 	if *video != "" {
@@ -150,7 +168,18 @@ func main() {
 
 	fmt.Printf("simulated execution time: %v (%d cycles)\n", res.Time, res.Cycles)
 	fmt.Printf("droplets dispensed: %d, collected: %d\n", res.Dispensed, res.Collected)
-	if *trace {
+	if *tracePath != "" {
+		if err := writeChromeTrace(*tracePath, tracer, res.Metrics, chip); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in Perfetto)\n", *tracePath)
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, res.Metrics, chip); err != nil {
+			fatal(err)
+		}
+	}
+	if *printTrace {
 		fmt.Println("\nexecution trace:")
 		for _, v := range res.Trace.Visits {
 			fmt.Printf("  %-10s %d cycles\n", v.Label, v.Cycles)
@@ -198,6 +227,56 @@ func main() {
 		}
 		fmt.Printf("wrote %d frames to %s\n", rec.Len(), *video)
 	}
+}
+
+// writeChromeTrace writes one Chrome trace file holding the compile spans
+// (when the run compiled from source) and the runtime timeline side by side.
+func writeChromeTrace(path string, tracer *biocoder.Tracer, m *biocoder.Metrics, chip *biocoder.Chip) error {
+	var events []obs.TraceEvent
+	if tracer != nil {
+		events = append(events, obs.SpanEvents(tracer.Roots(), obs.CompileTrack, time.Time{})...)
+	}
+	events = append(events, obs.RuntimeEvents(m, chip.CyclePeriod)...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the telemetry snapshot: JSON to a file, or the
+// human-readable report (with the actuation heatmap) to stdout for "-".
+func writeMetrics(path string, m *biocoder.Metrics, chip *biocoder.Chip) error {
+	if m == nil {
+		return fmt.Errorf("no metrics collected")
+	}
+	if path == "-" {
+		fmt.Println("\nruntime telemetry:")
+		if err := m.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Print(viz.HeatmapASCII(chip, m.Heat))
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", path)
+	return nil
 }
 
 func parseFaults(specs []string) ([]biocoder.Point, error) {

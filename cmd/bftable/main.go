@@ -5,6 +5,10 @@
 // the static best/worst-case bounds from the abstract-interpretation timing
 // analysis (every measured run must land inside its bracket).
 //
+// Each row also breaks the compile time down by phase (schedule, place,
+// route, codegen) from the compiler's own phase spans; routing is reported
+// separately even though it runs inside code generation.
+//
 // Usage:
 //
 //	bftable            # markdown table
@@ -20,9 +24,29 @@ import (
 	"biocoder"
 	"biocoder/internal/analysis"
 	"biocoder/internal/assays"
+	"biocoder/internal/obs"
 	"biocoder/internal/sensor"
 	"biocoder/internal/verify"
 )
+
+// compilePhases extracts the per-phase compile-time breakdown from the
+// collected spans. Routing runs nested inside codegen's block and edge
+// spans, so it is pulled out and codegen reports only its own share.
+func compilePhases(tr *biocoder.Tracer) (sched, place, route, cg time.Duration) {
+	roots := tr.Roots()
+	sched = obs.NamedTotal(roots, "schedule")
+	place = obs.NamedTotal(roots, "place")
+	route = obs.NamedTotal(roots, "route")
+	cg = obs.NamedTotal(roots, "codegen") - route
+	if cg < 0 {
+		cg = 0
+	}
+	return sched, place, route, cg
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}
 
 func main() {
 	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of a table")
@@ -33,15 +57,18 @@ func main() {
 		paper, measured         time.Duration
 		best, worst             time.Duration
 		hasBounds               bool
+		sched, place, route, cg time.Duration
 	}
 	var rows []row
 
 	for _, a := range assays.All() {
-		prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+		tracer := biocoder.NewTracer()
+		prog, err := biocoder.Compile(a.Build(), biocoder.Options{Tracer: tracer})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bftable: %s: %v\n", a.Name, err)
 			os.Exit(1)
 		}
+		phSched, phPlace, phRoute, phCG := compilePhases(tracer)
 		var best, worst time.Duration
 		hasBounds := false
 		ares, err := analysis.Analyze(&verify.Unit{
@@ -59,34 +86,40 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bftable: %s/%s: %v\n", a.Name, sc.Name, err)
 				os.Exit(1)
 			}
-			rows = append(rows, row{a.Name, sc.Name, a.Source, sc.PaperTime, res.Time, best, worst, hasBounds})
+			rows = append(rows, row{a.Name, sc.Name, a.Source, sc.PaperTime, res.Time,
+				best, worst, hasBounds, phSched, phPlace, phRoute, phCG})
 		}
 	}
 
 	if *tsv {
-		fmt.Println("benchmark\tscenario\tsource\tpaper_s\tmeasured_s\tstatic_best_s\tstatic_worst_s")
+		fmt.Println("benchmark\tscenario\tsource\tpaper_s\tmeasured_s\tstatic_best_s\tstatic_worst_s\tsched_ms\tplace_ms\troute_ms\tcodegen_ms")
 		for _, r := range rows {
-			fmt.Printf("%s\t%s\t%s\t%.0f\t%.1f\t%.1f\t%.1f\n",
+			fmt.Printf("%s\t%s\t%s\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
 				r.assay, r.scenario, r.source, r.paper.Seconds(), r.measured.Seconds(),
-				r.best.Seconds(), r.worst.Seconds())
+				r.best.Seconds(), r.worst.Seconds(),
+				float64(r.sched.Microseconds())/1000, float64(r.place.Microseconds())/1000,
+				float64(r.route.Microseconds())/1000, float64(r.cg.Microseconds())/1000)
 		}
 		return
 	}
 
 	fmt.Println("Table 1. Benchmark assays and simulated execution times (paper vs this implementation)")
 	fmt.Println()
-	fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %-6s | %-12s | %-12s |\n",
-		"Benchmark", "Scenario", "Source", "Paper", "Measured", "Dev", "Static best", "Static worst")
-	fmt.Printf("|%s|%s|%s|%s|%s|%s|%s|%s|\n",
-		dashes(32), dashes(12), dashes(10), dashes(14), dashes(14), dashes(8), dashes(14), dashes(14))
+	fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %-6s | %-12s | %-12s | %-8s | %-8s | %-8s | %-8s |\n",
+		"Benchmark", "Scenario", "Source", "Paper", "Measured", "Dev", "Static best", "Static worst",
+		"Sched", "Place", "Route", "Codegen")
+	fmt.Printf("|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|\n",
+		dashes(32), dashes(12), dashes(10), dashes(14), dashes(14), dashes(8), dashes(14), dashes(14),
+		dashes(10), dashes(10), dashes(10), dashes(10))
 	for _, r := range rows {
 		dev := (r.measured.Seconds() - r.paper.Seconds()) / r.paper.Seconds() * 100
 		sb, sw := "n/a", "n/a"
 		if r.hasBounds {
 			sb, sw = fmtDur(r.best), fmtDur(r.worst)
 		}
-		fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %+5.1f%% | %-12s | %-12s |\n",
-			r.assay, r.scenario, r.source, fmtDur(r.paper), fmtDur(r.measured), dev, sb, sw)
+		fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %+5.1f%% | %-12s | %-12s | %-8s | %-8s | %-8s | %-8s |\n",
+			r.assay, r.scenario, r.source, fmtDur(r.paper), fmtDur(r.measured), dev, sb, sw,
+			fmtMS(r.sched), fmtMS(r.place), fmtMS(r.route), fmtMS(r.cg))
 	}
 }
 

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"biocoder/internal/obs"
+)
+
+// writeTestTrace writes a synthetic but schema-valid compile trace with a
+// known phase distribution: schedule 50µs, codegen 30µs, place 20µs under
+// a 100µs compile root (the root and the nested route span must not count
+// toward shares).
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	events := []obs.TraceEvent{
+		{Name: "compile", Ph: "X", Ts: 0, Dur: 100, Pid: 1, Tid: obs.CompileTrack, Cat: "compile"},
+		{Name: "schedule", Ph: "X", Ts: 0, Dur: 50, Pid: 1, Tid: obs.CompileTrack, Cat: "compile"},
+		{Name: "place", Ph: "X", Ts: 50, Dur: 20, Pid: 1, Tid: obs.CompileTrack, Cat: "compile"},
+		{Name: "codegen", Ph: "X", Ts: 70, Dur: 30, Pid: 1, Tid: obs.CompileTrack, Cat: "compile"},
+		{Name: "route", Ph: "X", Ts: 75, Dur: 10, Pid: 1, Tid: obs.CompileTrack, Cat: "compile"},
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBreakdown(t *testing.T) {
+	trace := writeTestTrace(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{trace}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"schedule", "50.0%", "codegen", "30.0%", "place", "20.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "route") {
+		t.Errorf("nested route span must not appear as a phase:\n%s", out.String())
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	trace := writeTestTrace(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-baseline", base, trace}, &out, &errb); code != 0 {
+		t.Fatalf("write-baseline exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", base, trace}, &out, &errb); code != 0 {
+		t.Fatalf("self-check exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "within") {
+		t.Errorf("expected pass message, got:\n%s", out.String())
+	}
+}
+
+func TestBaselineDrift(t *testing.T) {
+	trace := writeTestTrace(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	bl := `{"tolerance": 0.05, "phases": {"schedule": 0.9, "place": 0.05, "codegen": 0.05}}`
+	if err := os.WriteFile(base, []byte(bl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", base, trace}, &out, &errb); code != 1 {
+		t.Fatalf("expected drift failure (exit 1), got %d\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "drifted from baseline") {
+		t.Errorf("missing drift diagnostic:\n%s", errb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.json")}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"biocoder/internal/arch"
 	"biocoder/internal/cfg"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 	"biocoder/internal/place"
 	"biocoder/internal/route"
 	"biocoder/internal/sched"
@@ -32,7 +33,7 @@ type BlockCode struct {
 // actuation patterns. Σ's length is therefore the schedule makespan plus
 // the routing overhead — the scheduler's assumption that routing time is
 // negligible (§5) is repaired here, exactly as in the UCR framework.
-func genBlock(b *cfg.Block, bs *sched.BlockSchedule, bp *place.BlockPlacement, topo *place.Topology) (*BlockCode, error) {
+func genBlock(b *cfg.Block, bs *sched.BlockSchedule, bp *place.BlockPlacement, topo *place.Topology, tr *obs.Tracer) (*BlockCode, error) {
 	bc := &BlockCode{
 		Block: b,
 		Seq:   &Sequence{Tracks: map[ir.FluidID]*Track{}},
@@ -66,6 +67,7 @@ func genBlock(b *cfg.Block, bs *sched.BlockSchedule, bp *place.BlockPlacement, t
 		seq:  bc.Seq,
 		pos:  map[ir.FluidID]arch.Point{},
 		own:  map[ir.FluidID]*sched.Item{},
+		tr:   tr,
 	}
 
 	// Live-in droplets (φ destinations) are delivered by the incoming
@@ -138,6 +140,8 @@ type genState struct {
 
 	pos map[ir.FluidID]arch.Point // current droplet positions
 	own map[ir.FluidID]*sched.Item
+
+	tr *obs.Tracer
 }
 
 func (gs *genState) now() int { return len(gs.seq.Frames) }
@@ -351,6 +355,7 @@ func (gs *genState) routeBurst(reqs []route.Request, groupRects map[int]arch.Rec
 		Chip:      gs.chip,
 		Groups:    groupRects,
 		Obstacles: faultObstacles(gs.topo),
+		Tracer:    gs.tr,
 	}
 	res, err := route.Route(conf, reqs)
 	if err == nil {

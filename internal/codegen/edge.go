@@ -6,6 +6,7 @@ import (
 	"biocoder/internal/arch"
 	"biocoder/internal/cfg"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 	"biocoder/internal/place"
 	"biocoder/internal/route"
 )
@@ -24,7 +25,7 @@ type EdgeCode struct {
 // genEdge routes the droplets crossing the edge from → to. Sources sit at
 // the predecessor's exit locations; destinations are the entry locations the
 // successor's first items expect. All transfers happen concurrently.
-func genEdge(from, to *cfg.Block, fromCode, toCode *BlockCode, chip *arch.Chip, ecTopo *place.Topology) (*EdgeCode, error) {
+func genEdge(from, to *cfg.Block, fromCode, toCode *BlockCode, chip *arch.Chip, ecTopo *place.Topology, tr *obs.Tracer) (*EdgeCode, error) {
 	ec := &EdgeCode{
 		From:   from,
 		To:     to,
@@ -65,7 +66,7 @@ func genEdge(from, to *cfg.Block, fromCode, toCode *BlockCode, chip *arch.Chip, 
 		// Σ_(bi,bj) = ∅: all droplets renamed in place.
 		return ec, nil
 	}
-	res, err := route.Route(route.Config{Chip: chip, Obstacles: faultObstacles(ecTopo)}, reqs)
+	res, err := route.Route(route.Config{Chip: chip, Obstacles: faultObstacles(ecTopo), Tracer: tr}, reqs)
 	if err != nil {
 		return nil, fmt.Errorf("codegen: edge %s->%s: %w", from.Label, to.Label, err)
 	}

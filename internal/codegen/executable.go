@@ -5,6 +5,7 @@ import (
 
 	"biocoder/internal/cfg"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 	"biocoder/internal/place"
 	"biocoder/internal/sched"
 )
@@ -20,8 +21,14 @@ type Executable struct {
 	Edges  map[[2]int]*EdgeCode
 }
 
-// Generate runs code generation over a scheduled and placed program.
-func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.Topology) (*Executable, error) {
+// Generate runs code generation over a scheduled and placed program. An
+// optional trailing tracer receives per-block and per-edge spans (the
+// parameter is variadic so pre-observability call sites compile unchanged).
+func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.Topology, tracer ...*obs.Tracer) (*Executable, error) {
+	var tr *obs.Tracer
+	if len(tracer) > 0 {
+		tr = tracer[0]
+	}
 	ex := &Executable{
 		Graph:  g,
 		Topo:   topo,
@@ -34,17 +41,27 @@ func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.T
 		if bs == nil || bp == nil {
 			return nil, fmt.Errorf("codegen: block %s missing schedule or placement", b.Label)
 		}
-		bc, err := genBlock(b, bs, bp, topo)
+		sp := tr.Start("block " + b.Label)
+		sp.SetInt("block", b.ID)
+		bc, err := genBlock(b, bs, bp, topo, tr)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.SetInt("cycles", bc.Seq.NumCycles)
+		sp.End()
 		ex.Blocks[b.ID] = bc
 	}
 	for _, e := range g.Edges() {
-		ec, err := genEdge(e.From, e.To, ex.Blocks[e.From.ID], ex.Blocks[e.To.ID], topo.Chip, topo)
+		sp := tr.Start("edge " + e.From.Label + "->" + e.To.Label)
+		ec, err := genEdge(e.From, e.To, ex.Blocks[e.From.ID], ex.Blocks[e.To.ID], topo.Chip, topo, tr)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.SetInt("cycles", ec.Seq.NumCycles)
+		sp.SetInt("copies", len(ec.Copies))
+		sp.End()
 		ex.Edges[[2]int{e.From.ID, e.To.ID}] = ec
 	}
 	return ex, nil

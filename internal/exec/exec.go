@@ -7,9 +7,17 @@
 // readings, and reports the total bioassay execution time together with an
 // execution trace listing the blocks executed in order and the evaluation
 // of every conditional statement — the debugging aid §7.1 describes.
+//
+// With Options.Metrics set, the machine additionally collects cycle-accurate
+// telemetry into an obs.Metrics snapshot on the Result: actuation counts and
+// per-electrode heatmap, droplet population statistics, module occupancy,
+// per-sequence visit aggregates, and a timeline of every block and CFG-edge
+// execution. Touch accounting mirrors verify.ReplayTouches exactly, so the
+// runtime's numbers reconcile against the static symbolic replay.
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -17,6 +25,7 @@ import (
 	"biocoder/internal/cfg"
 	"biocoder/internal/codegen"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 	"biocoder/internal/sensor"
 	"biocoder/internal/verify"
 )
@@ -69,6 +78,27 @@ type Trace struct {
 	Readings   []Reading
 }
 
+// RuntimeError is the uniform error type of the interpreter: every failure
+// carries the block or edge label being executed and the absolute cycle
+// number at which execution stopped, so cyber-physical incidents can be
+// located on the timeline without grepping activation sequences.
+type RuntimeError struct {
+	// Label is the CFG node ("mix1") or edge ("b2->b4") being executed.
+	Label string
+	// Cycle is the absolute cycle count at the failure.
+	Cycle int
+	Err   error
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Label == "" {
+		return fmt.Sprintf("exec: cycle %d: %v", e.Cycle, e.Err)
+	}
+	return fmt.Sprintf("exec: %s: cycle %d: %v", e.Label, e.Cycle, e.Err)
+}
+
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
 // Result summarizes one simulated run.
 type Result struct {
 	// Cycles is the total actuation cycle count.
@@ -83,6 +113,10 @@ type Result struct {
 	Trace                *Trace
 	// Contamination is populated when Options.TrackContamination is set.
 	Contamination *Contamination
+	// Metrics is the cycle-accurate telemetry snapshot, populated when
+	// Options.Metrics is set. It is updated live during the run, so a
+	// FrameHook or MetricsHook may read it mid-execution.
+	Metrics *obs.Metrics
 }
 
 // Options configures a run.
@@ -95,6 +129,14 @@ type Options struct {
 	// FrameHook, when set, observes every executed frame (used by the
 	// visualizer to produce per-cycle images).
 	FrameHook func(cycle int, label string, frame codegen.Frame, droplets []*Droplet)
+	// Metrics enables cycle-accurate telemetry collection into
+	// Result.Metrics. Off by default: the per-cycle bookkeeping (heatmap
+	// updates, occupancy scans) is cheap but not free.
+	Metrics bool
+	// MetricsHook, when set together with Metrics, streams the live
+	// telemetry snapshot after every executed cycle — the runtime
+	// counterpart of FrameHook for monitoring consoles.
+	MetricsHook func(cycle int, m *obs.Metrics)
 	// TrackContamination enables residue bookkeeping: every electrode a
 	// droplet touches is marked with its reagents, and crossings of
 	// foreign residue are reported (paper §5, wash droplets).
@@ -110,14 +152,9 @@ type Options struct {
 	faults []Fault
 }
 
-// Run interprets the executable on the given chip.
-func Run(ex *codegen.Executable, chip *arch.Chip, opts Options) (*Result, error) {
-	if opts.Verify {
-		rep := verify.Run(&verify.Unit{Chip: chip, Exec: ex})
-		if err := rep.Err(); err != nil {
-			return nil, fmt.Errorf("exec: refusing to run: %w", err)
-		}
-	}
+// newMachine builds the interpreter state shared by Run and the Stepper,
+// so both execution modes collect identical telemetry.
+func newMachine(ex *codegen.Executable, chip *arch.Chip, opts Options) *machine {
 	if opts.Sensors == nil {
 		opts.Sensors = sensor.NewUniform(0)
 	}
@@ -136,37 +173,61 @@ func Run(ex *codegen.Executable, chip *arch.Chip, opts Options) (*Result, error)
 	if opts.TrackContamination {
 		m.residue = newResidueTracker()
 	}
+	if opts.Metrics {
+		m.met = obs.NewMetrics(chip.Cols, chip.Rows)
+		m.res.Metrics = m.met
+		if ex.Topo != nil {
+			m.cellSlot = map[arch.Point]int{}
+			for _, s := range ex.Topo.Slots {
+				for _, c := range s.Loc.Cells() {
+					m.cellSlot[c] = s.Index
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Run interprets the executable on the given chip.
+func Run(ex *codegen.Executable, chip *arch.Chip, opts Options) (*Result, error) {
+	if opts.Verify {
+		rep := verify.Run(&verify.Unit{Chip: chip, Exec: ex})
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("exec: refusing to run: %w", err)
+		}
+	}
+	m := newMachine(ex, chip, opts)
 	cur := ex.Graph.Entry
 	for {
 		bc := ex.Blocks[cur.ID]
 		if bc == nil {
-			return nil, fmt.Errorf("exec: block %s has no code", cur.Label)
+			return nil, m.failAt(cur.Label, errors.New("block has no compiled code"))
 		}
-		if err := m.runSequence(bc.Seq, cur.Label); err != nil {
+		if err := m.runSequence(bc.Seq, cur.Label, false); err != nil {
 			return nil, err
 		}
 		m.res.Trace.Visits = append(m.res.Trace.Visits, Visit{Label: cur.Label, Cycles: bc.Seq.NumCycles})
 		if err := m.runDryProgram(cur); err != nil {
-			return nil, err
+			return nil, m.failAt(cur.Label, err)
 		}
 		if cur == ex.Graph.Exit {
 			break
 		}
 		next, err := m.pickSuccessor(cur)
 		if err != nil {
-			return nil, err
+			return nil, m.failAt(cur.Label, err)
 		}
 		ec := ex.Edge(cur, next)
 		if ec == nil {
-			return nil, fmt.Errorf("exec: edge %s->%s has no code", cur.Label, next.Label)
+			return nil, m.failAt(cur.Label+"->"+next.Label, errors.New("edge has no compiled code"))
 		}
-		if err := m.runSequence(ec.Seq, cur.Label+"->"+next.Label); err != nil {
+		if err := m.runSequence(ec.Seq, cur.Label+"->"+next.Label, true); err != nil {
 			return nil, err
 		}
 		cur = next
 	}
 	if len(m.droplets) != 0 {
-		return nil, fmt.Errorf("exec: %d droplets remain on chip at protocol end", len(m.droplets))
+		return nil, m.failAt(ex.Graph.Exit.Label, fmt.Errorf("%d droplets remain on chip at protocol end", len(m.droplets)))
 	}
 	if m.residue != nil {
 		m.res.Contamination = m.residue.finish()
@@ -188,17 +249,100 @@ type machine struct {
 	res      *Result
 	residue  *residueTracker
 	lost     *Droplet
+
+	// Telemetry state (nil when Options.Metrics is off). vs and sm point
+	// at the sample and aggregate of the sequence currently executing.
+	met      *obs.Metrics
+	cellSlot map[arch.Point]int
+	vs       *obs.VisitSample
+	sm       *obs.SeqMetrics
+}
+
+// failAt wraps err with the runtime position: the label of the sequence
+// being executed and the absolute cycle number. Droplet-loss signals pass
+// through untouched (the recovery controller matches on them), as do
+// errors already carrying a position.
+func (m *machine) failAt(label string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*lossSignal); ok {
+		return err
+	}
+	var re *RuntimeError
+	if errors.As(err, &re) {
+		return err
+	}
+	return &RuntimeError{Label: label, Cycle: m.res.Cycles, Err: err}
+}
+
+// touch records n droplet arrivals for telemetry, mirroring the Touch
+// accounting of the static replay (verify.ReplayTouches).
+func (m *machine) touch(n int) {
+	if m.met == nil {
+		return
+	}
+	m.met.Touches += n
+	if m.sm != nil {
+		m.sm.Touches += n
+		m.vs.Touches += n
+	}
+}
+
+// recordCycle folds one executed frame into the telemetry counters.
+func (m *machine) recordCycle(f codegen.Frame) {
+	met := m.met
+	met.Cycles++
+	met.Actuations += len(f)
+	met.ActiveHist[len(f)]++
+	for _, c := range f {
+		met.Heat[c.Y][c.X]++
+	}
+	n := len(m.droplets)
+	met.DropletCycles += n
+	met.DropletHist[n]++
+	if n > met.MaxDroplets {
+		met.MaxDroplets = n
+	}
+	if m.cellSlot != nil {
+		for _, d := range m.droplets {
+			if si, ok := m.cellSlot[d.Pos]; ok {
+				met.ModuleOccupancy[si]++
+			}
+		}
+	}
+	m.sm.Cycles++
+	m.sm.Actuations += len(f)
+	m.vs.Cycles++
+	m.vs.Actuations += len(f)
+	if n > m.vs.MaxDroplets {
+		m.vs.MaxDroplets = n
+	}
 }
 
 // runSequence drives one activation sequence cycle by cycle: events apply
 // between frames; each frame is interpreted physically — a droplet follows
-// the unique activated electrode in its own cell or 4-neighborhood.
-func (m *machine) runSequence(s *codegen.Sequence, label string) error {
+// the unique activated electrode in its own cell or 4-neighborhood. isEdge
+// marks CFG-edge sequences, whose telemetry mirrors the fold-aware static
+// replay (empty edge sequences record no touches).
+func (m *machine) runSequence(s *codegen.Sequence, label string, isEdge bool) error {
+	if m.met != nil {
+		m.vs, m.sm = m.met.BeginVisit(label, isEdge, m.res.Cycles)
+		if n := len(m.droplets); n > m.vs.MaxDroplets {
+			m.vs.MaxDroplets = n
+		}
+		if !isEdge || !s.Empty() {
+			// Sequence-start arrivals: the replay touches every droplet
+			// of the entry contract at cycle 0 of the sequence.
+			m.touch(len(m.droplets))
+		}
+		defer func() { m.vs, m.sm = nil, nil }()
+	}
 	evIdx := 0
 	applyEvents := func(cycle int) error {
 		for evIdx < len(s.Events) && s.Events[evIdx].Cycle == cycle {
-			if err := m.applyEvent(s.Events[evIdx], label); err != nil {
-				return err
+			if err := m.applyEvent(s.Events[evIdx]); err != nil {
+				return m.failAt(label, err)
 			}
 			evIdx++
 		}
@@ -210,7 +354,7 @@ func (m *machine) runSequence(s *codegen.Sequence, label string) error {
 		}
 		m.injectFaults()
 		if err := m.applyFrame(s.Frames[t], label, t); err != nil {
-			return err
+			return m.failAt(label, err)
 		}
 		if m.residue != nil {
 			for _, d := range m.droplets {
@@ -218,11 +362,17 @@ func (m *machine) runSequence(s *codegen.Sequence, label string) error {
 			}
 		}
 		m.res.Cycles++
+		if m.met != nil {
+			m.recordCycle(s.Frames[t])
+		}
 		if m.res.Cycles > m.opts.MaxCycles {
-			return fmt.Errorf("exec: execution exceeded %d cycles (runaway loop?)", m.opts.MaxCycles)
+			return m.failAt(label, fmt.Errorf("execution exceeded %d cycles (runaway loop?)", m.opts.MaxCycles))
 		}
 		if m.opts.FrameHook != nil {
 			m.opts.FrameHook(m.res.Cycles, label, s.Frames[t], m.dropletList())
+		}
+		if m.opts.MetricsHook != nil && m.met != nil {
+			m.opts.MetricsHook(m.res.Cycles, m.met)
 		}
 	}
 	return applyEvents(s.NumCycles)
@@ -236,29 +386,36 @@ func (m *machine) dropletList() []*Droplet {
 	return out
 }
 
-func (m *machine) applyEvent(ev codegen.Event, label string) error {
+func (m *machine) applyEvent(ev codegen.Event) error {
 	switch ev.Kind {
 	case codegen.EvDispense:
 		d := ev.Results[0]
 		if _, dup := m.droplets[d]; dup {
-			return fmt.Errorf("exec: %s: dispense of existing droplet %s", label, d)
+			return fmt.Errorf("dispense of existing droplet %s", d)
 		}
 		m.droplets[d] = &Droplet{
 			ID: d, Pos: ev.Cells[0], Volume: ev.Volume,
 			Contents: map[string]float64{ev.Fluid: ev.Volume},
 		}
 		m.res.Dispensed++
+		if m.met != nil {
+			m.met.Dispenses++
+			m.touch(1)
+		}
 	case codegen.EvOutput:
-		d, err := m.take(ev.Inputs[0], label)
+		d, err := m.take(ev.Inputs[0])
 		if err != nil {
 			return err
 		}
 		if d.Pos != ev.Cells[0] {
-			return fmt.Errorf("exec: %s: output expects droplet %s at %v, found at %v", label, d.ID, ev.Cells[0], d.Pos)
+			return fmt.Errorf("output expects droplet %s at %v, found at %v", d.ID, ev.Cells[0], d.Pos)
 		}
 		m.res.Collected++
+		if m.met != nil {
+			m.met.Outputs++
+		}
 	case codegen.EvSplit:
-		parent, err := m.take(ev.Inputs[0], label)
+		parent, err := m.take(ev.Inputs[0])
 		if err != nil {
 			return err
 		}
@@ -272,10 +429,14 @@ func (m *machine) applyEvent(ev codegen.Event, label string) error {
 			}
 			m.droplets[rid] = child
 		}
+		if m.met != nil {
+			m.met.Splits++
+			m.touch(len(ev.Results))
+		}
 	case codegen.EvMerge:
 		result := &Droplet{ID: ev.Results[0], Pos: ev.Cells[0], Contents: map[string]float64{}}
 		for _, in := range ev.Inputs {
-			d, err := m.take(in, label)
+			d, err := m.take(in)
 			if err != nil {
 				return err
 			}
@@ -285,17 +446,25 @@ func (m *machine) applyEvent(ev codegen.Event, label string) error {
 			}
 		}
 		m.droplets[result.ID] = result
+		if m.met != nil {
+			m.met.Merges++
+			m.touch(1)
+		}
 	case codegen.EvRename:
-		d, err := m.take(ev.Inputs[0], label)
+		d, err := m.take(ev.Inputs[0])
 		if err != nil {
 			return err
 		}
 		d.ID = ev.Results[0]
 		m.droplets[d.ID] = d
+		if m.met != nil {
+			m.met.Renames++
+			m.touch(1)
+		}
 	case codegen.EvSense:
 		d, ok := m.droplets[ev.Inputs[0]]
 		if !ok {
-			return fmt.Errorf("exec: %s: sensing missing droplet %s", label, ev.Inputs[0])
+			return fmt.Errorf("sensing missing droplet %s", ev.Inputs[0])
 		}
 		_ = d
 		v := m.opts.Sensors.Read(ev.SensorVar, ev.Device, m.res.Cycles)
@@ -303,16 +472,19 @@ func (m *machine) applyEvent(ev codegen.Event, label string) error {
 		m.res.Trace.Readings = append(m.res.Trace.Readings, Reading{
 			Cycle: m.res.Cycles, Variable: ev.SensorVar, Device: ev.Device, Value: v,
 		})
+		if m.met != nil {
+			m.met.SensorReads++
+		}
 	default:
-		return fmt.Errorf("exec: %s: unknown event kind %v", label, ev.Kind)
+		return fmt.Errorf("unknown event kind %v", ev.Kind)
 	}
 	return nil
 }
 
-func (m *machine) take(id ir.FluidID, label string) (*Droplet, error) {
+func (m *machine) take(id ir.FluidID) (*Droplet, error) {
 	d, ok := m.droplets[id]
 	if !ok {
-		return nil, fmt.Errorf("exec: %s: droplet %s not on chip", label, id)
+		return nil, fmt.Errorf("droplet %s not on chip", id)
 	}
 	delete(m.droplets, id)
 	return d, nil
@@ -339,7 +511,7 @@ func (m *machine) applyFrame(f codegen.Frame, label string, t int) error {
 				Survivors: len(m.droplets),
 			}
 		}
-		return fmt.Errorf("exec: %s cycle %d: %d electrodes active for %d droplets", label, t, len(active), len(m.droplets))
+		return fmt.Errorf("%d electrodes active for %d droplets", len(active), len(m.droplets))
 	}
 	for _, d := range m.droplets {
 		if active[d.Pos] {
@@ -355,10 +527,11 @@ func (m *machine) applyFrame(f codegen.Frame, label string, t int) error {
 		switch len(next) {
 		case 1:
 			d.Pos = next[0]
+			m.touch(1)
 		case 0:
-			return fmt.Errorf("exec: %s cycle %d: droplet %s at %v stranded (no active electrode nearby)", label, t, d.ID, d.Pos)
+			return fmt.Errorf("droplet %s at %v stranded (no active electrode nearby)", d.ID, d.Pos)
 		default:
-			return fmt.Errorf("exec: %s cycle %d: droplet %s at %v torn between %d electrodes", label, t, d.ID, d.Pos, len(next))
+			return fmt.Errorf("droplet %s at %v torn between %d electrodes", d.ID, d.Pos, len(next))
 		}
 	}
 	return nil
@@ -373,13 +546,13 @@ func (m *machine) runDryProgram(b *cfg.Block) error {
 		case ir.Sense:
 			v, ok := m.captured[in.ID]
 			if !ok {
-				return fmt.Errorf("exec: block %s: no captured reading for %s", b.Label, in)
+				return fmt.Errorf("no captured reading for %s", in)
 			}
 			m.env[in.SensorVar] = v
 		case ir.Compute:
 			v, err := in.DryExpr.Eval(m.env)
 			if err != nil {
-				return fmt.Errorf("exec: block %s: %s: %w", b.Label, in, err)
+				return fmt.Errorf("%s: %w", in, err)
 			}
 			m.env[in.DryLHS] = v
 		}
@@ -392,13 +565,13 @@ func (m *machine) runDryProgram(b *cfg.Block) error {
 func (m *machine) pickSuccessor(b *cfg.Block) (*cfg.Block, error) {
 	if b.Branch == nil {
 		if len(b.Succs) != 1 {
-			return nil, fmt.Errorf("exec: block %s has %d successors and no branch", b.Label, len(b.Succs))
+			return nil, fmt.Errorf("block has %d successors and no branch", len(b.Succs))
 		}
 		return b.Succs[0], nil
 	}
 	ok, err := ir.Truthy(b.Branch, m.env)
 	if err != nil {
-		return nil, fmt.Errorf("exec: block %s: evaluating %s: %w", b.Label, b.Branch, err)
+		return nil, fmt.Errorf("evaluating %s: %w", b.Branch, err)
 	}
 	m.res.Trace.Conditions = append(m.res.Trace.Conditions, Condition{
 		Block: b.Label, Expr: b.Branch.String(), Value: ok,

@@ -1,14 +1,13 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"biocoder/internal/arch"
 	"biocoder/internal/cfg"
 	"biocoder/internal/codegen"
-	"biocoder/internal/ir"
-	"biocoder/internal/sensor"
 )
 
 // Stepper executes an assay one CFG node at a time, exposing the runtime
@@ -24,24 +23,12 @@ type Stepper struct {
 	err  error
 }
 
-// NewStepper prepares stepwise execution.
+// NewStepper prepares stepwise execution. The stepper shares the machine
+// constructor with Run, so stepwise runs collect telemetry identical to a
+// batch run's.
 func NewStepper(ex *codegen.Executable, chip *arch.Chip, opts Options) *Stepper {
-	if opts.Sensors == nil {
-		opts.Sensors = sensor.NewUniform(0)
-	}
-	if opts.MaxCycles <= 0 {
-		opts.MaxCycles = 100_000_000
-	}
 	return &Stepper{
-		m: &machine{
-			chip:     chip,
-			ex:       ex,
-			opts:     opts,
-			droplets: map[ir.FluidID]*Droplet{},
-			env:      map[string]float64{},
-			captured: map[int]float64{},
-			res:      &Result{DryEnv: map[string]float64{}, Trace: &Trace{}},
-		},
+		m:    newMachine(ex, chip, opts),
 		chip: chip,
 		cur:  ex.Graph.Entry,
 	}
@@ -98,27 +85,27 @@ func (s *Stepper) Step() (*StepInfo, error) {
 	ex := s.m.ex
 	bc := ex.Blocks[s.cur.ID]
 	if bc == nil {
-		return fail(fmt.Errorf("exec: block %s has no code", s.cur.Label))
+		return fail(s.m.failAt(s.cur.Label, errors.New("block has no compiled code")))
 	}
-	if err := s.m.runSequence(bc.Seq, s.cur.Label); err != nil {
+	if err := s.m.runSequence(bc.Seq, s.cur.Label, false); err != nil {
 		return fail(err)
 	}
 	s.m.res.Trace.Visits = append(s.m.res.Trace.Visits, Visit{Label: s.cur.Label, Cycles: bc.Seq.NumCycles})
 	if err := s.m.runDryProgram(s.cur); err != nil {
-		return fail(err)
+		return fail(s.m.failAt(s.cur.Label, err))
 	}
 	info := &StepInfo{Block: s.cur.Label, Cycles: bc.Seq.NumCycles}
 	if s.cur == ex.Graph.Exit {
 		s.done = true
 		if len(s.m.droplets) != 0 {
-			return fail(fmt.Errorf("exec: %d droplets remain on chip at protocol end", len(s.m.droplets)))
+			return fail(s.m.failAt(s.cur.Label, fmt.Errorf("%d droplets remain on chip at protocol end", len(s.m.droplets))))
 		}
 		return info, nil
 	}
 	nConds := len(s.m.res.Trace.Conditions)
 	next, err := s.m.pickSuccessor(s.cur)
 	if err != nil {
-		return fail(err)
+		return fail(s.m.failAt(s.cur.Label, err))
 	}
 	if len(s.m.res.Trace.Conditions) > nConds {
 		c := s.m.res.Trace.Conditions[len(s.m.res.Trace.Conditions)-1]
@@ -126,9 +113,9 @@ func (s *Stepper) Step() (*StepInfo, error) {
 	}
 	ec := ex.Edge(s.cur, next)
 	if ec == nil {
-		return fail(fmt.Errorf("exec: edge %s->%s has no code", s.cur.Label, next.Label))
+		return fail(s.m.failAt(s.cur.Label+"->"+next.Label, errors.New("edge has no compiled code")))
 	}
-	if err := s.m.runSequence(ec.Seq, s.cur.Label+"->"+next.Label); err != nil {
+	if err := s.m.runSequence(ec.Seq, s.cur.Label+"->"+next.Label, true); err != nil {
 		return fail(err)
 	}
 	s.cur = next

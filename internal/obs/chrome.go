@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export (the "JSON Array Format" / "JSON Object
+// Format" consumed by chrome://tracing and Perfetto). Compile spans are
+// emitted as complete ("X") events on one track; the runtime timeline as
+// "X" visit events plus "C" counter samples and "I" instant events on
+// another, so one file shows where compile time went next to what the
+// chip did cycle by cycle.
+
+// Track identifiers used by the exporters (pid is always 1; tracks are
+// separated by tid).
+const (
+	CompileTrack = 1
+	RuntimeTrack = 2
+)
+
+// TraceEvent is one Chrome trace_event record.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the object form of a trace file.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// SpanEvents flattens a span forest into complete events on the given
+// track. Timestamps are relative to epoch; a zero epoch uses the earliest
+// root's begin time, so traces start at ts 0.
+func SpanEvents(roots []*Span, tid int, epoch time.Time) []TraceEvent {
+	if epoch.IsZero() {
+		for _, r := range roots {
+			if epoch.IsZero() || r.Begin.Before(epoch) {
+				epoch = r.Begin
+			}
+		}
+	}
+	var out []TraceEvent
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		ev := TraceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Begin.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.Duration) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  tid,
+			Cat:  "compile",
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		out = append(out, ev)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return out
+}
+
+// RuntimeEvents converts a runtime Metrics timeline into trace events on
+// the runtime track: one complete event per block/edge visit (with its
+// actuation and droplet statistics as args) and droplet/actuation counter
+// samples at every visit boundary. cyclePeriod converts cycles to wall
+// time on the trace's microsecond axis.
+func RuntimeEvents(m *Metrics, cyclePeriod time.Duration) []TraceEvent {
+	if m == nil {
+		return nil
+	}
+	us := func(cycles int) float64 {
+		return float64(time.Duration(cycles)*cyclePeriod) / float64(time.Microsecond)
+	}
+	var out []TraceEvent
+	for _, v := range m.Timeline {
+		out = append(out, TraceEvent{
+			Name: v.Label,
+			Ph:   "X",
+			Ts:   us(v.StartCycle),
+			Dur:  us(v.Cycles),
+			Pid:  1,
+			Tid:  RuntimeTrack,
+			Cat:  "runtime",
+			Args: map[string]any{
+				"cycles":       v.Cycles,
+				"actuations":   v.Actuations,
+				"touches":      v.Touches,
+				"max_droplets": v.MaxDroplets,
+				"edge":         v.Edge,
+			},
+		})
+		out = append(out, TraceEvent{
+			Name: "droplets",
+			Ph:   "C",
+			Ts:   us(v.StartCycle),
+			Pid:  1,
+			Tid:  RuntimeTrack,
+			Args: map[string]any{"on-chip": v.MaxDroplets},
+		})
+	}
+	return out
+}
+
+// WriteChromeTrace writes the events as a Chrome trace JSON object.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(&ChromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ReadChromeTrace parses a trace previously written by WriteChromeTrace
+// (or any object-format Chrome trace).
+func ReadChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	var ct ChromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("obs: parsing Chrome trace: %w", err)
+	}
+	return &ct, nil
+}
+
+// validPhases are the trace_event phase codes the exporters emit plus the
+// common ones other tools add; Validate rejects anything else.
+var validPhases = map[string]bool{
+	"X": true, "B": true, "E": true, "I": true, "i": true,
+	"C": true, "M": true, "b": true, "e": true, "n": true,
+}
+
+// Validate checks the schema constraints Perfetto relies on: every event
+// has a name and a known phase, timestamps and durations are
+// non-negative and finite, and complete events carry a duration field.
+func (ct *ChromeTrace) Validate() error {
+	if len(ct.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	for i, ev := range ct.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("obs: event %d has no name", i)
+		}
+		if !validPhases[ev.Ph] {
+			return fmt.Errorf("obs: event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 {
+			return fmt.Errorf("obs: event %d (%s) has negative timestamp %g", i, ev.Name, ev.Ts)
+		}
+		if ev.Dur < 0 {
+			return fmt.Errorf("obs: event %d (%s) has negative duration %g", i, ev.Name, ev.Dur)
+		}
+	}
+	return nil
+}

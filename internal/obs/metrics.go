@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Metrics is the cycle-accurate runtime telemetry of one simulated
+// execution, collected by the exec machine when telemetry is enabled.
+// All counters are exact (no sampling): the simulator already visits
+// every frame, so collection is a handful of integer updates per cycle.
+//
+// Touches counts droplet arrivals — a droplet is "touched" onto an
+// electrode when it is created there (dispense, split, merge), renamed,
+// recorded at the start of a sequence, or moves onto a new cell —
+// mirroring exactly the Touch semantics of verify.ReplayTouches, so the
+// runtime's accounting can be reconciled against the static replay.
+type Metrics struct {
+	// Cycles is the number of actuation cycles observed.
+	Cycles int
+	// Actuations is the total number of electrode-active cycles (the sum
+	// of frame sizes): the chip's actuation effort.
+	Actuations int
+	// Touches counts droplet arrivals (see above).
+	Touches int
+	// SensorReads counts sensing events.
+	SensorReads int
+	// Structural droplet event counts.
+	Dispenses, Outputs, Splits, Merges, Renames int
+	// MaxDroplets is the peak droplet population; DropletCycles the sum
+	// of the population over all cycles (mean = DropletCycles/Cycles).
+	MaxDroplets   int
+	DropletCycles int
+	// Heat is the per-electrode actuation heatmap, Heat[y][x] counting
+	// the cycles electrode (x,y) was active.
+	Heat [][]int
+	// ActiveHist histograms electrodes-active-per-cycle; DropletHist
+	// histograms droplets-on-chip-per-cycle.
+	ActiveHist  map[int]int
+	DropletHist map[int]int
+	// ModuleOccupancy counts droplet-cycles spent inside each virtual
+	// topology module slot, by slot index.
+	ModuleOccupancy map[int]int
+	// Sequences aggregates per block/edge label.
+	Sequences map[string]*SeqMetrics
+	// Timeline lists every executed block and edge sequence in order.
+	Timeline []*VisitSample
+}
+
+// SeqMetrics aggregates all executions of one block or edge sequence.
+type SeqMetrics struct {
+	// Edge marks CFG-edge sequences (label "from->to").
+	Edge bool
+	// Visits counts executions; the remaining counters are totals over
+	// all visits.
+	Visits     int
+	Cycles     int
+	Actuations int
+	Touches    int
+}
+
+// VisitSample is one executed block or edge sequence on the runtime
+// timeline.
+type VisitSample struct {
+	Label      string
+	Edge       bool
+	StartCycle int
+	Cycles     int
+	Actuations int
+	Touches    int
+	// MaxDroplets is the peak droplet population during this visit
+	// (population at entry for zero-cycle sequences).
+	MaxDroplets int
+}
+
+// NewMetrics returns an empty metrics collector for a cols×rows array.
+func NewMetrics(cols, rows int) *Metrics {
+	heat := make([][]int, rows)
+	for y := range heat {
+		heat[y] = make([]int, cols)
+	}
+	return &Metrics{
+		Heat:            heat,
+		ActiveHist:      map[int]int{},
+		DropletHist:     map[int]int{},
+		ModuleOccupancy: map[int]int{},
+		Sequences:       map[string]*SeqMetrics{},
+	}
+}
+
+// BeginVisit opens a timeline sample for one sequence execution and
+// returns it together with the label's aggregate record.
+func (m *Metrics) BeginVisit(label string, edge bool, startCycle int) (*VisitSample, *SeqMetrics) {
+	sm := m.Sequences[label]
+	if sm == nil {
+		sm = &SeqMetrics{Edge: edge}
+		m.Sequences[label] = sm
+	}
+	sm.Visits++
+	vs := &VisitSample{Label: label, Edge: edge, StartCycle: startCycle}
+	m.Timeline = append(m.Timeline, vs)
+	return vs, sm
+}
+
+// MeanDroplets returns the average droplet population per cycle.
+func (m *Metrics) MeanDroplets() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.DropletCycles) / float64(m.Cycles)
+}
+
+// HottestCell returns the most-actuated electrode and its count.
+func (m *Metrics) HottestCell() (x, y, count int) {
+	for yy, row := range m.Heat {
+		for xx, n := range row {
+			if n > count {
+				x, y, count = xx, yy, n
+			}
+		}
+	}
+	return x, y, count
+}
+
+// HeatTotal sums the heatmap; it equals Actuations by construction, which
+// the reconciliation tests assert.
+func (m *Metrics) HeatTotal() int {
+	total := 0
+	for _, row := range m.Heat {
+		for _, n := range row {
+			total += n
+		}
+	}
+	return total
+}
+
+// WriteText renders a human-readable metrics report.
+func (m *Metrics) WriteText(w io.Writer) error {
+	x, y, hot := m.HottestCell()
+	if _, err := fmt.Fprintf(w,
+		"cycles:            %d\nelectrode actuations: %d (hottest cell (%d,%d): %d)\n"+
+			"droplet touches:   %d\nsensor reads:      %d\n"+
+			"events:            %d dispense, %d output, %d split, %d merge, %d rename\n"+
+			"droplets:          peak %d, mean %.2f per cycle\n",
+		m.Cycles, m.Actuations, x, y, hot,
+		m.Touches, m.SensorReads,
+		m.Dispenses, m.Outputs, m.Splits, m.Merges, m.Renames,
+		m.MaxDroplets, m.MeanDroplets()); err != nil {
+		return err
+	}
+	if len(m.ModuleOccupancy) > 0 {
+		slots := make([]int, 0, len(m.ModuleOccupancy))
+		for s := range m.ModuleOccupancy {
+			slots = append(slots, s)
+		}
+		sort.Ints(slots)
+		fmt.Fprintf(w, "module occupancy (droplet-cycles):\n")
+		for _, s := range slots {
+			fmt.Fprintf(w, "  slot %-3d %d\n", s, m.ModuleOccupancy[s])
+		}
+	}
+	labels := make([]string, 0, len(m.Sequences))
+	for l := range m.Sequences {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(w, "%-24s %6s %10s %12s %8s\n", "sequence", "visits", "cycles", "actuations", "touches")
+	for _, l := range labels {
+		sm := m.Sequences[l]
+		fmt.Fprintf(w, "%-24s %6d %10d %12d %8d\n", l, sm.Visits, sm.Cycles, sm.Actuations, sm.Touches)
+	}
+	return nil
+}

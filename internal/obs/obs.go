@@ -1,0 +1,209 @@
+// Package obs is the zero-dependency observability layer of the compiler
+// stack: hierarchical wall-clock spans for the compilation pipeline
+// (parse → SSI → schedule → place → route → codegen), cycle-accurate
+// runtime telemetry for the simulator (actuation counts, droplet
+// population, per-cell heatmaps, module occupancy, CFG-edge transfer
+// latencies), and export of both as Chrome trace-event JSON loadable in
+// Perfetto / chrome://tracing.
+//
+// The package is deliberately passive: compiler phases and the runtime
+// push data in, nothing here starts goroutines or touches the clock
+// except through a Tracer. A nil *Tracer is a valid no-op sink — every
+// method is nil-safe and allocation-free on the nil path, so
+// instrumentation can stay unconditionally in place on hot paths.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value span attribute. Values are restricted by
+// convention to int, float64, string and bool so that Chrome trace args
+// serialize cleanly.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Span is one timed region of work. Spans form a tree: phases contain
+// per-block spans, which contain routing spans.
+type Span struct {
+	Name     string
+	Begin    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	Children []*Span
+
+	tracer *Tracer
+}
+
+// Tracer collects spans for one compilation (or any other traced
+// activity). It is safe for use from a single goroutine per open span
+// stack; the collected tree may be read after all spans have ended.
+// A nil *Tracer discards everything at zero cost.
+type Tracer struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	roots []*Span
+	open  []*Span
+}
+
+// NewTracer returns an empty tracer using the real clock.
+func NewTracer() *Tracer { return &Tracer{clock: time.Now} }
+
+// newTracerClock is the test seam for deterministic span timing.
+func newTracerClock(clock func() time.Time) *Tracer { return &Tracer{clock: clock} }
+
+// Start opens a span as a child of the innermost open span (or as a new
+// root). Returns nil — still safe to use — when the tracer is nil.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{Name: name, Begin: t.clock(), tracer: t}
+	if n := len(t.open); n > 0 {
+		parent := t.open[n-1]
+		parent.Children = append(parent.Children, s)
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	t.open = append(t.open, s)
+	return s
+}
+
+// End closes the span, recording its duration. Spans opened after s and
+// not yet ended are closed implicitly (stack discipline).
+func (s *Span) End() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i] == s {
+			for _, dangling := range t.open[i+1:] {
+				if dangling.Duration == 0 {
+					dangling.Duration = now.Sub(dangling.Begin)
+				}
+			}
+			t.open = t.open[:i]
+			break
+		}
+	}
+	s.Duration = now.Sub(s.Begin)
+}
+
+// SetInt attaches an integer attribute. Nil-safe and allocation-free on
+// the nil path.
+func (s *Span) SetInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: v})
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: v})
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: v})
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: v})
+}
+
+// Roots returns the collected top-level spans (nil tracer: none).
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.roots
+}
+
+// NamedTotal sums the durations of every outermost span named name: a
+// matching span's subtree is not descended into, so re-entrant nesting
+// (which does not occur in the compile pipeline) cannot double-count.
+func NamedTotal(roots []*Span, name string) time.Duration {
+	var total time.Duration
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s.Name == name {
+			total += s.Duration
+			return
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return total
+}
+
+// SelfDurations aggregates, per span name, the self time of every span in
+// the forest: its duration minus the durations of its direct children
+// (clamped at zero so clock jitter cannot go negative).
+func SelfDurations(roots []*Span) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		self := s.Duration
+		for _, c := range s.Children {
+			self -= c.Duration
+			walk(c)
+		}
+		if self < 0 {
+			self = 0
+		}
+		out[s.Name] += self
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return out
+}
+
+// PhaseShares returns each phase's share of total compile wall time,
+// computed over the direct children of every root span (the pipeline
+// phases under the "compile" root). Shares sum to 1 when any child spans
+// exist.
+func PhaseShares(roots []*Span) map[string]float64 {
+	totals := map[string]time.Duration{}
+	var sum time.Duration
+	for _, r := range roots {
+		for _, c := range r.Children {
+			totals[c.Name] += c.Duration
+			sum += c.Duration
+		}
+	}
+	out := map[string]float64{}
+	if sum <= 0 {
+		return out
+	}
+	for name, d := range totals {
+		out[name] = float64(d) / float64(sum)
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock yields deterministic, strictly increasing timestamps.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestSpanTree(t *testing.T) {
+	clock := newFakeClock()
+	tr := newTracerClock(clock.now)
+
+	root := tr.Start("compile")
+	sched := tr.Start("schedule")
+	sched.SetInt("ops", 7)
+	sched.End()
+	cg := tr.Start("codegen")
+	rt := tr.Start("route")
+	rt.End()
+	cg.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	r := roots[0]
+	if r.Name != "compile" || len(r.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want compile with 2", r.Name, len(r.Children))
+	}
+	if r.Children[0].Name != "schedule" || r.Children[1].Name != "codegen" {
+		t.Fatalf("children = %q, %q", r.Children[0].Name, r.Children[1].Name)
+	}
+	if len(r.Children[1].Children) != 1 || r.Children[1].Children[0].Name != "route" {
+		t.Fatalf("codegen children wrong: %+v", r.Children[1].Children)
+	}
+	if r.Duration <= 0 || r.Children[0].Duration <= 0 {
+		t.Fatalf("durations not recorded: root=%v sched=%v", r.Duration, r.Children[0].Duration)
+	}
+	if len(r.Children[0].Attrs) != 1 || r.Children[0].Attrs[0].Key != "ops" || r.Children[0].Attrs[0].Val != 7 {
+		t.Fatalf("attrs = %+v", r.Children[0].Attrs)
+	}
+}
+
+func TestSpanStackDiscipline(t *testing.T) {
+	clock := newFakeClock()
+	tr := newTracerClock(clock.now)
+
+	root := tr.Start("compile")
+	dangling := tr.Start("place")
+	_ = dangling
+	root.End() // must implicitly close "place"
+
+	r := tr.Roots()[0]
+	if len(r.Children) != 1 || r.Children[0].Duration <= 0 {
+		t.Fatalf("dangling child not closed: %+v", r.Children)
+	}
+	// New spans after End must become fresh roots, not children.
+	s2 := tr.Start("compile")
+	s2.End()
+	if len(tr.Roots()) != 2 {
+		t.Fatalf("got %d roots, want 2", len(tr.Roots()))
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("anything")
+	if s != nil {
+		t.Fatalf("nil tracer Start returned non-nil span")
+	}
+	// All of these must be no-ops, not panics.
+	s.SetInt("a", 1)
+	s.SetStr("b", "x")
+	s.SetFloat("c", 1.5)
+	s.SetBool("d", true)
+	s.End()
+	if got := tr.Roots(); got != nil {
+		t.Fatalf("nil tracer Roots = %v, want nil", got)
+	}
+}
+
+func TestNamedTotalAndSelfDurations(t *testing.T) {
+	clock := newFakeClock()
+	tr := newTracerClock(clock.now)
+
+	root := tr.Start("compile")
+	cg := tr.Start("codegen")
+	r1 := tr.Start("route")
+	r1.End()
+	r2 := tr.Start("route")
+	r2.End()
+	cg.End()
+	root.End()
+
+	roots := tr.Roots()
+	routeTotal := NamedTotal(roots, "route")
+	if routeTotal <= 0 {
+		t.Fatalf("route total = %v", routeTotal)
+	}
+	cgTotal := NamedTotal(roots, "codegen")
+	if cgTotal <= routeTotal {
+		t.Fatalf("codegen total %v should exceed nested route total %v", cgTotal, routeTotal)
+	}
+	if NamedTotal(roots, "missing") != 0 {
+		t.Fatalf("missing name should total 0")
+	}
+
+	self := SelfDurations(roots)
+	if self["codegen"] != cgTotal-routeTotal {
+		t.Fatalf("codegen self = %v, want %v", self["codegen"], cgTotal-routeTotal)
+	}
+	if self["route"] != routeTotal {
+		t.Fatalf("route self = %v, want %v", self["route"], routeTotal)
+	}
+}
+
+func TestPhaseShares(t *testing.T) {
+	clock := newFakeClock()
+	tr := newTracerClock(clock.now)
+
+	root := tr.Start("compile")
+	a := tr.Start("schedule")
+	a.End()
+	b := tr.Start("place")
+	b.End()
+	root.End()
+
+	shares := PhaseShares(tr.Roots())
+	sum := 0.0
+	for _, v := range shares {
+		if v < 0 || v > 1 {
+			t.Fatalf("share out of range: %v", shares)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v, want 1: %v", sum, shares)
+	}
+	if _, ok := shares["schedule"]; !ok {
+		t.Fatalf("schedule missing from shares %v", shares)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	clock := newFakeClock()
+	tr := newTracerClock(clock.now)
+	root := tr.Start("compile")
+	s := tr.Start("schedule")
+	s.SetInt("ops", 3)
+	s.SetStr("policy", "list")
+	s.End()
+	root.End()
+
+	m := NewMetrics(4, 4)
+	vs, sm := m.BeginVisit("b1", false, 0)
+	vs.Cycles, vs.Actuations, vs.Touches, vs.MaxDroplets = 10, 12, 4, 2
+	sm.Cycles, sm.Actuations, sm.Touches = 10, 12, 4
+
+	events := SpanEvents(tr.Roots(), CompileTrack, time.Time{})
+	events = append(events, RuntimeEvents(m, 10*time.Millisecond)...)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ct, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := ct.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if len(ct.TraceEvents) != len(events) {
+		t.Fatalf("round-trip lost events: %d != %d", len(ct.TraceEvents), len(events))
+	}
+	// First span event starts at the epoch.
+	if ct.TraceEvents[0].Ts != 0 {
+		t.Fatalf("first event ts = %v, want 0", ct.TraceEvents[0].Ts)
+	}
+	var sawArgs bool
+	for _, ev := range ct.TraceEvents {
+		if ev.Name == "schedule" && ev.Args["ops"] == float64(3) && ev.Args["policy"] == "list" {
+			sawArgs = true
+		}
+	}
+	if !sawArgs {
+		t.Fatalf("schedule args did not survive the round trip")
+	}
+	// The runtime visit event must carry the cycle-derived duration:
+	// 10 cycles × 10 ms = 100 ms = 100000 µs.
+	var sawVisit bool
+	for _, ev := range ct.TraceEvents {
+		if ev.Name == "b1" && ev.Ph == "X" {
+			sawVisit = true
+			if ev.Dur != 100000 {
+				t.Fatalf("visit dur = %v µs, want 100000", ev.Dur)
+			}
+		}
+	}
+	if !sawVisit {
+		t.Fatalf("runtime visit event missing")
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		ct   ChromeTrace
+	}{
+		{"empty", ChromeTrace{}},
+		{"no name", ChromeTrace{TraceEvents: []TraceEvent{{Ph: "X"}}}},
+		{"bad phase", ChromeTrace{TraceEvents: []TraceEvent{{Name: "a", Ph: "?"}}}},
+		{"negative ts", ChromeTrace{TraceEvents: []TraceEvent{{Name: "a", Ph: "X", Ts: -1}}}},
+		{"negative dur", ChromeTrace{TraceEvents: []TraceEvent{{Name: "a", Ph: "X", Dur: -1}}}},
+	}
+	for _, c := range cases {
+		if err := c.ct.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid trace", c.name)
+		}
+	}
+}
+
+func TestMetricsAggregates(t *testing.T) {
+	m := NewMetrics(3, 2)
+	m.Heat[0][1] = 5
+	m.Heat[1][2] = 9
+	m.Actuations = 14
+	m.Cycles = 7
+	m.DropletCycles = 14
+	if got := m.HeatTotal(); got != 14 {
+		t.Fatalf("HeatTotal = %d, want 14", got)
+	}
+	x, y, n := m.HottestCell()
+	if x != 2 || y != 1 || n != 9 {
+		t.Fatalf("HottestCell = (%d,%d,%d), want (2,1,9)", x, y, n)
+	}
+	if m.MeanDroplets() != 2 {
+		t.Fatalf("MeanDroplets = %v, want 2", m.MeanDroplets())
+	}
+
+	vs, sm := m.BeginVisit("b1", false, 0)
+	if vs.Label != "b1" || sm.Visits != 1 {
+		t.Fatalf("BeginVisit wiring wrong: %+v %+v", vs, sm)
+	}
+	_, sm2 := m.BeginVisit("b1", false, 10)
+	if sm2 != sm || sm.Visits != 2 {
+		t.Fatalf("repeat visit must reuse the aggregate")
+	}
+	if len(m.Timeline) != 2 {
+		t.Fatalf("timeline has %d entries, want 2", len(m.Timeline))
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cycles:", "b1", "hottest cell (2,1): 9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

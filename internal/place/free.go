@@ -7,6 +7,7 @@ import (
 	"biocoder/internal/arch"
 	"biocoder/internal/cfg"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 	"biocoder/internal/sched"
 )
 
@@ -24,14 +25,17 @@ import (
 // scheduler's resource abstraction is only a conservative area estimate
 // (FreeResources), so dense schedules can fail here — exactly the behavior
 // the paper contrasts against the guaranteed heuristics of §7.2.
-func PlaceFree(g *cfg.Graph, s *sched.Result, topo *Topology) (*Placement, error) {
+func PlaceFree(g *cfg.Graph, s *sched.Result, topo *Topology, tracer ...*obs.Tracer) (*Placement, error) {
+	tr := optTracer(tracer)
 	pl := &Placement{Topo: topo, Blocks: map[int]*BlockPlacement{}}
 	for _, b := range g.Blocks {
 		bs := s.Blocks[b.ID]
 		if bs == nil {
 			return nil, fmt.Errorf("place: block %s has no schedule", b.Label)
 		}
+		sp := blockSpan(tr, b.ID, b.Label, bs, "free")
 		bp, err := placeBlockFree(bs, topo)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("place: block %s: %w", b.Label, err)
 		}

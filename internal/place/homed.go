@@ -7,6 +7,7 @@ import (
 	"biocoder/internal/arch"
 	"biocoder/internal/cfg"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 	"biocoder/internal/sched"
 )
 
@@ -28,7 +29,8 @@ import (
 // plain slots for whole live ranges (demand may exceed the chip where the
 // splitting placer would succeed), and every block pays in-block transport
 // to and from the home instead of the cheaper per-edge routes.
-func PlaceHomed(g *cfg.Graph, s *sched.Result, topo *Topology) (*Placement, error) {
+func PlaceHomed(g *cfg.Graph, s *sched.Result, topo *Topology, tracer ...*obs.Tracer) (*Placement, error) {
+	tr := optTracer(tracer)
 	live := cfg.ComputeLiveness(g)
 
 	// Names whose live ranges cross block boundaries need homes.
@@ -59,7 +61,9 @@ func PlaceHomed(g *cfg.Graph, s *sched.Result, topo *Topology) (*Placement, erro
 		if bs == nil {
 			return nil, fmt.Errorf("place: block %s has no schedule", b.Label)
 		}
+		sp := blockSpan(tr, b.ID, b.Label, bs, "homed")
 		bp, err := placeBlockHomed(b, bs, topo, homes, live)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("place: block %s: %w", b.Label, err)
 		}

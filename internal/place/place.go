@@ -7,6 +7,7 @@ import (
 	"biocoder/internal/arch"
 	"biocoder/internal/cfg"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 	"biocoder/internal/sched"
 )
 
@@ -102,20 +103,42 @@ func holdsFluid(it *sched.Item, f ir.FluidID) bool {
 // greedy virtual-topology binder. Items are processed in start order, so
 // per-pool assignment is interval-graph coloring: it succeeds whenever the
 // schedule respected the topology-derived resource counts.
-func Place(g *cfg.Graph, s *sched.Result, topo *Topology) (*Placement, error) {
+func Place(g *cfg.Graph, s *sched.Result, topo *Topology, tracer ...*obs.Tracer) (*Placement, error) {
+	tr := optTracer(tracer)
 	pl := &Placement{Topo: topo, Blocks: map[int]*BlockPlacement{}}
 	for _, b := range g.Blocks {
 		bs := s.Blocks[b.ID]
 		if bs == nil {
 			return nil, fmt.Errorf("place: block %s has no schedule", b.Label)
 		}
+		sp := blockSpan(tr, b.ID, b.Label, bs, "virtual")
 		bp, err := placeBlock(bs, topo)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("place: block %s: %w", b.Label, err)
 		}
 		pl.Blocks[b.ID] = bp
 	}
 	return pl, nil
+}
+
+// optTracer unpacks the optional trailing tracer argument of the placement
+// entry points (kept variadic so pre-observability call sites compile
+// unchanged).
+func optTracer(tracer []*obs.Tracer) *obs.Tracer {
+	if len(tracer) > 0 {
+		return tracer[0]
+	}
+	return nil
+}
+
+// blockSpan opens the per-block placement span shared by the strategies.
+func blockSpan(tr *obs.Tracer, id int, label string, bs *sched.BlockSchedule, strategy string) *obs.Span {
+	sp := tr.Start("block " + label)
+	sp.SetInt("block", id)
+	sp.SetInt("items", len(bs.Items))
+	sp.SetStr("strategy", strategy)
+	return sp
 }
 
 // binder tracks one resource pool (slots of a kind, or ports of a kind)

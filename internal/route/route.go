@@ -21,6 +21,7 @@ import (
 
 	"biocoder/internal/arch"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 )
 
 // Request asks for droplet ID to travel from From to To. Requests sharing a
@@ -62,6 +63,9 @@ type Config struct { // groupTargets is populated by Route: for each merge group
 	// within which its members may violate fluidic constraints against
 	// each other.
 	Groups map[int]arch.Rect
+	// Tracer, when non-nil, receives one span per Route call recording
+	// request counts, retries and the routed cycle length.
+	Tracer *obs.Tracer
 }
 
 // Route computes conflict-free trajectories for all requests.
@@ -116,20 +120,30 @@ func Route(conf Config, reqs []Request) (*Result, error) {
 	if attempts > 4 {
 		attempts = 4
 	}
+	sp := conf.Tracer.Start("route")
+	sp.SetInt("requests", len(reqs))
+	sp.SetInt("movers", movers)
+	defer sp.End()
 	var lastErr error
 	for attempt := 0; attempt <= attempts; attempt++ {
 		res, failed, err := routeInOrder(conf, order, horizon)
 		if err == nil {
+			sp.SetInt("retries", attempt)
+			sp.SetInt("cycles", res.Cycles)
 			return res, nil
 		}
 		lastErr = err
 		if failed < 0 {
-			break
+			sp.SetInt("retries", attempt)
+			sp.SetBool("failed", true)
+			return nil, lastErr
 		}
 		promoted := order[failed]
 		copy(order[1:failed+1], order[:failed])
 		order[0] = promoted
 	}
+	sp.SetInt("retries", attempts)
+	sp.SetBool("failed", true)
 	return nil, lastErr
 }
 

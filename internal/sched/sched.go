@@ -21,6 +21,7 @@ import (
 
 	"biocoder/internal/cfg"
 	"biocoder/internal/ir"
+	"biocoder/internal/obs"
 )
 
 // Resources is the conservative spatial-resource abstraction the scheduler
@@ -54,6 +55,9 @@ type Config struct {
 	Serial bool
 	// Priority selects the list-scheduling priority function.
 	Priority PriorityPolicy
+	// Tracer, when non-nil, receives one span per scheduled block with
+	// operation and storage counts.
+	Tracer *obs.Tracer
 	// BoundaryStorage forces every cross-block droplet to pass through
 	// an explicit storage interval at both block boundaries: φ
 	// destinations become available one cycle into the block and
@@ -174,10 +178,32 @@ func Schedule(g *cfg.Graph, conf Config) (*Result, error) {
 	live := cfg.ComputeLiveness(g)
 	res := &Result{Blocks: map[int]*BlockSchedule{}}
 	for _, b := range g.Blocks {
+		sp := conf.Tracer.Start("block " + b.Label)
+		sp.SetInt("block", b.ID)
 		bs, err := scheduleBlock(b, conf, live)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("sched: block %s: %w", b.Label, err)
 		}
+		ops, storage := 0, 0
+		for _, it := range bs.Items {
+			if it.IsStorage() {
+				storage++
+			} else {
+				ops++
+			}
+		}
+		sp.SetInt("ops", ops)
+		sp.SetInt("storage", storage)
+		sp.SetInt("length", bs.Length)
+		if conf.Serial {
+			sp.SetStr("policy", "serial")
+		} else if conf.Priority == MinSlack {
+			sp.SetStr("policy", "min-slack")
+		} else {
+			sp.SetStr("policy", "critical-path")
+		}
+		sp.End()
 		res.Blocks[b.ID] = bs
 	}
 	return res, nil

@@ -1,0 +1,52 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/verify"
+)
+
+// TestDutyPass compiles a real assay and checks the BF401 duty warning in
+// both directions: silent at the default one-hour hold limit, firing once
+// the limit is tightened below the assay's longest legitimate hold (PCR's
+// thermocycling holds droplets for minutes).
+func TestDutyPass(t *testing.T) {
+	g, err := assays.PCR().Build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := biocoder.CompileGraphOptions(g, arch.Default(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &verify.Unit{Graph: prog.Graph, Exec: prog.Executable, Placement: prog.Placement}
+
+	if rep := verify.Run(unit); len(rep.Diags) != 0 {
+		t.Fatalf("default limit: expected clean report, got:\n%s", rep)
+	}
+
+	old := verify.DutyHoldLimit
+	verify.DutyHoldLimit = 10 * time.Second // 1000 cycles at 10 ms
+	defer func() { verify.DutyHoldLimit = old }()
+
+	rep := verify.Run(unit)
+	if len(rep.Diags) == 0 {
+		t.Fatal("tightened limit: expected BF401 warnings, got clean report")
+	}
+	for _, d := range rep.Diags {
+		if d.Code != "BF401" {
+			t.Errorf("unexpected diagnostic %s: %s", d.Code, d.Msg)
+		}
+		if d.Sev != verify.Warning {
+			t.Errorf("BF401 should be a warning, got %v", d.Sev)
+		}
+		if !strings.Contains(d.Msg, "actuated continuously") {
+			t.Errorf("unexpected message: %s", d.Msg)
+		}
+	}
+}

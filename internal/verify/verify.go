@@ -43,6 +43,7 @@
 //	BF109  malformed droplet event
 //	BF110  block boundary contract violated (entry/exit positions)
 //	BF201  placement illegal (overlap, separation, capability)
+//	BF401  electrode duty: continuous actuation beyond the hold limit
 //
 // The BF3xx range is reserved for the abstract-interpretation analyses in
 // internal/analysis (volume/concentration intervals, static timing bounds,
@@ -230,6 +231,7 @@ func ExecPasses() []*Pass {
 		splitPass,
 		eventsPass,
 		transferPass,
+		dutyPass,
 	}
 }
 

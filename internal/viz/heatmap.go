@@ -1,0 +1,105 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"biocoder/internal/arch"
+)
+
+// Actuation-heatmap rendering: the per-electrode activation counts the
+// runtime telemetry collects (obs.Metrics.Heat) drawn over the chip layout,
+// so wear hotspots — the cells the duty checker reasons about — are visible
+// at a glance.
+
+// heatRamp maps intensity (0..1) to an ASCII shade.
+var heatRamp = []byte(" .:-=+*#%@")
+
+// HeatmapASCII renders heat (indexed [y][x], as obs.Metrics.Heat) as a
+// character grid. Intensity is normalized to the hottest cell; zero-count
+// cells render as spaces so the chip outline stays readable.
+func HeatmapASCII(chip *arch.Chip, heat [][]int) string {
+	max := 0
+	for _, row := range heat {
+		for _, n := range row {
+			if n > max {
+				max = n
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "actuation heatmap (max %d):\n", max)
+	for y := 0; y < chip.Rows && y < len(heat); y++ {
+		sb.WriteByte('|')
+		for x := 0; x < chip.Cols && x < len(heat[y]); x++ {
+			n := heat[y][x]
+			if n == 0 || max == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			idx := (n*(len(heatRamp)-1) + max - 1) / max
+			if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			sb.WriteByte(heatRamp[idx])
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// HeatmapSVG renders the heatmap as a standalone SVG image: black-body
+// shading from dark (cold) through red and orange to white (hottest cell),
+// with the count as a tooltip on every non-zero cell.
+func HeatmapSVG(chip *arch.Chip, heat [][]int) string {
+	const cell = 20
+	max := 0
+	for _, row := range heat {
+		for _, n := range row {
+			if n > max {
+				max = n
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`,
+		chip.Cols*cell, chip.Rows*cell)
+	fmt.Fprintf(&sb, `<rect width="100%%" height="100%%" fill="#111"/>`)
+	for y := 0; y < chip.Rows; y++ {
+		for x := 0; x < chip.Cols; x++ {
+			n := 0
+			if y < len(heat) && x < len(heat[y]) {
+				n = heat[y][x]
+			}
+			fill := "#222"
+			if n > 0 && max > 0 {
+				fill = heatColor(float64(n) / float64(max))
+			}
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333">`,
+				x*cell+1, y*cell+1, cell-2, cell-2, fill)
+			if n > 0 {
+				fmt.Fprintf(&sb, `<title>(%d,%d): %d</title>`, x, y, n)
+			}
+			sb.WriteString(`</rect>`)
+		}
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// heatColor maps v in (0,1] onto a black-body-style ramp.
+func heatColor(v float64) string {
+	switch {
+	case v < 0.25:
+		// dark red ramp
+		return fmt.Sprintf("#%02x0000", 64+int(v/0.25*127))
+	case v < 0.5:
+		return fmt.Sprintf("#%02x0000", 191+int((v-0.25)/0.25*64))
+	case v < 0.75:
+		// red -> orange
+		return fmt.Sprintf("#ff%02x00", int((v-0.5)/0.25*165))
+	default:
+		// orange -> near white
+		return fmt.Sprintf("#ff%02x%02x", 165+int((v-0.75)/0.25*90), int((v-0.75)/0.25*200))
+	}
+}

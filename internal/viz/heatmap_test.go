@@ -1,0 +1,62 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"biocoder/internal/arch"
+)
+
+func TestHeatmapASCII(t *testing.T) {
+	chip := arch.Default()
+	heat := make([][]int, chip.Rows)
+	for y := range heat {
+		heat[y] = make([]int, chip.Cols)
+	}
+	heat[3][4] = 100
+	heat[3][5] = 50
+	heat[7][7] = 1
+
+	out := HeatmapASCII(chip, heat)
+	if !strings.Contains(out, "max 100") {
+		t.Errorf("missing max annotation:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != chip.Rows+1 {
+		t.Fatalf("got %d lines, want %d", len(lines), chip.Rows+1)
+	}
+	// Hottest cell renders the top ramp character; cold cells are blank.
+	if lines[1+3][1+4] != '@' {
+		t.Errorf("hottest cell rendered %q, want '@'", lines[1+3][1+4])
+	}
+	if lines[1+0][1+0] != ' ' {
+		t.Errorf("cold cell rendered %q, want space", lines[1+0][1+0])
+	}
+
+	// All-zero heat must not divide by zero.
+	zero := make([][]int, chip.Rows)
+	for y := range zero {
+		zero[y] = make([]int, chip.Cols)
+	}
+	if out := HeatmapASCII(chip, zero); !strings.Contains(out, "max 0") {
+		t.Errorf("zero heatmap: %s", out)
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	chip := arch.Default()
+	heat := make([][]int, chip.Rows)
+	for y := range heat {
+		heat[y] = make([]int, chip.Cols)
+	}
+	heat[2][2] = 10
+	out := HeatmapSVG(chip, heat)
+	for _, want := range []string{"<svg", "</svg>", "<title>(2,2): 10</title>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "#ff") {
+		t.Errorf("hottest cell should use the top of the color ramp")
+	}
+}

@@ -1,0 +1,112 @@
+// Overhead accounting for the observability layer: compilation with and
+// without a tracer, simulation with and without telemetry, and the
+// zero-allocation guarantee of the nil-tracer fast path. The *_test pairs
+// let `go test -bench 'Traced|Telemetry' -benchmem` show the cost of
+// instrumentation directly; TestObservabilityOverhead enforces a generous
+// ceiling so a hot-path regression fails CI rather than drifting in.
+package biocoder_test
+
+import (
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/assays"
+	"biocoder/internal/obs"
+	"biocoder/internal/sensor"
+)
+
+func compileOnce(b *testing.B, tracer *biocoder.Tracer) {
+	b.Helper()
+	bs := assays.PCRReplenish().Build()
+	if _, err := biocoder.Compile(bs, biocoder.Options{Tracer: tracer}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCompileTraced measures compilation with a live tracer attached;
+// compare against BenchmarkCompileUntraced for the instrumentation cost.
+func BenchmarkCompileTraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		compileOnce(b, biocoder.NewTracer())
+	}
+}
+
+// BenchmarkCompileUntraced is the nil-tracer baseline.
+func BenchmarkCompileUntraced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		compileOnce(b, nil)
+	}
+}
+
+func runOnce(b *testing.B, prog *biocoder.Compiled, metrics bool) {
+	b.Helper()
+	a := assays.PCRReplenish()
+	model := sensor.NewScripted(a.Scenarios[0].Script)
+	model.Fallback = sensor.NewUniform(1)
+	if _, err := prog.Run(biocoder.RunOptions{Sensors: model, Metrics: metrics}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunTelemetry measures simulation with per-cycle telemetry on;
+// compare against BenchmarkRunPlain for the per-cycle recording cost.
+func BenchmarkRunTelemetry(b *testing.B) {
+	prog, err := biocoder.Compile(assays.PCRReplenish().Build(), biocoder.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce(b, prog, true)
+	}
+}
+
+// BenchmarkRunPlain is the telemetry-off baseline.
+func BenchmarkRunPlain(b *testing.B) {
+	prog, err := biocoder.Compile(assays.PCRReplenish().Build(), biocoder.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce(b, prog, false)
+	}
+}
+
+// TestNilTracerZeroAlloc pins down the untraced fast path: starting and
+// ending spans and setting attributes on a nil tracer must not allocate,
+// so instrumented code paths cost nothing when observability is off.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *obs.Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("phase")
+		sp.SetInt("n", 42)
+		sp.SetStr("s", "x")
+		sp.SetFloat("f", 1.5)
+		sp.SetBool("b", true)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f times per span; want 0", allocs)
+	}
+}
+
+// TestObservabilityOverhead compares wall-clock medians of untraced vs
+// traced compilation and plain vs telemetry runs. The bound is deliberately
+// loose (2x, against the <5% typically measured) — its job is to catch a
+// hot-path regression such as per-cycle allocation, not to benchmark.
+func TestObservabilityOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	base := testing.Benchmark(BenchmarkRunPlain)
+	inst := testing.Benchmark(BenchmarkRunTelemetry)
+	if b, i := base.NsPerOp(), inst.NsPerOp(); i > 2*b {
+		t.Errorf("telemetry run %dns/op vs plain %dns/op: more than 2x overhead", i, b)
+	}
+	base = testing.Benchmark(BenchmarkCompileUntraced)
+	inst = testing.Benchmark(BenchmarkCompileTraced)
+	if b, i := base.NsPerOp(), inst.NsPerOp(); i > 2*b {
+		t.Errorf("traced compile %dns/op vs untraced %dns/op: more than 2x overhead", i, b)
+	}
+}

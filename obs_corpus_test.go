@@ -1,0 +1,177 @@
+// The observability acceptance suite, run over the full benchmark corpus
+// (every assay, with and without edge folding):
+//
+//  1. the cycle-accurate runtime telemetry reconciles exactly with the
+//     static artifacts — electrode actuations and droplet touches counted
+//     by the running machine equal visits × the per-visit counts that
+//     verify's symbolic replay derives from the executable alone;
+//  2. the combined compile+runtime Chrome trace round-trips through the
+//     trace-event JSON schema; and
+//  3. stepwise execution produces telemetry identical to a batch run.
+package biocoder_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/obs"
+	"biocoder/internal/sensor"
+	"biocoder/internal/verify"
+)
+
+var corpusVariants = []struct {
+	name string
+	opt  biocoder.Options
+}{
+	{"split", biocoder.Options{}},
+	{"folded", biocoder.Options{FoldEdges: true}},
+}
+
+// corpusSensors builds a deterministic sensor model for an assay: its first
+// scripted scenario when it has one, backed by a fixed-seed uniform model
+// with the assay's declared ranges. Two models built by this function read
+// identical values in identical call orders, which is what the stepper
+// parity check relies on.
+func corpusSensors(a *assays.Assay) sensor.Model {
+	uniform := sensor.NewUniform(1)
+	for v, r := range a.Ranges {
+		uniform.SetRange(v, r.Min, r.Max)
+	}
+	if len(a.Scenarios) == 0 {
+		return uniform
+	}
+	m := sensor.NewScripted(a.Scenarios[0].Script)
+	m.Fallback = uniform
+	return m
+}
+
+func TestObservabilityCorpus(t *testing.T) {
+	for _, a := range assays.All() {
+		for _, v := range corpusVariants {
+			a, v := a, v
+			t.Run(a.Name+"/"+v.name, func(t *testing.T) {
+				g, err := a.Build().Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tracer := biocoder.NewTracer()
+				opt := v.opt
+				opt.Tracer = tracer
+				prog, err := biocoder.CompileGraphOptions(g, arch.Default(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := prog.Run(biocoder.RunOptions{Sensors: corpusSensors(a), Metrics: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Metrics == nil {
+					t.Fatal("Metrics requested but Result.Metrics is nil")
+				}
+				checkReplayReconciliation(t, prog, res.Metrics)
+				checkChromeRoundTrip(t, tracer, res.Metrics, prog.Chip)
+				checkStepperParity(t, a, prog, res.Metrics)
+			})
+		}
+	}
+}
+
+// checkReplayReconciliation holds the machine's counters against the
+// executable: the heatmap must account for every actuation, and each
+// sequence's touch and actuation totals must equal the number of visits
+// times the per-visit counts obtained from symbolic replay (touches) and
+// the frames themselves (actuations).
+func checkReplayReconciliation(t *testing.T, prog *biocoder.Compiled, m *biocoder.Metrics) {
+	t.Helper()
+	if m.HeatTotal() != m.Actuations {
+		t.Errorf("heatmap total %d != actuations %d", m.HeatTotal(), m.Actuations)
+	}
+
+	blockTouch, edgeTouch := verify.ReplayTouches(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable})
+	perVisitTouch := map[string]int{}
+	perVisitAct := map[string]int{}
+	for _, b := range prog.Graph.Blocks {
+		bc := prog.Executable.Blocks[b.ID]
+		if bc == nil {
+			continue
+		}
+		perVisitTouch[b.Label] = len(blockTouch[b.ID])
+		perVisitAct[b.Label] = bc.Seq.ActiveCount()
+	}
+	for _, e := range prog.Graph.Edges() {
+		ec := prog.Executable.Edge(e.From, e.To)
+		if ec == nil {
+			continue
+		}
+		label := e.From.Label + "->" + e.To.Label
+		perVisitTouch[label] = len(edgeTouch[[2]int{e.From.ID, e.To.ID}])
+		perVisitAct[label] = ec.Seq.ActiveCount()
+	}
+
+	totalAct, totalTouch := 0, 0
+	for label, sm := range m.Sequences {
+		wantTouch, known := perVisitTouch[label]
+		if !known {
+			t.Errorf("telemetry names sequence %q which the executable does not have", label)
+			continue
+		}
+		if sm.Touches != sm.Visits*wantTouch {
+			t.Errorf("%s: %d touches over %d visits; replay counts %d per visit",
+				label, sm.Touches, sm.Visits, wantTouch)
+		}
+		if want := sm.Visits * perVisitAct[label]; sm.Actuations != want {
+			t.Errorf("%s: %d actuations over %d visits; the sequence actuates %d per visit",
+				label, sm.Actuations, sm.Visits, perVisitAct[label])
+		}
+		totalAct += sm.Actuations
+		totalTouch += sm.Touches
+	}
+	if totalAct != m.Actuations {
+		t.Errorf("per-sequence actuations sum to %d, total counter says %d", totalAct, m.Actuations)
+	}
+	if totalTouch != m.Touches {
+		t.Errorf("per-sequence touches sum to %d, total counter says %d", totalTouch, m.Touches)
+	}
+}
+
+// checkChromeRoundTrip exports the compile spans and the runtime timeline
+// as one Chrome trace and re-reads it through the schema validator.
+func checkChromeRoundTrip(t *testing.T, tracer *biocoder.Tracer, m *biocoder.Metrics, chip *biocoder.Chip) {
+	t.Helper()
+	events := obs.SpanEvents(tracer.Roots(), obs.CompileTrack, time.Time{})
+	events = append(events, obs.RuntimeEvents(m, chip.CyclePeriod)...)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatalf("write trace: %v", err)
+	}
+	ct, err := obs.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("re-read trace: %v", err)
+	}
+	if len(ct.TraceEvents) != len(events) {
+		t.Errorf("round trip kept %d of %d events", len(ct.TraceEvents), len(events))
+	}
+	if err := ct.Validate(); err != nil {
+		t.Errorf("trace fails validation: %v", err)
+	}
+}
+
+// checkStepperParity re-executes the compiled assay one CFG node at a time
+// with an identical fresh sensor model and demands telemetry equal to the
+// batch run's, field for field.
+func checkStepperParity(t *testing.T, a *assays.Assay, prog *biocoder.Compiled, batch *biocoder.Metrics) {
+	t.Helper()
+	st := prog.NewStepper(biocoder.RunOptions{Sensors: corpusSensors(a), Metrics: true})
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatalf("stepper: %v", err)
+	}
+	if !reflect.DeepEqual(res.Metrics, batch) {
+		t.Errorf("stepper telemetry diverges from the batch run")
+	}
+}
