@@ -25,6 +25,7 @@
 package biocoder
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -69,6 +70,13 @@ const (
 	Equal          = lang.Equal
 	NotEqual       = lang.NotEqual
 )
+
+// Version identifies the compiler build. It participates in the
+// content-addressed cache keys of the bfd serving daemon (internal/serve),
+// so it must change whenever the compiler's output for a fixed input could
+// change — bump it in any PR touching scheduling, placement, routing, or
+// code generation.
+const Version = "biocoder-5"
 
 // New starts an empty protocol.
 func New() *BioSystem { return lang.New() }
@@ -184,6 +192,13 @@ type Options struct {
 	// costs nothing. Export the collected spans with obs.SpanEvents /
 	// obs.WriteChromeTrace or inspect them via Tracer.Roots.
 	Tracer *Tracer
+	// Context, when non-nil, bounds the compilation: cancellation or
+	// deadline expiry aborts the pipeline at the next checkpoint — between
+	// phases, per scheduled block, per placed block, and inside the
+	// router's A* search — and Compile returns an error wrapping the
+	// context's error. A nil Context never cancels. The bfd daemon and the
+	// -timeout flags of bfc/bfsim rely on this to shed slow compiles.
+	Context context.Context
 }
 
 // Observability re-exports: phase tracing and runtime telemetry live in
@@ -253,10 +268,14 @@ func CompileGraphOptions(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled,
 
 func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error) {
 	tr := opt.Tracer
+	ctx := opt.Context
 	root := tr.Start("compile")
 	root.SetInt("blocks", len(g.Blocks))
 	defer root.End()
 
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	sp := tr.Start("ssi")
 	err := cfg.ToSSI(g)
 	sp.End()
@@ -285,6 +304,7 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		Priority:        policy,
 		BoundaryStorage: opt.NoLiveRangeSplitting,
 		Tracer:          tr,
+		Ctx:             ctx,
 	})
 	sp.End()
 	if err != nil {
@@ -298,13 +318,13 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		return nil, fmt.Errorf("biocoder: NoLiveRangeSplitting and FreePlacement are mutually exclusive")
 	case opt.NoLiveRangeSplitting:
 		sp.SetStr("strategy", "homed")
-		pl, err = place.PlaceHomed(g, sr, topo, tr)
+		pl, err = place.PlaceHomedCtx(ctx, g, sr, topo, tr)
 	case opt.FreePlacement:
 		sp.SetStr("strategy", "free")
-		pl, err = place.PlaceFree(g, sr, topo, tr)
+		pl, err = place.PlaceFreeCtx(ctx, g, sr, topo, tr)
 	default:
 		sp.SetStr("strategy", "virtual")
-		pl, err = place.Place(g, sr, topo, tr)
+		pl, err = place.PlaceCtx(ctx, g, sr, topo, tr)
 	}
 	sp.End()
 	if err != nil {
@@ -314,7 +334,7 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		return nil, err
 	}
 	sp = tr.Start("codegen")
-	ex, err := codegen.Generate(g, sr, pl, topo, tr)
+	ex, err := codegen.GenerateCtx(ctx, g, sr, pl, topo, tr)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -347,6 +367,15 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 // Run simulates the compiled protocol.
 func (c *Compiled) Run(opts RunOptions) (*Result, error) {
 	return exec.Run(c.Executable, c.Chip, opts)
+}
+
+// ctxErr reports the context's cancellation state; a nil context never
+// cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Stepper executes an assay one CFG node at a time, for debuggers and

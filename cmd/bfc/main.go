@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +48,7 @@ func main() {
 	doVerify := flag.Bool("verify", false, "run the static verifier over the compiled program; fail on error diagnostics")
 	doAnalyze := flag.Bool("analyze", false, "run the abstract-interpretation analyses (volumes, timing, contamination); fail on error diagnostics")
 	tracePath := flag.String("trace", "", "write compile-phase spans as Chrome trace-event JSON (load in Perfetto) to this file")
+	timeout := flag.Duration("timeout", 0, "abort compilation after this duration (0: no limit)")
 	list := flag.Bool("list", false, "list benchmark assays and exit")
 	flag.Parse()
 
@@ -103,7 +105,13 @@ func main() {
 		return
 	}
 
-	prog, err := biocoder.CompileGraphOptions(g, chip, biocoder.Options{Tracer: tracer})
+	copt := biocoder.Options{Tracer: tracer}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		copt.Context = ctx
+	}
+	prog, err := biocoder.CompileGraphOptions(g, chip, copt)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,88 @@
+// Command bfd is the BioCoder daemon: an HTTP/JSON server that compiles
+// bioassay protocols to DMFB executables and streams cycle-accurate
+// simulations, fronted by a content-addressed compile cache.
+//
+// Usage:
+//
+//	bfd -addr :8077
+//	bfd -addr :8077 -workers 8 -cache-bytes 134217728 -timeout 2m
+//
+// Endpoints (see internal/serve and DESIGN.md for the API reference):
+//
+//	POST /v1/compile    compile a protocol; returns executable + diagnostics
+//	POST /v1/simulate   compile (cached) and simulate; streams NDJSON
+//	GET  /v1/healthz    liveness; 503 while draining
+//	GET  /v1/stats      request, cache, and worker-pool counters
+//
+// On SIGINT/SIGTERM the daemon drains: health flips to 503, new work is
+// refused, in-flight requests finish (bounded by -drain-timeout), then the
+// listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"biocoder/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent compile/simulate requests (0: GOMAXPROCS)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "compile cache budget in bytes (negative: disable caching)")
+	maxReqBytes := flag.Int64("max-request-bytes", 1<<20, "max request body size in bytes")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline (queue wait + compile + simulation)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		CacheBytes:      *cacheBytes,
+		MaxRequestBytes: *maxReqBytes,
+		RequestTimeout:  *timeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("bfd: listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("bfd: %v received, draining (up to %v)", sig, *drainTimeout)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("bfd: %v; closing anyway", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("bfd: shutdown: %v", err)
+	}
+	log.Printf("bfd: stopped")
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "bfd:", err)
+	os.Exit(1)
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -57,7 +58,15 @@ func main() {
 	var faults rangeFlags
 	flag.Var(&faults, "fault", "defective electrode x,y to compile around (repeatable)")
 	lose := flag.Int("lose-droplet", 0, "inject a transient droplet loss at this cycle and recover by re-execution (§8.4)")
+	timeout := flag.Duration("timeout", 0, "abort the compile+simulate run after this duration (0: no limit)")
 	flag.Parse()
+
+	var runCtx context.Context
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		runCtx = ctx
+	}
 
 	faultCells, err := parseFaults(faults)
 	if err != nil {
@@ -126,7 +135,7 @@ func main() {
 	}
 	if prog == nil {
 		var err error
-		prog, err = biocoder.CompileGraphOptions(g, chip, biocoder.Options{FaultyElectrodes: faultCells, Tracer: tracer})
+		prog, err = biocoder.CompileGraphOptions(g, chip, biocoder.Options{FaultyElectrodes: faultCells, Tracer: tracer, Context: runCtx})
 		if err != nil {
 			fatal(err)
 		}
@@ -138,7 +147,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := biocoder.RunOptions{Sensors: model, TrackContamination: *contam}
+	opts := biocoder.RunOptions{Sensors: model, TrackContamination: *contam, Context: runCtx}
 	if *tracePath != "" || *metricsPath != "" {
 		opts.Metrics = true
 	}

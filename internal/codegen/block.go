@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,7 +34,7 @@ type BlockCode struct {
 // actuation patterns. Σ's length is therefore the schedule makespan plus
 // the routing overhead — the scheduler's assumption that routing time is
 // negligible (§5) is repaired here, exactly as in the UCR framework.
-func genBlock(b *cfg.Block, bs *sched.BlockSchedule, bp *place.BlockPlacement, topo *place.Topology, tr *obs.Tracer) (*BlockCode, error) {
+func genBlock(ctx context.Context, b *cfg.Block, bs *sched.BlockSchedule, bp *place.BlockPlacement, topo *place.Topology, tr *obs.Tracer) (*BlockCode, error) {
 	bc := &BlockCode{
 		Block: b,
 		Seq:   &Sequence{Tracks: map[ir.FluidID]*Track{}},
@@ -68,6 +69,7 @@ func genBlock(b *cfg.Block, bs *sched.BlockSchedule, bp *place.BlockPlacement, t
 		pos:  map[ir.FluidID]arch.Point{},
 		own:  map[ir.FluidID]*sched.Item{},
 		tr:   tr,
+		ctx:  ctx,
 	}
 
 	// Live-in droplets (φ destinations) are delivered by the incoming
@@ -141,7 +143,8 @@ type genState struct {
 	pos map[ir.FluidID]arch.Point // current droplet positions
 	own map[ir.FluidID]*sched.Item
 
-	tr *obs.Tracer
+	tr  *obs.Tracer
+	ctx context.Context
 }
 
 func (gs *genState) now() int { return len(gs.seq.Frames) }
@@ -356,6 +359,7 @@ func (gs *genState) routeBurst(reqs []route.Request, groupRects map[int]arch.Rec
 		Groups:    groupRects,
 		Obstacles: faultObstacles(gs.topo),
 		Tracer:    gs.tr,
+		Ctx:       gs.ctx,
 	}
 	res, err := route.Route(conf, reqs)
 	if err == nil {

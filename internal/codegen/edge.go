@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 
 	"biocoder/internal/arch"
@@ -25,7 +26,7 @@ type EdgeCode struct {
 // genEdge routes the droplets crossing the edge from → to. Sources sit at
 // the predecessor's exit locations; destinations are the entry locations the
 // successor's first items expect. All transfers happen concurrently.
-func genEdge(from, to *cfg.Block, fromCode, toCode *BlockCode, chip *arch.Chip, ecTopo *place.Topology, tr *obs.Tracer) (*EdgeCode, error) {
+func genEdge(ctx context.Context, from, to *cfg.Block, fromCode, toCode *BlockCode, chip *arch.Chip, ecTopo *place.Topology, tr *obs.Tracer) (*EdgeCode, error) {
 	ec := &EdgeCode{
 		From:   from,
 		To:     to,
@@ -66,7 +67,7 @@ func genEdge(from, to *cfg.Block, fromCode, toCode *BlockCode, chip *arch.Chip, 
 		// Σ_(bi,bj) = ∅: all droplets renamed in place.
 		return ec, nil
 	}
-	res, err := route.Route(route.Config{Chip: chip, Obstacles: faultObstacles(ecTopo), Tracer: tr}, reqs)
+	res, err := route.Route(route.Config{Chip: chip, Obstacles: faultObstacles(ecTopo), Tracer: tr, Ctx: ctx}, reqs)
 	if err != nil {
 		return nil, fmt.Errorf("codegen: edge %s->%s: %w", from.Label, to.Label, err)
 	}

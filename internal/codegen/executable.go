@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 
 	"biocoder/internal/cfg"
@@ -29,6 +30,13 @@ func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.T
 	if len(tracer) > 0 {
 		tr = tracer[0]
 	}
+	return GenerateCtx(nil, g, sr, pl, topo, tr)
+}
+
+// GenerateCtx is Generate bounded by a context: cancellation or deadline
+// expiry aborts code generation at the next per-block/per-edge checkpoint
+// and interrupts in-flight routing searches. A nil ctx never cancels.
+func GenerateCtx(ctx context.Context, g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.Topology, tr *obs.Tracer) (*Executable, error) {
 	ex := &Executable{
 		Graph:  g,
 		Topo:   topo,
@@ -36,6 +44,9 @@ func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.T
 		Edges:  map[[2]int]*EdgeCode{},
 	}
 	for _, b := range g.Blocks {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("codegen: %w", err)
+		}
 		bs := sr.Blocks[b.ID]
 		bp := pl.Blocks[b.ID]
 		if bs == nil || bp == nil {
@@ -43,7 +54,7 @@ func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.T
 		}
 		sp := tr.Start("block " + b.Label)
 		sp.SetInt("block", b.ID)
-		bc, err := genBlock(b, bs, bp, topo, tr)
+		bc, err := genBlock(ctx, b, bs, bp, topo, tr)
 		if err != nil {
 			sp.End()
 			return nil, err
@@ -53,8 +64,11 @@ func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.T
 		ex.Blocks[b.ID] = bc
 	}
 	for _, e := range g.Edges() {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("codegen: %w", err)
+		}
 		sp := tr.Start("edge " + e.From.Label + "->" + e.To.Label)
-		ec, err := genEdge(e.From, e.To, ex.Blocks[e.From.ID], ex.Blocks[e.To.ID], topo.Chip, topo, tr)
+		ec, err := genEdge(ctx, e.From, e.To, ex.Blocks[e.From.ID], ex.Blocks[e.To.ID], topo.Chip, topo, tr)
 		if err != nil {
 			sp.End()
 			return nil, err
@@ -65,6 +79,15 @@ func Generate(g *cfg.Graph, sr *sched.Result, pl *place.Placement, topo *place.T
 		ex.Edges[[2]int{e.From.ID, e.To.ID}] = ec
 	}
 	return ex, nil
+}
+
+// ctxErr reports the context's cancellation state; a nil context never
+// cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Edge returns the compiled form of the edge from → to.

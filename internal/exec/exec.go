@@ -17,6 +17,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -146,11 +147,23 @@ type Options struct {
 	// diagnostics — a guard for executables loaded from disk or produced
 	// by experimental transformations.
 	Verify bool
+	// Context, when non-nil, bounds the simulation: cancellation or
+	// deadline expiry aborts the run at the next checkpoint (every
+	// ctxCheckCycles cycles), surfacing as a RuntimeError wrapping the
+	// context's error. Servers use this to shed abandoned or overlong
+	// simulate requests.
+	Context context.Context
 
 	// faults holds pending transient droplet losses; set only through
 	// RunWithRecovery.
 	faults []Fault
 }
+
+// ctxCheckCycles is how many simulated cycles pass between context
+// checkpoints: frequent enough to abort within milliseconds of wall time,
+// sparse enough that Context.Err's synchronization stays off the per-cycle
+// fast path.
+const ctxCheckCycles = 1024
 
 // newMachine builds the interpreter state shared by Run and the Stepper,
 // so both execution modes collect identical telemetry.
@@ -367,6 +380,11 @@ func (m *machine) runSequence(s *codegen.Sequence, label string, isEdge bool) er
 		}
 		if m.res.Cycles > m.opts.MaxCycles {
 			return m.failAt(label, fmt.Errorf("execution exceeded %d cycles (runaway loop?)", m.opts.MaxCycles))
+		}
+		if m.opts.Context != nil && m.res.Cycles%ctxCheckCycles == 0 {
+			if err := m.opts.Context.Err(); err != nil {
+				return m.failAt(label, err)
+			}
 		}
 		if m.opts.FrameHook != nil {
 			m.opts.FrameHook(m.res.Cycles, label, s.Frames[t], m.dropletList())

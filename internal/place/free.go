@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,9 +27,18 @@ import (
 // (FreeResources), so dense schedules can fail here — exactly the behavior
 // the paper contrasts against the guaranteed heuristics of §7.2.
 func PlaceFree(g *cfg.Graph, s *sched.Result, topo *Topology, tracer ...*obs.Tracer) (*Placement, error) {
-	tr := optTracer(tracer)
+	return PlaceFreeCtx(nil, g, s, topo, optTracer(tracer))
+}
+
+// PlaceFreeCtx is PlaceFree bounded by a context: cancellation or deadline
+// expiry aborts placement at the next per-block checkpoint. A nil ctx
+// never cancels.
+func PlaceFreeCtx(ctx context.Context, g *cfg.Graph, s *sched.Result, topo *Topology, tr *obs.Tracer) (*Placement, error) {
 	pl := &Placement{Topo: topo, Blocks: map[int]*BlockPlacement{}}
 	for _, b := range g.Blocks {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("place: %w", err)
+		}
 		bs := s.Blocks[b.ID]
 		if bs == nil {
 			return nil, fmt.Errorf("place: block %s has no schedule", b.Label)

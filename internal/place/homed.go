@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,7 +31,13 @@ import (
 // splitting placer would succeed), and every block pays in-block transport
 // to and from the home instead of the cheaper per-edge routes.
 func PlaceHomed(g *cfg.Graph, s *sched.Result, topo *Topology, tracer ...*obs.Tracer) (*Placement, error) {
-	tr := optTracer(tracer)
+	return PlaceHomedCtx(nil, g, s, topo, optTracer(tracer))
+}
+
+// PlaceHomedCtx is PlaceHomed bounded by a context: cancellation or
+// deadline expiry aborts placement at the next per-block checkpoint. A nil
+// ctx never cancels.
+func PlaceHomedCtx(ctx context.Context, g *cfg.Graph, s *sched.Result, topo *Topology, tr *obs.Tracer) (*Placement, error) {
 	live := cfg.ComputeLiveness(g)
 
 	// Names whose live ranges cross block boundaries need homes.
@@ -57,6 +64,9 @@ func PlaceHomed(g *cfg.Graph, s *sched.Result, topo *Topology, tracer ...*obs.Tr
 
 	pl := &Placement{Topo: topo, Blocks: map[int]*BlockPlacement{}}
 	for _, b := range g.Blocks {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("place: %w", err)
+		}
 		bs := s.Blocks[b.ID]
 		if bs == nil {
 			return nil, fmt.Errorf("place: block %s has no schedule", b.Label)

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -104,9 +105,18 @@ func holdsFluid(it *sched.Item, f ir.FluidID) bool {
 // per-pool assignment is interval-graph coloring: it succeeds whenever the
 // schedule respected the topology-derived resource counts.
 func Place(g *cfg.Graph, s *sched.Result, topo *Topology, tracer ...*obs.Tracer) (*Placement, error) {
-	tr := optTracer(tracer)
+	return PlaceCtx(nil, g, s, topo, optTracer(tracer))
+}
+
+// PlaceCtx is Place bounded by a context: cancellation or deadline expiry
+// aborts placement at the next per-block checkpoint. A nil ctx never
+// cancels.
+func PlaceCtx(ctx context.Context, g *cfg.Graph, s *sched.Result, topo *Topology, tr *obs.Tracer) (*Placement, error) {
 	pl := &Placement{Topo: topo, Blocks: map[int]*BlockPlacement{}}
 	for _, b := range g.Blocks {
+		if err := ctxErr(ctx); err != nil {
+			return nil, fmt.Errorf("place: %w", err)
+		}
 		bs := s.Blocks[b.ID]
 		if bs == nil {
 			return nil, fmt.Errorf("place: block %s has no schedule", b.Label)
@@ -120,6 +130,15 @@ func Place(g *cfg.Graph, s *sched.Result, topo *Topology, tracer ...*obs.Tracer)
 		pl.Blocks[b.ID] = bp
 	}
 	return pl, nil
+}
+
+// ctxErr reports the context's cancellation state; a nil context never
+// cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // optTracer unpacks the optional trailing tracer argument of the placement

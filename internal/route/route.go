@@ -16,6 +16,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -66,7 +67,18 @@ type Config struct { // groupTargets is populated by Route: for each merge group
 	// Tracer, when non-nil, receives one span per Route call recording
 	// request counts, retries and the routed cycle length.
 	Tracer *obs.Tracer
+	// Ctx, when non-nil, bounds the search: cancellation or deadline
+	// expiry aborts routing at the next A* expansion checkpoint. The A*
+	// state space (cells × horizon, retried per permutation) is the
+	// compiler's deepest hot loop, so this is where a slow compile is
+	// actually interrupted.
+	Ctx context.Context
 }
+
+// ctxCheckInterval is how many A* node expansions pass between context
+// checkpoints; Err takes a lock on some context kinds, so per-pop checks
+// would tax the search.
+const ctxCheckInterval = 256
 
 // Route computes conflict-free trajectories for all requests.
 func Route(conf Config, reqs []Request) (*Result, error) {
@@ -300,7 +312,14 @@ func astar(conf Config, r Request, routed []routedDroplet, pending []Request, ho
 	heap.Init(open)
 	heap.Push(open, start)
 	seen := map[[3]int]bool{{r.From.X, r.From.Y, 0}: true}
+	pops := 0
 	for open.Len() > 0 {
+		pops++
+		if conf.Ctx != nil && pops%ctxCheckInterval == 0 {
+			if err := conf.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("search aborted: %w", err)
+			}
+		}
 		cur := heap.Pop(open).(*node)
 		if cur.p == r.To {
 			// Reconstruct.

@@ -14,9 +14,11 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"biocoder/internal/cfg"
@@ -58,6 +60,9 @@ type Config struct {
 	// Tracer, when non-nil, receives one span per scheduled block with
 	// operation and storage counts.
 	Tracer *obs.Tracer
+	// Ctx, when non-nil, bounds scheduling: cancellation or deadline
+	// expiry aborts at the next per-block or per-timestep checkpoint.
+	Ctx context.Context
 	// BoundaryStorage forces every cross-block droplet to pass through
 	// an explicit storage interval at both block boundaries: φ
 	// destinations become available one cycle into the block and
@@ -164,8 +169,10 @@ type Result struct {
 	Blocks map[int]*BlockSchedule
 }
 
-// debugSched enables start-event tracing for scheduler debugging.
-var debugSched = false
+// debugSched enables start-event tracing for scheduler debugging. It is
+// atomic so that a test toggling it cannot race with concurrent Schedule
+// calls (the server compiles many requests in parallel).
+var debugSched atomic.Bool
 
 // Schedule computes a schedule for every block of the SSI-form graph g.
 func Schedule(g *cfg.Graph, conf Config) (*Result, error) {
@@ -178,6 +185,9 @@ func Schedule(g *cfg.Graph, conf Config) (*Result, error) {
 	live := cfg.ComputeLiveness(g)
 	res := &Result{Blocks: map[int]*BlockSchedule{}}
 	for _, b := range g.Blocks {
+		if err := ctxErr(conf.Ctx); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
 		sp := conf.Tracer.Start("block " + b.Label)
 		sp.SetInt("block", b.ID)
 		bs, err := scheduleBlock(b, conf, live)
@@ -385,6 +395,9 @@ func scheduleBlock(b *cfg.Block, conf Config, live *cfg.Liveness) (*BlockSchedul
 	var active []running
 	t := 0
 	for len(pending) > 0 {
+		if err := ctxErr(conf.Ctx); err != nil {
+			return nil, err
+		}
 		// Start every startable op at time t, highest priority first.
 		startable := func() []*ir.Instr {
 			var out []*ir.Instr
@@ -411,7 +424,7 @@ func scheduleBlock(b *cfg.Block, conf Config, live *cfg.Liveness) (*BlockSchedul
 					continue
 				}
 				st.start(in)
-				if debugSched {
+				if debugSched.Load() {
 					fmt.Printf("t=%d start %s (slots %d/%d)\n", t, in, st.slotsUsed, conf.Res.Slots)
 				}
 				dur := conf.cyclesFor(in)
@@ -582,7 +595,16 @@ func criticalPath(wet []*ir.Instr, conf Config) map[*ir.Instr]int {
 }
 
 // DebugOn enables scheduler start tracing (tests only).
-func DebugOn() { debugSched = true }
+func DebugOn() { debugSched.Store(true) }
 
 // DebugOff disables scheduler start tracing.
-func DebugOff() { debugSched = false }
+func DebugOff() { debugSched.Store(false) }
+
+// ctxErr reports the context's cancellation state; a nil context never
+// cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

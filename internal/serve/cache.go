@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one cached compile: the canonical JSON response body served to
+// every requester of the same key, plus the serialized executable kept
+// alongside so /v1/simulate can rehydrate a runnable program without
+// re-parsing the response. Entries are immutable after insertion — readers
+// share the byte slices and must not modify them.
+type entry struct {
+	key  string
+	body []byte // canonical /v1/compile response body
+	exe  []byte // codegen.Encode serialization of the executable
+}
+
+func (e *entry) size() int64 { return int64(len(e.body) + len(e.exe)) }
+
+// lruCache is a byte-budgeted, content-addressed LRU. Keys are content
+// hashes (see cacheKey), so a hit is by construction the same compilation
+// the backend would have produced — staleness is impossible as long as the
+// key covers every compile input plus the compiler version.
+type lruCache struct {
+	mu      sync.Mutex
+	budget  int64 // max total size() across entries; <=0 disables caching
+	bytes   int64
+	evicted int64
+	ll      *list.List // front = most recently used; values are *entry
+	entries map[string]*list.Element
+}
+
+func newLRUCache(budgetBytes int64) *lruCache {
+	return &lruCache{
+		budget:  budgetBytes,
+		ll:      list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// get returns the entry for key, refreshing its recency.
+func (c *lruCache) get(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// put inserts e, evicting least-recently-used entries until the budget
+// holds. An entry larger than the whole budget is not cached at all.
+func (c *lruCache) put(e *entry) {
+	if c.budget <= 0 || e.size() > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		// Same content hash means same bytes; just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.ll.PushFront(e)
+	c.bytes += e.size()
+	for c.bytes > c.budget {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		old := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.entries, old.key)
+		c.bytes -= old.size()
+		c.evicted++
+	}
+}
+
+// stats reports entry count, resident bytes, and lifetime evictions.
+func (c *lruCache) stats() (entries int, bytes, evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes, c.evicted
+}

@@ -1,0 +1,738 @@
+// Package serve implements bfd, the BioCoder compile-and-simulate daemon:
+// an HTTP/JSON front end over the offline compiler (biocoder.Compile), the
+// static verifier (internal/verify), and the cycle-accurate simulator
+// (internal/exec).
+//
+// Endpoints:
+//
+//	POST /v1/compile   BioScript source or a named benchmark assay, plus a
+//	                   chip configuration and compiler options, to a DMFB
+//	                   executable with verifier diagnostics.
+//	POST /v1/simulate  The same compile inputs plus seed/scenario/ranges;
+//	                   streams per-cycle telemetry as NDJSON.
+//	GET  /v1/healthz   Liveness (503 while draining).
+//	GET  /v1/stats     Request, cache, and worker-pool counters.
+//
+// Compiles are cached in a content-addressed, byte-budgeted LRU keyed by a
+// hash of the canonical (pre-SSI) IR, the chip configuration, the compile
+// options, and biocoder.Version; concurrent identical requests coalesce
+// onto one backend compile via singleflight, and every requester receives
+// the byte-identical cached body (the cache disposition travels in the
+// X-Bfd-Cache header, never in the body). Every served executable has
+// passed the full internal/verify pass suite with no error diagnostics.
+//
+// The request path is bounded end to end: a worker-pool semaphore caps
+// concurrent heavy requests, MaxBytesReader caps body sizes, every request
+// carries a deadline, panics are recovered and counted, and Drain refuses
+// new work while in-flight requests finish.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/cfg"
+	"biocoder/internal/obs"
+	"biocoder/internal/sensor"
+	"biocoder/internal/verify"
+)
+
+// Config sizes the server. Zero values select the documented defaults.
+type Config struct {
+	// Workers caps concurrently executing compile/simulate requests
+	// (default: GOMAXPROCS). Excess requests queue on the pool until
+	// their deadline expires.
+	Workers int
+	// CacheBytes budgets the compile cache (default 64 MiB; <0 disables
+	// caching entirely).
+	CacheBytes int64
+	// MaxRequestBytes caps request bodies (default 1 MiB).
+	MaxRequestBytes int64
+	// RequestTimeout bounds each request — queue wait, compile, and
+	// simulation included (default 120s). Backend compiles triggered by
+	// a request run under a server-scoped deadline of the same length,
+	// detached from the requester: a canceled client does not waste the
+	// nearly finished compile that followers and the cache want.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	return c
+}
+
+// Server is the bfd daemon. Create with New, mount Handler on an
+// http.Server, and call Drain before shutting the listener down.
+type Server struct {
+	cfg     Config
+	stats   Stats
+	cache   *lruCache
+	flights flightGroup
+	sem     chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{} // non-nil while a Drain waits for inflight work
+
+	// testCompileStarted, when non-nil, observes every backend compile
+	// as it begins (test seam for coalescing and drain tests).
+	testCompileStarted func(key string)
+}
+
+// New returns a ready-to-serve daemon.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		stats: Stats{start: time.Now()},
+		cache: newLRUCache(cfg.CacheBytes),
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+}
+
+// Handler returns the daemon's HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/compile", s.heavy(s.handleCompile))
+	mux.HandleFunc("/v1/simulate", s.heavy(s.handleSimulate))
+	return s.recovered(mux)
+}
+
+// Drain switches the server to lame-duck mode: /v1/healthz turns 503 (so
+// load balancers stop routing here), new compile/simulate requests are
+// refused with 503, and Drain blocks until every in-flight request has
+// finished or ctx expires. Call it before http.Server.Shutdown so the
+// connection-level drain finds no active handlers.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %w", ctx.Err())
+	}
+}
+
+// enter admits one heavy request; it returns false while draining.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+// statusWriter tracks whether a response has started, so the panic
+// recovery layer knows when a 500 can still be written.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming works
+// through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recovered is the outermost middleware: request counting plus panic
+// containment for every route.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.stats.Requests.Add(1)
+		s.stats.InFlight.Add(1)
+		defer s.stats.InFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.stats.Panics.Add(1)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, nil, "internal error: %v", p)
+				}
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// heavy wraps the compile/simulate handlers with the admission pipeline:
+// POST-only, drain gate, body-size limit, worker-pool semaphore, and the
+// per-request deadline.
+func (s *Server) heavy(next func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, nil, "use POST")
+			return
+		}
+		if !s.enter() {
+			s.stats.Rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, nil, "server is draining")
+			return
+		}
+		defer s.leave()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			s.stats.Rejected.Add(1)
+			s.stats.Timeouts.Add(1)
+			writeError(w, http.StatusServiceUnavailable, nil, "worker pool saturated: %v", ctx.Err())
+			return
+		}
+		next(w, r.WithContext(ctx))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.stats.snapshot()
+	snap.CacheEntries, snap.CacheBytes, snap.CacheEvicted = s.cache.stats()
+	snap.CacheBudget = s.cfg.CacheBytes
+	snap.Workers = s.cfg.Workers
+	snap.Version = biocoder.Version
+	s.mu.Lock()
+	snap.Draining = s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// verifyError is a compile refused by the static verifier: mechanically
+// successful, but the executable violates the compilation contract.
+type verifyError struct{ rep *verify.Report }
+
+func (e *verifyError) Error() string {
+	return fmt.Sprintf("executable failed verification with %d error(s)", e.rep.Count(verify.Error))
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	tr := obs.NewTracer()
+	root := tr.Start("serve.compile")
+	defer root.End()
+
+	sp := tr.Start("decode")
+	var req CompileRequest
+	err := decodeJSON(r, &req)
+	sp.End()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, nil, "bad request: %v", err)
+		return
+	}
+
+	e, disposition, err := s.resolve(r.Context(), tr, &req)
+	if err != nil {
+		writeResolveError(w, err)
+		return
+	}
+
+	w.Header().Set("X-Bfd-Cache", disposition)
+	w.Header().Set("X-Bfd-Key", e.key)
+	if r.URL.Query().Get("trace") == "1" {
+		root.End()
+		writeTraced(w, tr, e.body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(e.body)
+}
+
+// resolve turns compile inputs into a cache entry: canonicalize, hash,
+// then serve from the LRU, join an in-flight compile, or lead a new one.
+// The disposition is "hit", "coalesced", or "miss".
+func (s *Server) resolve(ctx context.Context, tr *obs.Tracer, req *CompileRequest) (*entry, string, error) {
+	sp := tr.Start("canonicalize")
+	g, _, chip, key, err := s.canonicalize(req)
+	sp.End()
+	if err != nil {
+		return nil, "", err
+	}
+
+	sp = tr.Start("cache.lookup")
+	e, ok := s.cache.get(key)
+	sp.End()
+	if ok {
+		s.stats.CacheHits.Add(1)
+		return e, "hit", nil
+	}
+
+	e, err, shared := s.flights.do(ctx, key, func() (*entry, error) {
+		// A flight that finished between our lookup and this one may
+		// have populated the cache already.
+		if e, ok := s.cache.get(key); ok {
+			return e, nil
+		}
+		return s.compileEntry(tr, key, g, chip, req.Options)
+	})
+	if shared {
+		s.stats.Coalesced.Add(1)
+		return e, "coalesced", err
+	}
+	s.stats.CacheMisses.Add(1)
+	return e, "miss", err
+}
+
+// compileEntry is the backend compile: it runs under a server-scoped
+// deadline (detached from any single requester), gates the result on the
+// full static-verifier suite, and encodes the canonical response body.
+func (s *Server) compileEntry(tr *obs.Tracer, key string, g *cfg.Graph, chip *arch.Chip, opt CompileOptions) (*entry, error) {
+	s.stats.Compiles.Add(1)
+	if s.testCompileStarted != nil {
+		s.testCompileStarted(key)
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	prog, err := biocoder.CompileGraphOptions(g, chip, biocoder.Options{
+		NoLiveRangeSplitting: opt.NoLiveRangeSplitting,
+		SerialSchedules:      opt.SerialSchedules,
+		MinSlackScheduling:   opt.MinSlackScheduling,
+		FreePlacement:        opt.FreePlacement,
+		FoldEdges:            opt.FoldEdges,
+		FaultyElectrodes:     faultPoints(opt.Faults),
+		Tracer:               tr,
+		Context:              cctx,
+	})
+	if err != nil {
+		s.stats.CompileErrs.Add(1)
+		return nil, err
+	}
+
+	sp := tr.Start("verify")
+	rep := verify.Run(&verify.Unit{
+		Graph:     prog.Graph,
+		Exec:      prog.Executable,
+		Placement: prog.Placement,
+	})
+	sp.SetInt("diags", len(rep.Diags))
+	sp.End()
+	if rep.HasErrors() {
+		s.stats.CompileErrs.Add(1)
+		return nil, &verifyError{rep}
+	}
+
+	sp = tr.Start("encode")
+	defer sp.End()
+	var exeBuf bytes.Buffer
+	if err := prog.Save(&exeBuf); err != nil {
+		s.stats.CompileErrs.Add(1)
+		return nil, fmt.Errorf("encoding executable: %w", err)
+	}
+	body, err := json.Marshal(&CompileResponse{
+		Key:             key,
+		CompilerVersion: biocoder.Version,
+		Summary:         summarize(prog),
+		Diagnostics:     diagsJSON(rep),
+		Executable:      exeBuf.String(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{key: key, body: body, exe: exeBuf.Bytes()}
+	s.cache.put(e)
+	return e, nil
+}
+
+// canonicalize builds the pre-SSI CFG and the chip, and derives the
+// content-addressed cache key from their canonical text forms plus the
+// option set and the compiler version.
+func (s *Server) canonicalize(req *CompileRequest) (*cfg.Graph, *assays.Assay, *arch.Chip, string, error) {
+	var (
+		g     *cfg.Graph
+		assay *assays.Assay
+		err   error
+	)
+	switch {
+	case req.Assay != "" && req.Source != "":
+		return nil, nil, nil, "", &badRequestError{fmt.Errorf("use either assay or source, not both")}
+	case req.Assay != "":
+		assay = assays.ByName(req.Assay)
+		if assay == nil {
+			return nil, nil, nil, "", &badRequestError{fmt.Errorf("unknown assay %q", req.Assay)}
+		}
+		g, err = assay.Build().Build()
+	case req.Source != "":
+		var bs *biocoder.BioSystem
+		bs, err = biocoder.ParseScript(req.Source)
+		if err == nil {
+			g, err = bs.Build()
+		}
+	default:
+		return nil, nil, nil, "", &badRequestError{fmt.Errorf("need assay or source")}
+	}
+	if err != nil {
+		return nil, nil, nil, "", &badRequestError{fmt.Errorf("building protocol: %w", err)}
+	}
+
+	chip := arch.Default()
+	if req.Chip != "" {
+		chip, err = arch.ParseConfig(strings.NewReader(req.Chip))
+		if err != nil {
+			return nil, nil, nil, "", &badRequestError{fmt.Errorf("parsing chip config: %w", err)}
+		}
+	}
+	var chipText bytes.Buffer
+	if err := arch.WriteConfig(&chipText, chip); err != nil {
+		return nil, nil, nil, "", err
+	}
+
+	h := sha256.New()
+	for _, part := range []string{
+		biocoder.Version,
+		chipText.String(),
+		canonicalOptions(req.Options),
+		g.String(), // pre-SSI: compileGraph mutates g to SSI form in place
+	} {
+		fmt.Fprintf(h, "%d\x00%s", len(part), part)
+	}
+	return g, assay, chip, fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// canonicalOptions renders the option set order- and duplicate-insensitive.
+func canonicalOptions(opt CompileOptions) string {
+	faults := append([]Point(nil), opt.Faults...)
+	sort.Slice(faults, func(i, j int) bool {
+		if faults[i].Y != faults[j].Y {
+			return faults[i].Y < faults[j].Y
+		}
+		return faults[i].X < faults[j].X
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "nolrs=%t serial=%t minslack=%t free=%t fold=%t faults=",
+		opt.NoLiveRangeSplitting, opt.SerialSchedules, opt.MinSlackScheduling,
+		opt.FreePlacement, opt.FoldEdges)
+	for _, p := range faults {
+		fmt.Fprintf(&b, "(%d,%d)", p.X, p.Y)
+	}
+	return b.String()
+}
+
+func faultPoints(pts []Point) []biocoder.Point {
+	out := make([]biocoder.Point, len(pts))
+	for i, p := range pts {
+		out[i] = biocoder.Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+func summarize(prog *biocoder.Compiled) CompileSummary {
+	var sum CompileSummary
+	sum.Blocks = len(prog.Graph.Blocks)
+	sum.Edges = len(prog.Graph.Edges())
+	for _, b := range prog.Graph.Blocks {
+		sum.Instructions += len(b.Instrs)
+	}
+	for _, bc := range prog.Executable.Blocks {
+		sum.BlockCycles += bc.Seq.NumCycles
+		sum.Events += len(bc.Seq.Events)
+	}
+	for _, ec := range prog.Executable.Edges {
+		if ec.Seq.NumCycles > 0 {
+			sum.EdgeTransports++
+		}
+	}
+	return sum
+}
+
+func diagsJSON(rep *verify.Report) []Diag {
+	out := make([]Diag, 0, len(rep.Diags))
+	for _, d := range rep.Diags {
+		out = append(out, Diag{
+			Code:     d.Code,
+			Severity: d.Sev.String(),
+			Pos:      d.Pos.String(),
+			Message:  d.Msg,
+		})
+	}
+	return out
+}
+
+// badRequestError marks client-side input errors (HTTP 400).
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, diags []Diag, format string, args ...any) {
+	writeJSON(w, code, &ErrorResponse{
+		Error:       fmt.Sprintf(format, args...),
+		Diagnostics: diags,
+	})
+}
+
+// writeResolveError maps a resolve failure to its HTTP status: 400 for bad
+// inputs, 422 with diagnostics for verification refusals, 503 for
+// deadline/cancellation, 500 otherwise.
+func writeResolveError(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	if errors.As(err, &bad) {
+		writeError(w, http.StatusBadRequest, nil, "bad request: %v", err)
+		return
+	}
+	var ve *verifyError
+	if errors.As(err, &ve) {
+		writeError(w, http.StatusUnprocessableEntity, diagsJSON(ve.rep), "%v", err)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable, nil, "compile aborted: %v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, nil, "compile failed: %v", err)
+}
+
+// writeTraced answers a ?trace=1 request: the canonical body wrapped
+// alongside this request's span tree as Chrome trace-event JSON.
+func writeTraced(w http.ResponseWriter, tr *obs.Tracer, body []byte) {
+	var traceBuf bytes.Buffer
+	events := obs.SpanEvents(tr.Roots(), obs.CompileTrack, time.Time{})
+	if err := obs.WriteChromeTrace(&traceBuf, events); err != nil {
+		writeError(w, http.StatusInternalServerError, nil, "trace export: %v", err)
+		return
+	}
+	// Marshal compactly (not via writeJSON's indenting encoder) so the
+	// embedded canonical body stays byte-identical to the cached form.
+	out, err := json.Marshal(&TracedResponse{
+		Trace:  traceBuf.Bytes(),
+		Result: body,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, nil, "trace export: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	tr := obs.NewTracer()
+	root := tr.Start("serve.simulate")
+	defer root.End()
+
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, nil, "bad request: %v", err)
+		return
+	}
+	if req.Every <= 0 {
+		req.Every = 1000
+	}
+
+	e, disposition, err := s.resolve(r.Context(), tr, &req.CompileRequest)
+	if err != nil {
+		writeResolveError(w, err)
+		return
+	}
+	// The assay (for ranges and scenarios) comes from the request, not
+	// the cache entry; resolve validated the name already.
+	var assay *assays.Assay
+	if req.Assay != "" {
+		assay = assays.ByName(req.Assay)
+	}
+	model, err := buildSensors(assay, req.Scenario, req.Seed, req.Ranges)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, nil, "bad request: %v", err)
+		return
+	}
+
+	sp := tr.Start("decode.executable")
+	prog, err := biocoder.Load(bytes.NewReader(e.exe))
+	sp.End()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, nil, "decoding cached executable: %v", err)
+		return
+	}
+
+	s.stats.Simulates.Add(1)
+	w.Header().Set("X-Bfd-Cache", disposition)
+	w.Header().Set("X-Bfd-Key", e.key)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(rec *SimRecord) {
+		enc.Encode(rec)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(&SimRecord{
+		Type:            "start",
+		Key:             e.key,
+		CompilerVersion: biocoder.Version,
+		Cache:           disposition,
+	})
+
+	sp = tr.Start("simulate")
+	res, err := prog.Run(biocoder.RunOptions{
+		Sensors:            model,
+		MaxCycles:          req.MaxCycles,
+		Metrics:            true,
+		TrackContamination: req.TrackContamination,
+		Context:            r.Context(),
+		MetricsHook: func(cycle int, m *obs.Metrics) {
+			if cycle%req.Every != 0 {
+				return
+			}
+			emit(&SimRecord{
+				Type:        "telemetry",
+				Cycle:       cycle,
+				Actuations:  m.Actuations,
+				Touches:     m.Touches,
+				SensorReads: m.SensorReads,
+				MaxDroplets: m.MaxDroplets,
+			})
+		},
+	})
+	sp.End()
+	if err != nil {
+		s.stats.Timeouts.Add(boolInt(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)))
+		emit(&SimRecord{Type: "error", Error: err.Error()})
+		return
+	}
+	final := &SimRecord{
+		Type:        "result",
+		Cycles:      res.Cycles,
+		TimeSeconds: res.Time.Seconds(),
+		Dispensed:   res.Dispensed,
+		Collected:   res.Collected,
+		Actuations:  res.Metrics.Actuations,
+		Touches:     res.Metrics.Touches,
+		SensorReads: res.Metrics.SensorReads,
+		MaxDroplets: res.Metrics.MaxDroplets,
+	}
+	if res.Contamination != nil {
+		final.DirtyCells = res.Contamination.DirtyCells
+	}
+	emit(final)
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// buildSensors mirrors bfsim's sensor-model construction: a seeded uniform
+// model with per-assay and per-request ranges, optionally overlaid by a
+// scripted scenario (benchmark assays only).
+func buildSensors(assay *assays.Assay, scenario string, seed int64, ranges map[string][2]float64) (sensor.Model, error) {
+	uniform := sensor.NewUniform(seed)
+	if assay != nil {
+		for v, r := range assay.Ranges {
+			uniform.SetRange(v, r.Min, r.Max)
+		}
+	}
+	for v, r := range ranges {
+		uniform.SetRange(v, r[0], r[1])
+	}
+	if scenario == "" {
+		return uniform, nil
+	}
+	if assay == nil {
+		return nil, fmt.Errorf("scenario needs a named assay")
+	}
+	for _, sc := range assay.Scenarios {
+		if sc.Name == scenario {
+			m := sensor.NewScripted(sc.Script)
+			m.Fallback = uniform
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("assay %q has no scenario %q", assay.Name, scenario)
+}

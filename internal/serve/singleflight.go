@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errFlightAborted is what followers observe when the leader's fn panicked
+// before producing a result (the panic itself propagates in the leader's
+// goroutine and is counted by the recovery middleware).
+var errFlightAborted = errors.New("backend compile aborted")
+
+// flightGroup deduplicates concurrent work by key: the first caller of
+// do(key) runs fn, every concurrent caller with the same key blocks until
+// that run finishes and shares its result. It is a minimal reimplementation
+// of golang.org/x/sync/singleflight (the module tree is dependency-free).
+//
+// The leader runs fn to completion even if its own request is canceled —
+// followers may still be waiting on the result, and a finished compile is
+// exactly what the cache wants. Followers enforce their own deadlines on
+// the wait via ctx; the work itself is bounded by the server-scoped
+// deadline fn installs.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *entry
+	err  error
+}
+
+// do executes fn once per concurrent key. The boolean reports whether this
+// caller was a follower (true) or the leader that ran fn (false). A
+// follower whose ctx expires abandons the wait with ctx.Err(); the flight
+// itself keeps running for the remaining waiters and the cache.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*entry, error)) (*entry, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{}), err: errFlightAborted}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats is the server's counter block. All fields are updated with atomic
+// operations by the request path and snapshotted (racily but coherently
+// enough for monitoring) by the /v1/stats handler.
+type Stats struct {
+	start time.Time
+
+	Requests    atomic.Int64 // HTTP requests accepted into a handler
+	Compiles    atomic.Int64 // backend compiles actually executed
+	CompileErrs atomic.Int64 // backend compiles that failed
+	Simulates   atomic.Int64 // simulate runs executed
+	CacheHits   atomic.Int64 // compile requests served from the LRU
+	CacheMisses atomic.Int64 // compile requests that went to the backend
+	Coalesced   atomic.Int64 // requests that piggybacked on an in-flight compile
+	Rejected    atomic.Int64 // requests refused (overload, draining, too large)
+	Panics      atomic.Int64 // handler panics recovered by middleware
+	Timeouts    atomic.Int64 // requests aborted by deadline or client cancel
+	InFlight    atomic.Int64 // requests currently inside a handler
+}
+
+// StatsSnapshot is the JSON shape served at /v1/stats.
+type StatsSnapshot struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Requests      int64   `json:"requests"`
+	Compiles      int64   `json:"compiles"`
+	CompileErrors int64   `json:"compileErrors"`
+	Simulates     int64   `json:"simulates"`
+	CacheHits     int64   `json:"cacheHits"`
+	CacheMisses   int64   `json:"cacheMisses"`
+	Coalesced     int64   `json:"coalesced"`
+	Rejected      int64   `json:"rejected"`
+	Panics        int64   `json:"panics"`
+	Timeouts      int64   `json:"timeouts"`
+	InFlight      int64   `json:"inFlight"`
+	CacheEntries  int     `json:"cacheEntries"`
+	CacheBytes    int64   `json:"cacheBytes"`
+	CacheBudget   int64   `json:"cacheBudgetBytes"`
+	CacheEvicted  int64   `json:"cacheEvictions"`
+	Workers       int     `json:"workers"`
+	Version       string  `json:"version"`
+	Draining      bool    `json:"draining"`
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.Requests.Load(),
+		Compiles:      s.Compiles.Load(),
+		CompileErrors: s.CompileErrs.Load(),
+		Simulates:     s.Simulates.Load(),
+		CacheHits:     s.CacheHits.Load(),
+		CacheMisses:   s.CacheMisses.Load(),
+		Coalesced:     s.Coalesced.Load(),
+		Rejected:      s.Rejected.Load(),
+		Panics:        s.Panics.Load(),
+		Timeouts:      s.Timeouts.Load(),
+		InFlight:      s.InFlight.Load(),
+	}
+}
