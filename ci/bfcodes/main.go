@@ -1,0 +1,150 @@
+// Command bfcodes is the CI consistency check for the BF diagnostic-code
+// registry. It cross-references every code the toolchain can emit — the
+// verifier passes (BF0xx/BF1xx/BF2xx/BF4xx), the abstract-interpretation
+// analyses (BF3xx), and the pin-safety analysis (BF5xx) — against two
+// ground truths:
+//
+//  1. the documentation tables in DESIGN.md (a `| BFnnn |` row per code),
+//     so every emittable finding is explained to users; and
+//  2. the test suite (the code's literal appears in some *_test.go), so
+//     every finding has at least one mutation test provoking it.
+//
+// It also flags the reverse drift: a DESIGN.md row for a code nothing
+// registers anymore. Run from the module root:
+//
+//	go run ./ci/bfcodes
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"biocoder/internal/analysis"
+	"biocoder/internal/pinsafe"
+	"biocoder/internal/verify"
+)
+
+// registered collects every diagnostic code the toolchain can emit.
+func registered() map[string]bool {
+	codes := map[string]bool{}
+	for _, p := range verify.Passes() {
+		for _, c := range p.Codes {
+			codes[c] = true
+		}
+	}
+	for _, c := range analysis.Codes() {
+		codes[c] = true
+	}
+	for _, c := range pinsafe.Codes() {
+		codes[c] = true
+	}
+	return codes
+}
+
+var docRow = regexp.MustCompile(`\|\s*(BF\d{3})\s*\|`)
+
+// documented scans DESIGN.md for `| BFnnn |` table rows.
+func documented(root string) (map[string]bool, error) {
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		return nil, err
+	}
+	codes := map[string]bool{}
+	for _, m := range docRow.FindAllStringSubmatch(string(data), -1) {
+		codes[m[1]] = true
+	}
+	return codes, nil
+}
+
+// tested scans every *_test.go under root for BF-code literals.
+func tested(root string) (map[string]bool, error) {
+	codes := map[string]bool{}
+	pat := regexp.MustCompile(`BF\d{3}`)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "artifacts" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, c := range pat.FindAllString(string(data), -1) {
+			codes[c] = true
+		}
+		return nil
+	})
+	return codes, err
+}
+
+func sorted(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// check runs the cross-reference and returns one message per violation.
+func check(root string) ([]string, error) {
+	reg := registered()
+	doc, err := documented(root)
+	if err != nil {
+		return nil, err
+	}
+	tst, err := tested(root)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, c := range sorted(reg) {
+		if !doc[c] {
+			problems = append(problems,
+				fmt.Sprintf("%s is registered but has no `| %s |` row in DESIGN.md", c, c))
+		}
+		if !tst[c] {
+			problems = append(problems,
+				fmt.Sprintf("%s is registered but no *_test.go mentions it — add a mutation test that provokes it", c))
+		}
+	}
+	for _, c := range sorted(doc) {
+		if !reg[c] {
+			problems = append(problems,
+				fmt.Sprintf("%s is documented in DESIGN.md but nothing registers it — stale row?", c))
+		}
+	}
+	return problems, nil
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfcodes:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "bfcodes:", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("bfcodes: %d diagnostic codes registered, all documented and tested\n", len(registered()))
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+// The checker must pass against the repository it lives in — this is the
+// same gate CI runs via `go run ./ci/bfcodes`, wired into `go test ./...`
+// so drift is caught locally too.
+func TestRepoCodesConsistent(t *testing.T) {
+	problems, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// Known registry facts: the three analysis families contribute, and the
+// doc/test scans actually find content (guards against a silently empty
+// scan passing the cross-reference vacuously).
+func TestScansNonEmpty(t *testing.T) {
+	reg := registered()
+	for _, c := range []string{"BF001", "BF101", "BF201", "BF301", "BF401", "BF501"} {
+		if !reg[c] {
+			t.Errorf("registry lacks %s", c)
+		}
+	}
+	doc, err := documented("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) < len(reg) {
+		t.Errorf("DESIGN.md documents %d codes, registry has %d", len(doc), len(reg))
+	}
+	tst, err := tested("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tst) < len(reg) {
+		t.Errorf("tests mention %d codes, registry has %d", len(tst), len(reg))
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"biocoder/internal/codegen"
 	"biocoder/internal/obs"
 	"biocoder/internal/parser"
+	"biocoder/internal/pinsafe"
 	"biocoder/internal/sched"
 	"biocoder/internal/verify"
 )
@@ -47,6 +48,7 @@ func main() {
 	out := flag.String("o", "", "write the serialized executable to this file")
 	doVerify := flag.Bool("verify", false, "run the static verifier over the compiled program; fail on error diagnostics")
 	doAnalyze := flag.Bool("analyze", false, "run the abstract-interpretation analyses (volumes, timing, contamination); fail on error diagnostics")
+	doPins := flag.Bool("pins", false, "run the pin-constrained safety analysis (interference graph, DSATUR pin count, broadcast replay); fail on error diagnostics")
 	tracePath := flag.String("trace", "", "write compile-phase spans as Chrome trace-event JSON (load in Perfetto) to this file")
 	timeout := flag.Duration("timeout", 0, "abort compilation after this duration (0: no limit)")
 	list := flag.Bool("list", false, "list benchmark assays and exit")
@@ -116,13 +118,6 @@ func main() {
 		fatal(err)
 	}
 
-	if *tracePath != "" {
-		if err := writeTrace(*tracePath, tracer); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote compile trace to %s\n", *tracePath)
-	}
-
 	if *doVerify {
 		rep := verify.Run(&verify.Unit{
 			Graph:     prog.Graph,
@@ -155,6 +150,33 @@ func main() {
 		if res.Report.HasErrors() {
 			fatal(fmt.Errorf("analysis failed with %d error(s)", res.Report.Count(verify.Error)))
 		}
+	}
+
+	if *doPins {
+		res, err := pinsafe.Analyze(&verify.Unit{
+			Graph: prog.Graph,
+			Exec:  prog.Executable,
+		}, pinsafe.Config{Tracer: tracer})
+		if err != nil {
+			fatal(err)
+		}
+		if s := res.Report.String(); s != "" {
+			fmt.Fprint(os.Stderr, s)
+		}
+		fmt.Fprintf(os.Stderr, "pins: %d electrodes, %d interference edge(s), minimum %d safe pin(s)\n",
+			res.Electrodes, len(res.Conflicts), res.MinPins)
+		if res.Report.HasErrors() {
+			fatal(fmt.Errorf("pin-safety analysis failed with %d error(s)", res.Report.Count(verify.Error)))
+		}
+	}
+
+	// Written after the optional analyses so their spans (e.g. pinsafe's
+	// interference/assign/broadcast) land in the trace too.
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote compile trace to %s\n", *tracePath)
 	}
 
 	if *out != "" {

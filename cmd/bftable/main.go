@@ -7,7 +7,9 @@
 //
 // Each row also breaks the compile time down by phase (schedule, place,
 // route, codegen) from the compiler's own phase spans; routing is reported
-// separately even though it runs inside code generation.
+// separately even though it runs inside code generation. The Pins column
+// reports the pin-constrained summary from internal/pinsafe: the DSATUR
+// minimum safe control-pin count over the number of electrodes actuated.
 //
 // Usage:
 //
@@ -25,6 +27,7 @@ import (
 	"biocoder/internal/analysis"
 	"biocoder/internal/assays"
 	"biocoder/internal/obs"
+	"biocoder/internal/pinsafe"
 	"biocoder/internal/sensor"
 	"biocoder/internal/verify"
 )
@@ -58,6 +61,7 @@ func main() {
 		best, worst             time.Duration
 		hasBounds               bool
 		sched, place, route, cg time.Duration
+		minPins, electrodes     int
 	}
 	var rows []row
 
@@ -78,6 +82,13 @@ func main() {
 		if err == nil && ares.Timing != nil {
 			best, worst, hasBounds = ares.Timing.Best, ares.Timing.Worst, true
 		}
+		minPins, electrodes := 0, 0
+		if pres, err := pinsafe.Analyze(&verify.Unit{
+			Graph: prog.Graph,
+			Exec:  prog.Executable,
+		}, pinsafe.Config{}); err == nil {
+			minPins, electrodes = pres.MinPins, pres.Electrodes
+		}
 		for _, sc := range a.Scenarios {
 			model := sensor.NewScripted(sc.Script)
 			model.Fallback = sensor.NewUniform(1)
@@ -87,39 +98,44 @@ func main() {
 				os.Exit(1)
 			}
 			rows = append(rows, row{a.Name, sc.Name, a.Source, sc.PaperTime, res.Time,
-				best, worst, hasBounds, phSched, phPlace, phRoute, phCG})
+				best, worst, hasBounds, phSched, phPlace, phRoute, phCG, minPins, electrodes})
 		}
 	}
 
 	if *tsv {
-		fmt.Println("benchmark\tscenario\tsource\tpaper_s\tmeasured_s\tstatic_best_s\tstatic_worst_s\tsched_ms\tplace_ms\troute_ms\tcodegen_ms")
+		fmt.Println("benchmark\tscenario\tsource\tpaper_s\tmeasured_s\tstatic_best_s\tstatic_worst_s\tsched_ms\tplace_ms\troute_ms\tcodegen_ms\tmin_pins\telectrodes")
 		for _, r := range rows {
-			fmt.Printf("%s\t%s\t%s\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			fmt.Printf("%s\t%s\t%s\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\n",
 				r.assay, r.scenario, r.source, r.paper.Seconds(), r.measured.Seconds(),
 				r.best.Seconds(), r.worst.Seconds(),
 				float64(r.sched.Microseconds())/1000, float64(r.place.Microseconds())/1000,
-				float64(r.route.Microseconds())/1000, float64(r.cg.Microseconds())/1000)
+				float64(r.route.Microseconds())/1000, float64(r.cg.Microseconds())/1000,
+				r.minPins, r.electrodes)
 		}
 		return
 	}
 
 	fmt.Println("Table 1. Benchmark assays and simulated execution times (paper vs this implementation)")
 	fmt.Println()
-	fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %-6s | %-12s | %-12s | %-8s | %-8s | %-8s | %-8s |\n",
+	fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %-6s | %-12s | %-12s | %-8s | %-8s | %-8s | %-8s | %-8s |\n",
 		"Benchmark", "Scenario", "Source", "Paper", "Measured", "Dev", "Static best", "Static worst",
-		"Sched", "Place", "Route", "Codegen")
-	fmt.Printf("|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|\n",
+		"Sched", "Place", "Route", "Codegen", "Pins")
+	fmt.Printf("|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|\n",
 		dashes(32), dashes(12), dashes(10), dashes(14), dashes(14), dashes(8), dashes(14), dashes(14),
-		dashes(10), dashes(10), dashes(10), dashes(10))
+		dashes(10), dashes(10), dashes(10), dashes(10), dashes(10))
 	for _, r := range rows {
 		dev := (r.measured.Seconds() - r.paper.Seconds()) / r.paper.Seconds() * 100
 		sb, sw := "n/a", "n/a"
 		if r.hasBounds {
 			sb, sw = fmtDur(r.best), fmtDur(r.worst)
 		}
-		fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %+5.1f%% | %-12s | %-12s | %-8s | %-8s | %-8s | %-8s |\n",
+		pins := "n/a"
+		if r.electrodes > 0 {
+			pins = fmt.Sprintf("%d/%d", r.minPins, r.electrodes)
+		}
+		fmt.Printf("| %-30s | %-10s | %-8s | %-12s | %-12s | %+5.1f%% | %-12s | %-12s | %-8s | %-8s | %-8s | %-8s | %-8s |\n",
 			r.assay, r.scenario, r.source, fmtDur(r.paper), fmtDur(r.measured), dev, sb, sw,
-			fmtMS(r.sched), fmtMS(r.place), fmtMS(r.route), fmtMS(r.cg))
+			fmtMS(r.sched), fmtMS(r.place), fmtMS(r.route), fmtMS(r.cg), pins)
 	}
 }
 

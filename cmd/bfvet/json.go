@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"biocoder/internal/analysis"
+	"biocoder/internal/pinsafe"
 	"biocoder/internal/verify"
 )
 
@@ -51,15 +52,33 @@ type jsonWash struct {
 	TourCycles int    `json:"tourCycles,omitempty"`
 }
 
+// jsonPass is the wall-clock cost of one verification or analysis pass.
+type jsonPass struct {
+	Name   string `json:"name"`
+	Micros int64  `json:"micros"`
+}
+
+// jsonPins summarizes a pin-safety analysis: how many electrodes the assay
+// actuates, how constrained they are, and how many pins suffice.
+type jsonPins struct {
+	Electrodes        int  `json:"electrodes"`
+	InterferenceEdges int  `json:"interferenceEdges"`
+	MinPins           int  `json:"minPins"`
+	MapPins           int  `json:"mapPins"`
+	Derived           bool `json:"derived"`
+}
+
 // jsonTarget is one verified or analyzed program in the JSON report.
 type jsonTarget struct {
 	Name        string       `json:"name"`
 	Error       string       `json:"error,omitempty"`
 	Diags       []jsonDiag   `json:"diagnostics"`
+	Passes      []jsonPass   `json:"passes,omitempty"`
 	Timing      *jsonTiming  `json:"timing,omitempty"`
 	Outputs     []jsonOutput `json:"outputs,omitempty"`
 	Hazards     int          `json:"hazards,omitempty"`
 	Suggestions []jsonWash   `json:"washSuggestions,omitempty"`
+	Pins        *jsonPins    `json:"pins,omitempty"`
 }
 
 func diagJSON(d verify.Diag) jsonDiag {
@@ -92,9 +111,32 @@ func diagsJSON(rep *verify.Report) []jsonDiag {
 	return out
 }
 
+// passesJSON renders the pass-level wall-clock accounting of a report.
+func passesJSON(rep *verify.Report) []jsonPass {
+	out := make([]jsonPass, 0, len(rep.PassTimes))
+	for _, pt := range rep.PassTimes {
+		out = append(out, jsonPass{Name: pt.Name, Micros: pt.Duration.Microseconds()})
+	}
+	return out
+}
+
+// pinsJSON folds a pin-safety result into a target record.
+func pinsJSON(t *jsonTarget, res *pinsafe.Result, rep *verify.Report) {
+	t.Diags = diagsJSON(rep)
+	t.Passes = passesJSON(rep)
+	t.Pins = &jsonPins{
+		Electrodes:        res.Electrodes,
+		InterferenceEdges: len(res.Conflicts),
+		MinPins:           res.MinPins,
+		MapPins:           res.Map.NumPins(),
+		Derived:           res.Derived,
+	}
+}
+
 // analysisJSON folds an analysis result into a target record.
 func analysisJSON(t *jsonTarget, res *analysis.Result) {
 	t.Diags = diagsJSON(res.Report)
+	t.Passes = passesJSON(res.Report)
 	if res.Timing != nil {
 		jt := &jsonTiming{
 			BestCycles:  res.Timing.BestCycles,

@@ -15,6 +15,14 @@
 // bounds with inferred loop bounds (BF310-BF312), and cross-contamination
 // hazards with suggested wash insertion points (BF320-BF321).
 //
+// The pins subcommand runs the pin-constrained safety analysis of
+// internal/pinsafe: it derives the electrode interference graph, reports
+// the minimum safe control-pin count (DSATUR), and verifies a pin map —
+// the derived one, or an explicit map given with -pinmap — by broadcast
+// replay (BF501-BF503). -pins bounds the acceptable pin count, -o writes
+// the derived map out, and -deadline additionally checks the static timing
+// bounds (BF310-BF312) as under analyze.
+//
 // Usage:
 //
 //	bfvet protocol.bio ...
@@ -23,6 +31,9 @@
 //	bfvet -chip chip.cfg -Werror -json protocol.bio
 //	bfvet analyze protocol.bio
 //	bfvet analyze -deadline 10m -target DNA=0.25:0.05 -json protocol.bio
+//	bfvet pins protocol.bio
+//	bfvet pins -pins 24 -o protocol.pins -json protocol.bio
+//	bfvet pins -pinmap board.pins -Werror protocol.bio
 //
 // Diagnostics print one per line as CODE severity [location]: message, or as
 // a JSON array with -json. bfvet exits 1 when any error-severity diagnostic
@@ -44,6 +55,7 @@ import (
 	"biocoder/internal/arch"
 	"biocoder/internal/assays"
 	"biocoder/internal/cfg"
+	"biocoder/internal/pinsafe"
 	"biocoder/internal/verify"
 )
 
@@ -54,6 +66,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "analyze" {
 		return runAnalyze(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "pins" {
+		return runPins(args[1:], stdout, stderr)
 	}
 	return runVerify(args, stdout, stderr)
 }
@@ -152,7 +167,7 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	var targets []jsonTarget
 	report := func(name string, rep *verify.Report) {
 		if *asJSON {
-			targets = append(targets, jsonTarget{Name: name, Diags: diagsJSON(rep)})
+			targets = append(targets, jsonTarget{Name: name, Diags: diagsJSON(rep), Passes: passesJSON(rep)})
 		} else {
 			for _, d := range rep.Diags {
 				fmt.Fprintf(stdout, "%s: %s\n", name, d)
@@ -300,6 +315,151 @@ func runAnalyze(args []string, stdout, stderr io.Writer) int {
 		}
 		if res.Report.HasErrors() || (*wError && res.Report.Count(verify.Warning) > 0) {
 			failed = true
+		}
+	}
+
+	if *asJSON {
+		if err := writeJSON(stdout, targets); err != nil {
+			fmt.Fprintln(stderr, "bfvet:", err)
+			return 2
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func runPins(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bfvet pins", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	assayName := fs.String("assay", "", "analyze a benchmark assay by name")
+	chipCfg := fs.String("chip", "", "chip configuration file (default: the paper's 15x19 chip)")
+	wError := fs.Bool("Werror", false, "treat warnings as errors")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON results")
+	pinBudget := fs.Int("pins", 0, "fail when the minimum safe pin count exceeds this budget")
+	pinmapFile := fs.String("pinmap", "", "verify this pin map (X Y PIN lines) instead of deriving one")
+	outFile := fs.String("o", "", "write the verified pin map to this file")
+	deadline := fs.Duration("deadline", 0, "also check the static timing bounds against this wall-clock budget (BF312)")
+	list := fs.Bool("list", false, "list benchmark assays and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		listAssays(stdout)
+		return 0
+	}
+
+	chip, ok := loadChip(*chipCfg, stderr)
+	if !ok {
+		return 2
+	}
+	jobs, ok := buildJobs(*assayName, fs.Args(), stderr)
+	if !ok {
+		return 2
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(stderr, "bfvet pins: nothing to analyze (give .bio files or -assay)")
+		fs.Usage()
+		return 2
+	}
+	if *outFile != "" && len(jobs) > 1 {
+		fmt.Fprintln(stderr, "bfvet pins: -o wants exactly one target")
+		return 2
+	}
+
+	var pinMap *pinsafe.PinMap
+	if *pinmapFile != "" {
+		f, err := os.Open(*pinmapFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "bfvet:", err)
+			return 2
+		}
+		pinMap, err = pinsafe.ParsePinMap(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "bfvet:", err)
+			return 2
+		}
+	}
+
+	failed := false
+	var targets []jsonTarget
+	for _, j := range jobs {
+		g, err := j.graph()
+		if err != nil {
+			fmt.Fprintf(stderr, "bfvet: %s: %v\n", j.name, err)
+			failed = true
+			continue
+		}
+		prog, err := biocoder.CompileGraph(g, chip)
+		if err != nil {
+			fmt.Fprintf(stderr, "bfvet: %s: compile: %v\n", j.name, err)
+			failed = true
+			continue
+		}
+		unit := &verify.Unit{Graph: prog.Graph, Exec: prog.Executable}
+		res, err := pinsafe.Analyze(unit, pinsafe.Config{Map: pinMap})
+		if err != nil {
+			fmt.Fprintf(stderr, "bfvet: %s: pins: %v\n", j.name, err)
+			failed = true
+			continue
+		}
+		rep := res.Report
+		if *deadline > 0 {
+			// The deadline check is the analyze subcommand's BF310-BF312
+			// semantics, scoped to the timing codes so pins output stays
+			// about pins.
+			ares, err := analysis.Analyze(unit, analysis.Config{Deadline: *deadline})
+			if err != nil {
+				fmt.Fprintf(stderr, "bfvet: %s: analyze: %v\n", j.name, err)
+				failed = true
+				continue
+			}
+			for _, code := range []string{"BF310", "BF311", "BF312"} {
+				rep.Merge(verify.NewReport(ares.Report.ByCode(code)))
+			}
+			rep.PassTimes = append(rep.PassTimes, ares.Report.PassTimes...)
+		}
+		overBudget := *pinBudget > 0 && res.MinPins > *pinBudget
+		if *asJSON {
+			t := jsonTarget{Name: j.name}
+			pinsJSON(&t, res, rep)
+			targets = append(targets, t)
+		} else {
+			for _, d := range rep.Diags {
+				fmt.Fprintf(stdout, "%s: %s\n", j.name, d)
+			}
+			what := "derived map"
+			if !res.Derived {
+				what = *pinmapFile
+			}
+			fmt.Fprintf(stdout, "%s: %d electrodes, %d interference edge(s), minimum %d safe pin(s) (%s: %d pin(s))\n",
+				j.name, res.Electrodes, len(res.Conflicts), res.MinPins, what, res.Map.NumPins())
+		}
+		if overBudget {
+			fmt.Fprintf(stderr, "bfvet: %s: minimum safe pin count %d exceeds the budget of %d\n",
+				j.name, res.MinPins, *pinBudget)
+			failed = true
+		}
+		if rep.HasErrors() || (*wError && rep.Count(verify.Warning) > 0) {
+			failed = true
+		}
+		if *outFile != "" {
+			f, err := os.Create(*outFile)
+			if err != nil {
+				fmt.Fprintln(stderr, "bfvet:", err)
+				return 2
+			}
+			err = res.Map.Write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "bfvet:", err)
+				return 2
+			}
 		}
 	}
 

@@ -185,3 +185,113 @@ func TestAnalyzeUsageErrors(t *testing.T) {
 		t.Errorf("unknown assay: exit %d, want 2", code)
 	}
 }
+
+func TestPinsAssay(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"pins", "-assay", "PCR"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"electrodes", "interference edge(s)", "safe pin(s)", "derived map"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pins summary lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BF5") {
+		t.Errorf("derived map for a corpus assay must verify clean:\n%s", out)
+	}
+}
+
+func TestPinsJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"pins", "-json", "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var targets []jsonTarget
+	if err := json.Unmarshal(stdout.Bytes(), &targets); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(targets))
+	}
+	tgt := targets[0]
+	if tgt.Pins == nil {
+		t.Fatal("no pins object in JSON")
+	}
+	if tgt.Pins.Electrodes <= 0 || tgt.Pins.MinPins <= 0 || tgt.Pins.MinPins >= tgt.Pins.Electrodes {
+		t.Errorf("implausible pin summary: %+v", tgt.Pins)
+	}
+	if !tgt.Pins.Derived || tgt.Pins.MapPins != tgt.Pins.MinPins {
+		t.Errorf("derived map should use exactly the minimum pins: %+v", tgt.Pins)
+	}
+	if len(tgt.Passes) == 0 {
+		t.Error("no pass timings in JSON")
+	}
+	if len(tgt.Diags) != 0 {
+		t.Errorf("derived map has diagnostics: %+v", tgt.Diags)
+	}
+}
+
+func TestPinsBudgetFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// PCR needs 6 pins at minimum; a budget of 1 is provably exceeded.
+	if code := run([]string{"pins", "-pins", "1", "-assay", "PCR"}, &stdout, &stderr); code != 1 {
+		t.Errorf("exit %d, want 1 for an impossible pin budget", code)
+	}
+	if !strings.Contains(stderr.String(), "exceeds the budget") {
+		t.Errorf("no budget message on stderr:\n%s", stderr.String())
+	}
+}
+
+// The -o / -pinmap round trip: a derived map written out must parse back
+// and verify clean when handed back as an explicit map.
+func TestPinsMapRoundTrip(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	mapPath := filepath.Join(t.TempDir(), "pcr.pins")
+	if code := run([]string{"pins", "-o", mapPath, "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("derive: exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if _, err := os.Stat(mapPath); err != nil {
+		t.Fatalf("no map written: %v", err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"pins", "-pinmap", mapPath, "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("replay: exit %d, stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), mapPath) {
+		t.Errorf("summary does not name the explicit map:\n%s", stdout.String())
+	}
+}
+
+func TestPinsDeadlineFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// PCR needs ~11m40s; a 1-second budget is provably missed.
+	if code := run([]string{"pins", "-deadline", "1s", "-assay", "PCR"}, &stdout, &stderr); code != 1 {
+		t.Errorf("exit %d, want 1 for an impossible deadline", code)
+	}
+	if !strings.Contains(stdout.String(), "BF312") {
+		t.Errorf("no BF312 in output:\n%s", stdout.String())
+	}
+}
+
+func TestPinsUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"pins"}, &stdout, &stderr); code != 2 {
+		t.Errorf("no inputs: exit %d, want 2", code)
+	}
+	if code := run([]string{"pins", "-assay", "No Such Assay"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown assay: exit %d, want 2", code)
+	}
+	if code := run([]string{"pins", "-pinmap", filepath.Join(t.TempDir(), "missing.pins"), "-assay", "PCR"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing pin map: exit %d, want 2", code)
+	}
+	badMap := writeScript(t, "not a pin map\n")
+	if code := run([]string{"pins", "-pinmap", badMap, "-assay", "PCR"}, &stdout, &stderr); code != 2 {
+		t.Errorf("malformed pin map: exit %d, want 2", code)
+	}
+	if code := run([]string{"pins", "-o", filepath.Join(t.TempDir(), "x.pins"), writeScript(t, cleanScript), writeScript(t, cleanScript)}, &stdout, &stderr); code != 2 {
+		t.Errorf("-o with two targets: exit %d, want 2", code)
+	}
+}

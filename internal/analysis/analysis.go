@@ -41,6 +41,11 @@ import (
 	"biocoder/internal/wash"
 )
 
+// Codes lists the diagnostic codes this package can emit.
+func Codes() []string {
+	return []string{"BF301", "BF302", "BF303", "BF310", "BF311", "BF312", "BF320", "BF321"}
+}
+
 // Target requests a reachability proof for one output concentration: some
 // output droplet must be able to carry Reagent at Fraction±Tolerance.
 type Target struct {
@@ -121,11 +126,18 @@ func Analyze(u *verify.Unit, conf Config) (*Result, error) {
 	}
 	rep := &reporter{}
 	res := &Result{}
-	res.Outputs = analyzeVolumes(nu.Graph, conf, rep)
+	var times []verify.PassTime
+	timed := func(name string, run func()) {
+		start := time.Now()
+		run()
+		times = append(times, verify.PassTime{Name: name, Duration: time.Since(start)})
+	}
+	timed("volume", func() { res.Outputs = analyzeVolumes(nu.Graph, conf, rep) })
 	if nu.Exec != nil {
-		res.Timing = analyzeTiming(&nu, conf, rep)
-		res.Hazards, res.Suggestions = analyzeContamination(&nu, conf, rep)
+		timed("timing", func() { res.Timing = analyzeTiming(&nu, conf, rep) })
+		timed("contamination", func() { res.Hazards, res.Suggestions = analyzeContamination(&nu, conf, rep) })
 	}
 	res.Report = verify.NewReport(rep.diags)
+	res.Report.PassTimes = times
 	return res, nil
 }

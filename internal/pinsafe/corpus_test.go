@@ -1,0 +1,103 @@
+// The pin-safety corpus gate: every bundled benchmark assay and every
+// BioScript file under internal/assays/scripts must admit a DSATUR pin map
+// that is strictly smaller than its electrode count and that passes the
+// broadcast replay verification with zero BF5xx findings — the guarantee
+// the ROADMAP's pin-constrained codegen backend will build on.
+package pinsafe_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/cfg"
+	"biocoder/internal/pinsafe"
+	"biocoder/internal/verify"
+)
+
+// pinsClean compiles the graph (with and without edge folding) and requires
+// a verified pin map with fewer pins than electrodes at every variant.
+func pinsClean(t *testing.T, name string, build func() (*cfg.Graph, error)) {
+	t.Helper()
+	for _, variant := range []struct {
+		name string
+		opt  biocoder.Options
+	}{
+		{"default", biocoder.Options{}},
+		{"folded", biocoder.Options{FoldEdges: true}},
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		prog, err := biocoder.CompileGraphOptions(g, arch.Default(), variant.opt)
+		if err != nil {
+			t.Fatalf("%s (%s): compile: %v", name, variant.name, err)
+		}
+		res, err := pinsafe.Analyze(&verify.Unit{
+			Graph: prog.Graph,
+			Exec:  prog.Executable,
+		}, pinsafe.Config{})
+		if err != nil {
+			t.Fatalf("%s (%s): pinsafe: %v", name, variant.name, err)
+		}
+		if len(res.Report.Diags) != 0 {
+			t.Errorf("%s (%s): derived pin map fails broadcast verification:\n%s", name, variant.name, res.Report)
+		}
+		if res.Electrodes == 0 {
+			t.Fatalf("%s (%s): no electrodes actuated", name, variant.name)
+		}
+		if res.MinPins >= res.Electrodes {
+			t.Errorf("%s (%s): %d pins for %d electrodes: pin sharing saves nothing",
+				name, variant.name, res.MinPins, res.Electrodes)
+		}
+		if got := res.Map.NumPins(); got != res.MinPins {
+			t.Errorf("%s (%s): derived map carries %d pins, MinPins says %d",
+				name, variant.name, got, res.MinPins)
+		}
+	}
+}
+
+func TestAssayCorpusAdmitsPinMaps(t *testing.T) {
+	all := assays.All()
+	if len(all) == 0 {
+		t.Fatal("no benchmark assays registered")
+	}
+	for _, a := range all {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			pinsClean(t, a.Name, func() (*cfg.Graph, error) { return a.Build().Build() })
+		})
+	}
+}
+
+func TestScriptCorpusAdmitsPinMaps(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "assays", "scripts", "*.bio"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .bio scripts found in internal/assays/scripts")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			t.Parallel()
+			pinsClean(t, file, func() (*cfg.Graph, error) {
+				src, err := os.ReadFile(file)
+				if err != nil {
+					return nil, err
+				}
+				bs, err := biocoder.ParseScript(string(src))
+				if err != nil {
+					return nil, err
+				}
+				return bs.Build()
+			})
+		})
+	}
+}

@@ -1,0 +1,91 @@
+// FuzzPinMap drives the broadcast replay verifier with arbitrary pin maps
+// over a real compiled assay. Two properties must hold for every input:
+// the verifier never panics, and the static interference graph agrees with
+// the replay — a map produces BF501 findings exactly when its broadcast
+// replay diverges somewhere (BF502). The agreement is what lets `bfvet
+// pins` trust DSATUR: a coloring of the interference graph passes replay
+// verification by construction.
+package pinsafe_test
+
+import (
+	"sync"
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/arch"
+	"biocoder/internal/assays"
+	"biocoder/internal/pinsafe"
+	"biocoder/internal/verify"
+)
+
+var fuzzSetup struct {
+	once sync.Once
+	an   *pinsafe.Analysis
+	used []arch.Point
+	err  error
+}
+
+// fuzzAnalysis compiles the PCR benchmark once and shares its interference
+// graph across all fuzz executions.
+func fuzzAnalysis(tb testing.TB) (*pinsafe.Analysis, []arch.Point) {
+	fuzzSetup.once.Do(func() {
+		prog, err := biocoder.Compile(assays.PCR().Build(), biocoder.Options{})
+		if err != nil {
+			fuzzSetup.err = err
+			return
+		}
+		an, err := pinsafe.New(nil, &verify.Unit{Exec: prog.Executable})
+		if err != nil {
+			fuzzSetup.err = err
+			return
+		}
+		fuzzSetup.an = an
+		fuzzSetup.used = an.Used()
+	})
+	if fuzzSetup.err != nil {
+		tb.Fatal(fuzzSetup.err)
+	}
+	return fuzzSetup.an, fuzzSetup.used
+}
+
+func FuzzPinMap(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{3, 0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{8, 255, 254, 253, 1, 3, 5, 7, 9, 11})
+	f.Add([]byte{16, 42, 42, 42, 42})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		an, used := fuzzAnalysis(t)
+		if len(data) == 0 {
+			t.Skip()
+		}
+		// Derive a pin map from the fuzz bytes: byte 0 picks the pin
+		// count, each further byte decides whether the next used electrode
+		// is mapped (odd) and to which pin. Unmapped electrodes keep
+		// dedicated pins, as PinMap specifies.
+		pins := int(data[0])%32 + 1
+		m := &pinsafe.PinMap{Pins: map[arch.Point]int{}}
+		for i, c := range used {
+			b := data[(i+1)%len(data)]
+			if b&1 == 0 {
+				continue
+			}
+			m.Pins[c] = int(b>>1) % pins
+		}
+		diags := an.Verify(m)
+		var n501, n502 int
+		for _, d := range diags {
+			switch d.Code {
+			case "BF501":
+				n501++
+			case "BF502":
+				n502++
+			case "BF503":
+				t.Errorf("BF503 without any defective electrode: %s", d)
+			}
+		}
+		if (n501 > 0) != (n502 > 0) {
+			t.Errorf("interference graph and broadcast replay disagree: %d BF501 vs %d BF502 findings\nmap: %v",
+				n501, n502, m.Pins)
+		}
+	})
+}

@@ -36,6 +36,9 @@ type replayResult struct {
 	// ReplayTouches).
 	blockTouch map[int][]Touch
 	edgeTouch  map[[2]int][]Touch
+	// Motion accounts, populated only for ReplayMoves.
+	blockMoves map[int]*SeqReplay
+	edgeMoves  map[[2]int]*SeqReplay
 }
 
 func (c *context) replayExec() *replayResult {
@@ -83,6 +86,10 @@ type replayer struct {
 	// the sequence currently being replayed.
 	record bool
 	cur    []Touch
+	// recMoves turns on frame-driven-motion capture (ReplayMoves); curMoves
+	// collects the moves of the sequence currently being replayed.
+	recMoves bool
+	curMoves []Move
 }
 
 func (r *replayer) touch(f ir.FluidID, c arch.Point, t int) {
@@ -141,6 +148,64 @@ func ReplayTouches(u *Unit) (blocks map[int][]Touch, edges map[[2]int][]Touch) {
 	return res.blockTouch, res.edgeTouch
 }
 
+// Move is one frame-driven droplet motion reconstructed by the symbolic
+// replay: at cycle Cycle the droplet left From because its own electrode
+// went inactive and To was the unique active neighbor. Holds (own electrode
+// kept active) are not moves; neither are the structural event placements
+// (dispense, split, merge), which are read off the sequence's Events.
+type Move struct {
+	Cycle    int
+	Fluid    ir.FluidID
+	From, To arch.Point
+}
+
+// SeqReplay is the motion account of one replayed activation sequence: the
+// droplet positions it starts from (block entry contract, or the
+// predecessor's exit filtered through the edge copies) and every
+// frame-driven move, in cycle order. OK reports that the replay ran to
+// completion; an aborted sequence carries the moves up to the abort point.
+type SeqReplay struct {
+	Start map[ir.FluidID]arch.Point
+	Moves []Move
+	OK    bool
+}
+
+// ReplayMoves re-runs the symbolic replay over the unit's executable and
+// returns, per block ID and per CFG edge (from, to), the start positions and
+// every frame-driven droplet move of that sequence. Sequences that were
+// never replayed (missing code, empty edges, folded edges) have no entry.
+// The diagnostics of this replay are discarded — use Run for those. This is
+// the substrate of the electrode-interference analysis in internal/pinsafe.
+func ReplayMoves(u *Unit) (blocks map[int]*SeqReplay, edges map[[2]int]*SeqReplay) {
+	u = u.normalized()
+	res := &replayResult{
+		blockEnd:   map[int]map[ir.FluidID]arch.Point{},
+		edgeEnd:    map[[2]int]map[ir.FluidID]arch.Point{},
+		blockMoves: map[int]*SeqReplay{},
+		edgeMoves:  map[[2]int]*SeqReplay{},
+	}
+	if u.Exec == nil || u.Chip == nil {
+		return res.blockMoves, res.edgeMoves
+	}
+	r := &replayer{
+		unit:     u,
+		instrs:   indexInstrs(u.Graph),
+		res:      res,
+		heaters:  u.Chip.DevicesOf(arch.Heater),
+		recMoves: true,
+	}
+	r.run()
+	return res.blockMoves, res.edgeMoves
+}
+
+func clonePositions(m map[ir.FluidID]arch.Point) map[ir.FluidID]arch.Point {
+	out := make(map[ir.FluidID]arch.Point, len(m))
+	for f, p := range m {
+		out[f] = p
+	}
+	return out
+}
+
 func (r *replayer) errorf(code string, pos Pos, format string, args ...any) {
 	if len(r.res.diags) >= maxDiags {
 		return
@@ -163,10 +228,14 @@ func (r *replayer) run() {
 			continue
 		}
 		r.cur = nil
+		r.curMoves = nil
 		end := r.replaySequence(scope, bc.Seq, bc.Entry)
 		r.res.blockEnd[b.ID] = end
 		if r.record {
 			r.res.blockTouch[b.ID] = r.cur
+		}
+		if r.recMoves {
+			r.res.blockMoves[b.ID] = &SeqReplay{Start: clonePositions(bc.Entry), Moves: r.curMoves, OK: end != nil}
 		}
 		if end != nil {
 			r.checkBoundary(scope, "exit contract", end, bc.Exit)
@@ -546,6 +615,9 @@ func (r *replayer) applyFrame(scope string, f codegen.Frame, t int, pos map[ir.F
 		case 1:
 			pos[f] = next[0]
 			r.touch(f, next[0], t)
+			if r.recMoves {
+				r.curMoves = append(r.curMoves, Move{Cycle: t, Fluid: f, From: p, To: next[0]})
+			}
 		case 0:
 			r.errorf("BF107", Pos{Scope: scope, InstrID: -1, Cycle: t, Cell: p, HasCell: true},
 				"droplet %s at %v stranded: no active electrode in reach", f, p)
@@ -641,10 +713,14 @@ func (r *replayer) replayEdge(from, to *cfg.Block) {
 			return
 		}
 		r.cur = nil
+		r.curMoves = nil
 		end := r.replaySequence(scope, ec.Seq, start)
 		r.res.edgeEnd[[2]int{from.ID, to.ID}] = end
 		if r.record {
 			r.res.edgeTouch[[2]int{from.ID, to.ID}] = r.cur
+		}
+		if r.recMoves {
+			r.res.edgeMoves[[2]int{from.ID, to.ID}] = &SeqReplay{Start: clonePositions(start), Moves: r.curMoves, OK: end != nil}
 		}
 		if end == nil {
 			return

@@ -47,7 +47,9 @@
 //
 // The BF3xx range is reserved for the abstract-interpretation analyses in
 // internal/analysis (volume/concentration intervals, static timing bounds,
-// cross-contamination), which report through this package's Diag model.
+// cross-contamination), and the BF5xx range for the pin-constrained safety
+// analysis in internal/pinsafe (electrode interference and broadcast
+// actuation replay); both report through this package's Diag model.
 //
 // Codes are stable: tests and tooling may match on them.
 package verify
@@ -56,6 +58,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"biocoder/internal/arch"
 	"biocoder/internal/cfg"
@@ -240,11 +243,20 @@ func ExecPasses() []*Pass {
 // compilation emits.
 const maxDiags = 2000
 
+// PassTime records the wall-clock cost of one pass in a verification run,
+// for the pass-level timing in bfvet's machine-readable output.
+type PassTime struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Report collects the findings of one verification run.
 type Report struct {
 	Diags []Diag
 	// Passes lists the names of the passes that actually ran.
 	Passes []string
+	// PassTimes carries the wall-clock cost of each pass, in run order.
+	PassTimes []PassTime
 }
 
 // Run verifies u with the given passes (all applicable passes when none are
@@ -262,7 +274,9 @@ func Run(u *Unit, passes ...*Pass) *Report {
 		}
 		ctx.pass = p
 		rep.Passes = append(rep.Passes, p.Name)
+		start := time.Now()
 		p.run(ctx)
+		rep.PassTimes = append(rep.PassTimes, PassTime{Name: p.Name, Duration: time.Since(start)})
 	}
 	rep.Diags = ctx.diags
 	rep.sort()
@@ -307,6 +321,7 @@ func (r *Report) sort() {
 func (r *Report) Merge(other *Report) {
 	r.Diags = append(r.Diags, other.Diags...)
 	r.Passes = append(r.Passes, other.Passes...)
+	r.PassTimes = append(r.PassTimes, other.PassTimes...)
 	r.sort()
 }
 

@@ -14,7 +14,9 @@ import (
 	"biocoder"
 	"biocoder/internal/assays"
 	"biocoder/internal/obs"
+	"biocoder/internal/pinsafe"
 	"biocoder/internal/sensor"
+	"biocoder/internal/verify"
 )
 
 func compileOnce(b *testing.B, tracer *biocoder.Tracer) {
@@ -75,6 +77,42 @@ func BenchmarkRunPlain(b *testing.B) {
 	}
 }
 
+func pinsOnce(b *testing.B, prog *biocoder.Compiled, tracer *biocoder.Tracer) {
+	b.Helper()
+	_, err := pinsafe.Analyze(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable},
+		pinsafe.Config{Tracer: tracer})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPinsTraced measures the pin-safety analysis with a live tracer
+// (its interference/assign/broadcast spans recorded); compare against
+// BenchmarkPinsUntraced for the instrumentation cost.
+func BenchmarkPinsTraced(b *testing.B) {
+	prog, err := biocoder.Compile(assays.PCRReplenish().Build(), biocoder.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pinsOnce(b, prog, biocoder.NewTracer())
+	}
+}
+
+// BenchmarkPinsUntraced is the nil-tracer baseline for the pin-safety
+// analysis.
+func BenchmarkPinsUntraced(b *testing.B) {
+	prog, err := biocoder.Compile(assays.PCRReplenish().Build(), biocoder.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pinsOnce(b, prog, nil)
+	}
+}
+
 // TestNilTracerZeroAlloc pins down the untraced fast path: starting and
 // ending spans and setting attributes on a nil tracer must not allocate,
 // so instrumented code paths cost nothing when observability is off.
@@ -123,5 +161,10 @@ func TestObservabilityOverhead(t *testing.T) {
 	inst = measure(BenchmarkCompileTraced)
 	if 2*inst > 5*base {
 		t.Errorf("traced compile %dns/op vs untraced %dns/op: more than 2.5x overhead", inst, base)
+	}
+	base = measure(BenchmarkPinsUntraced)
+	inst = measure(BenchmarkPinsTraced)
+	if 2*inst > 5*base {
+		t.Errorf("traced pins analysis %dns/op vs untraced %dns/op: more than 2.5x overhead", inst, base)
 	}
 }
