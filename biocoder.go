@@ -393,12 +393,99 @@ type Fault = exec.Fault
 // RecoveryResult extends Result with recovery accounting.
 type RecoveryResult = exec.RecoveryResult
 
+// Runtime fault-model re-exports: permanent electrode degradation and the
+// checkpointed recovery machinery (see internal/exec).
+type (
+	// Degradation models permanent chip wear for RunOptions.Degradation:
+	// scheduled stuck-at-off electrodes and an actuation wear budget.
+	Degradation = exec.Degradation
+	// StuckAt schedules one permanent electrode failure.
+	StuckAt = exec.StuckAt
+	// StuckElectrodeError is the typed detection of a permanent fault.
+	StuckElectrodeError = exec.StuckElectrodeError
+	// Checkpoint is a machine snapshot at a block boundary.
+	Checkpoint = exec.Checkpoint
+	// RecoveryEvent is the per-incident accounting of one recovery.
+	RecoveryEvent = exec.RecoveryEvent
+)
+
 // RunWithRecovery simulates the assay under injected transient droplet
 // losses: each loss is detected through the cyber-physical feedback loop,
 // surviving droplets are flushed, and the assay re-executes with fresh
 // reagents (§8.4 generalized from DAGs to CFGs).
 func (c *Compiled) RunWithRecovery(opts RunOptions, faults []Fault, maxAttempts int) (*RecoveryResult, error) {
 	return exec.RunWithRecovery(c.Executable, c.Chip, opts, faults, maxAttempts)
+}
+
+// RecoveryPolicy configures Compiled.RunWithPolicy — the online recovery
+// controller that closes the cyber-physical loop: detect a permanent
+// electrode fault, recompile around it, route the checkpointed droplets
+// into the new placement, and resume.
+type RecoveryPolicy struct {
+	// MaxAttempts bounds executions, including the final successful one
+	// (default 3).
+	MaxAttempts int
+	// Faults are transient droplet losses to inject (recovered by
+	// flush-and-restart, as in RunWithRecovery).
+	Faults []Fault
+	// Recompile produces a replacement program avoiding the given
+	// electrodes; the slice is the full accumulated fault set (cells the
+	// running program already avoided plus newly detected ones), so
+	// implementations replace their FaultyElectrodes with it. Use
+	// Recompiler for the canonical hook. The recompiled executable is
+	// verify-gated by the controller before adoption.
+	Recompile func(ctx context.Context, faults []Point) (*Compiled, error)
+	// Restart forces whole-program restart even after a successful
+	// recompile — the baseline checkpointed resume is measured against.
+	Restart bool
+	// Tracer records recompile and repair-routing spans.
+	Tracer *Tracer
+	// Context bounds execution and recompilation.
+	Context context.Context
+}
+
+// RunWithPolicy simulates the compiled protocol under the given recovery
+// policy: block-boundary checkpointing, typed fault detection, and — for
+// permanent electrode faults — recompile-around with checkpointed resume,
+// falling back to whole-program restart when recompilation or repair
+// routing fails. Per-incident accounting lands in RecoveryResult.Events
+// and, when RunOptions.Metrics is set, in Metrics.Recoveries.
+func (c *Compiled) RunWithPolicy(opts RunOptions, pol RecoveryPolicy) (*RecoveryResult, error) {
+	ep := exec.RecoveryPolicy{
+		MaxAttempts: pol.MaxAttempts,
+		Faults:      pol.Faults,
+		Restart:     pol.Restart,
+		Tracer:      pol.Tracer,
+		Context:     pol.Context,
+	}
+	if pol.Recompile != nil {
+		ep.Recompile = func(ctx context.Context, faults []Point) (*codegen.Executable, error) {
+			p, err := pol.Recompile(ctx, faults)
+			if err != nil {
+				return nil, err
+			}
+			return p.Executable, nil
+		}
+	}
+	return exec.RunWithPolicy(c.Executable, c.Chip, opts, ep)
+}
+
+// Recompiler returns the canonical RecoveryPolicy.Recompile hook: each
+// invocation rebuilds a fresh protocol via build and compiles it with opt,
+// the detected fault set replacing opt.FaultyElectrodes. The protocol
+// lowering is deterministic, so block labels — and therefore checkpoints —
+// stay valid across recompilations.
+func Recompiler(build func() (*BioSystem, error), opt Options) func(context.Context, []Point) (*Compiled, error) {
+	return func(ctx context.Context, faults []Point) (*Compiled, error) {
+		bs, err := build()
+		if err != nil {
+			return nil, err
+		}
+		o := opt
+		o.FaultyElectrodes = faults
+		o.Context = ctx
+		return Compile(bs, o)
+	}
 }
 
 // Save serializes the executable Δ (plus the chip description and the CFG

@@ -9,11 +9,21 @@
 //	bfsim -assay "Probabilistic PCR" -seed 7 -range amp=0:1
 //	bfsim -file protocol.bio -print-trace -video run.txt -every 100
 //	bfsim -assay "PCR" -trace run.json -metrics -
+//	bfsim -assay "PCR" -stick 4,7@2000 -recover recompile
 //
 // -trace FILE writes a combined Chrome trace-event JSON file (compile
 // phases plus the cycle-accurate runtime timeline) loadable in Perfetto.
 // -metrics FILE writes the runtime telemetry as JSON ("-" prints a
 // human-readable report with the actuation heatmap to stdout).
+//
+// Runtime fault injection (§8.4): -lose-droplet CYCLE (repeatable) injects
+// transient droplet losses; -stick x,y@cycle (repeatable) schedules
+// permanent stuck-at-off electrode failures detected through the feedback
+// loop; -wear N kills every electrode after N actuations. -recover selects
+// the permanent-fault policy: "recompile" (default) recompiles around the
+// dead electrode and resumes from the last block-boundary checkpoint,
+// "restart" flushes and re-executes from the beginning. The -exe path
+// carries no source to recompile, so it always restarts.
 package main
 
 import (
@@ -22,13 +32,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"biocoder"
 	"biocoder/internal/arch"
 	"biocoder/internal/assays"
-	"biocoder/internal/cfg"
 	"biocoder/internal/obs"
 	"biocoder/internal/parser"
 	"biocoder/internal/sensor"
@@ -39,6 +49,25 @@ type rangeFlags []string
 
 func (r *rangeFlags) String() string     { return strings.Join(*r, ",") }
 func (r *rangeFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+type cycleFlags []int
+
+func (c *cycleFlags) String() string {
+	parts := make([]string, len(*c))
+	for i, n := range *c {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *cycleFlags) Set(v string) error {
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return fmt.Errorf("want a positive cycle number, got %q", v)
+	}
+	*c = append(*c, n)
+	return nil
+}
 
 func main() {
 	assayName := flag.String("assay", "", "benchmark assay name (see bfc -list)")
@@ -57,9 +86,18 @@ func main() {
 	flag.Var(&ranges, "range", "sensor range name=min:max (repeatable)")
 	var faults rangeFlags
 	flag.Var(&faults, "fault", "defective electrode x,y to compile around (repeatable)")
-	lose := flag.Int("lose-droplet", 0, "inject a transient droplet loss at this cycle and recover by re-execution (§8.4)")
+	var lose cycleFlags
+	flag.Var(&lose, "lose-droplet", "inject a transient droplet loss at this cycle and recover by re-execution (§8.4; repeatable)")
+	var sticks rangeFlags
+	flag.Var(&sticks, "stick", "permanent stuck-at-off electrode x,y@cycle detected at runtime (repeatable)")
+	wear := flag.Int("wear", 0, "actuation wear budget: every electrode fails stuck-at-off after N actuations")
+	recoverMode := flag.String("recover", "recompile", "permanent-fault recovery policy: recompile (around the dead electrode, resume from checkpoint) or restart")
 	timeout := flag.Duration("timeout", 0, "abort the compile+simulate run after this duration (0: no limit)")
 	flag.Parse()
+
+	if *recoverMode != "recompile" && *recoverMode != "restart" {
+		fatal(fmt.Errorf("bad -recover %q (want recompile or restart)", *recoverMode))
+	}
 
 	var runCtx context.Context
 	if *timeout > 0 {
@@ -69,6 +107,10 @@ func main() {
 	}
 
 	faultCells, err := parseFaults(faults)
+	if err != nil {
+		fatal(err)
+	}
+	stuck, err := parseStuck(sticks)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,7 +129,10 @@ func main() {
 		}
 	}
 
-	var g *cfg.Graph
+	// build recreates the protocol from its source — the hook online
+	// recompilation needs. The -exe path has no source, so build stays nil
+	// and permanent-fault recovery falls back to whole-program restart.
+	var build func() (*biocoder.BioSystem, error)
 	var assay *assays.Assay
 	var prog *biocoder.Compiled
 	switch {
@@ -107,24 +152,14 @@ func main() {
 		if assay == nil {
 			fatal(fmt.Errorf("unknown assay %q (try bfc -list)", *assayName))
 		}
-		var err error
-		g, err = assay.Build().Build()
-		if err != nil {
-			fatal(err)
-		}
+		a := assay
+		build = func() (*biocoder.BioSystem, error) { return a.Build(), nil }
 	case *file != "":
 		src, err := os.ReadFile(*file)
 		if err != nil {
 			fatal(err)
 		}
-		bs, err := parser.Parse(string(src))
-		if err != nil {
-			fatal(err)
-		}
-		g, err = bs.Build()
-		if err != nil {
-			fatal(err)
-		}
+		build = func() (*biocoder.BioSystem, error) { return parser.Parse(string(src)) }
 	default:
 		fatal(fmt.Errorf("need -assay, -file, or -exe"))
 	}
@@ -133,9 +168,13 @@ func main() {
 	if *tracePath != "" {
 		tracer = biocoder.NewTracer()
 	}
+	compileOpts := biocoder.Options{Chip: chip, FaultyElectrodes: faultCells, Tracer: tracer, Context: runCtx}
 	if prog == nil {
-		var err error
-		prog, err = biocoder.CompileGraphOptions(g, chip, biocoder.Options{FaultyElectrodes: faultCells, Tracer: tracer, Context: runCtx})
+		bs, err := build()
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = biocoder.Compile(bs, compileOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -151,6 +190,9 @@ func main() {
 	if *tracePath != "" || *metricsPath != "" {
 		opts.Metrics = true
 	}
+	if len(stuck) > 0 || *wear > 0 {
+		opts.Degradation = &biocoder.Degradation{Stuck: stuck, WearBudget: *wear}
+	}
 
 	var rec *viz.Recorder
 	if *video != "" {
@@ -159,13 +201,33 @@ func main() {
 	}
 
 	var res *biocoder.Result
-	if *lose > 0 {
-		rec, err := prog.RunWithRecovery(opts, []biocoder.Fault{{Cycle: *lose}}, 5)
+	if len(lose) > 0 || opts.Degradation != nil {
+		var transient []biocoder.Fault
+		for _, c := range lose {
+			transient = append(transient, biocoder.Fault{Cycle: c})
+		}
+		pol := biocoder.RecoveryPolicy{
+			MaxAttempts: 5,
+			Faults:      transient,
+			Restart:     *recoverMode == "restart",
+			Tracer:      tracer,
+			Context:     runCtx,
+		}
+		// Restart mode still recompiles around the detected fault — it is
+		// the "recompile but replay from scratch" baseline the checkpointed
+		// resume is measured against. Without a recompiler every attempt
+		// would re-hit the same permanently dead electrode.
+		if build != nil {
+			pol.Recompile = biocoder.Recompiler(build, compileOpts)
+		} else if opts.Degradation != nil {
+			fmt.Fprintln(os.Stderr, "bfsim: -exe carries no source to recompile around a permanent fault; restarting on the same program")
+			pol.Restart = true
+		}
+		rec, err := prog.RunWithPolicy(opts, pol)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("droplet lost and recovered: %d recovery(ies), %d cycles wasted\n",
-			rec.Recoveries, rec.LostTime)
+		printRecovery(rec)
 		res = rec.Result
 	} else {
 		var err error
@@ -286,6 +348,42 @@ func writeMetrics(path string, m *biocoder.Metrics, chip *biocoder.Chip) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", path)
 	return nil
+}
+
+// printRecovery reports the recovery accounting: a one-line summary and
+// one line per fault incident with how it was detected and handled.
+func printRecovery(rec *biocoder.RecoveryResult) {
+	fmt.Printf("recovery: %d attempt(s), %d recovery(ies), %d cycles lost\n",
+		rec.Attempts, rec.Recoveries, rec.LostTime)
+	for _, ev := range rec.Events {
+		switch ev.Kind {
+		case "stuck-electrode":
+			fmt.Printf("  cycle %-9d electrode (%d,%d) stuck at off, droplet %s stranded: %s",
+				ev.DetectCycle, ev.Cell.X, ev.Cell.Y, ev.Droplet, ev.Action)
+		default:
+			fmt.Printf("  cycle %-9d droplet %s lost: %s", ev.DetectCycle, ev.Droplet, ev.Action)
+		}
+		if ev.Recompiled {
+			fmt.Printf(" (recompiled in %v", ev.RecompileWall.Round(time.Microsecond))
+			if ev.Action == "resume" {
+				fmt.Printf("; %d repair cycles from checkpoint at cycle %d", ev.RepairCycles, ev.CheckpointCycle)
+			}
+			fmt.Print(")")
+		}
+		fmt.Printf(", %d cycles lost\n", ev.LostCycles)
+	}
+}
+
+func parseStuck(specs []string) ([]biocoder.StuckAt, error) {
+	var out []biocoder.StuckAt
+	for _, s := range specs {
+		var x, y, c int
+		if _, err := fmt.Sscanf(s, "%d,%d@%d", &x, &y, &c); err != nil {
+			return nil, fmt.Errorf("bad -stick %q (want x,y@cycle)", s)
+		}
+		out = append(out, biocoder.StuckAt{Cell: biocoder.Point{X: x, Y: y}, Cycle: c})
+	}
+	return out, nil
 }
 
 func parseFaults(specs []string) ([]biocoder.Point, error) {

@@ -20,6 +20,42 @@ func TestParseFaults(t *testing.T) {
 	}
 }
 
+func TestParseStuck(t *testing.T) {
+	sa, err := parseStuck([]string{"3,4@200", "0,0@1"})
+	if err != nil {
+		t.Fatalf("parseStuck: %v", err)
+	}
+	if len(sa) != 2 || sa[0].Cell.X != 3 || sa[0].Cell.Y != 4 || sa[0].Cycle != 200 {
+		t.Errorf("parsed %v", sa)
+	}
+	for _, bad := range []string{"3,4", "x,y@z", "nonsense"} {
+		if _, err := parseStuck([]string{bad}); err == nil {
+			t.Errorf("bad stick spec %q accepted", bad)
+		}
+	}
+}
+
+func TestCycleFlags(t *testing.T) {
+	var c cycleFlags
+	if err := c.Set("100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("250"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 || c[0] != 100 || c[1] != 250 {
+		t.Errorf("parsed %v", c)
+	}
+	if got := c.String(); got != "100,250" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, bad := range []string{"0", "-3", "abc"} {
+		if err := c.Set(bad); err == nil {
+			t.Errorf("bad cycle %q accepted", bad)
+		}
+	}
+}
+
 func TestBuildSensorsScenario(t *testing.T) {
 	a := assays.ByName("Probabilistic PCR")
 	m, err := buildSensors(a, "early-exit", 1, nil)

@@ -1,0 +1,218 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/cfg"
+	"biocoder/internal/codegen"
+	"biocoder/internal/obs"
+)
+
+// Checkpointing: the machine's complete state at a block boundary, deep
+// enough that execution can resume from it — on the same executable or,
+// after repair routing, on a recompiled one. Checkpoints are what turn
+// whole-program restart into checkpointed recovery: the controller keeps
+// the latest one and rolls back to it instead of to cycle 0.
+//
+// Sensor models are deliberately not part of a checkpoint: they belong to
+// the caller (a physical chip's sensors cannot be snapshotted either).
+// Resuming with the same model instance preserves scripted read order.
+
+// Checkpoint is a machine snapshot taken while parked at a block boundary.
+// The exported fields describe the wet and dry state for inspection; the
+// unexported ones carry the bookkeeping (trace, telemetry, residue, chip
+// health) needed for an exact resume. A checkpoint shares nothing with the
+// machine it came from and stays valid after the machine moves on.
+type Checkpoint struct {
+	// Block is the label of the CFG node the machine is parked at — the
+	// next block to execute.
+	Block string
+	// Cycle is the absolute cycle count at the snapshot.
+	Cycle int
+	// Droplets are the droplets on chip, sorted by ID for determinism.
+	Droplets []*Droplet
+	// Env is the dry environment (sensor readings, computed variables).
+	Env map[string]float64
+	// Dispensed and Collected are the droplet I/O counters.
+	Dispensed, Collected int
+
+	trace    *Trace
+	metrics  *obs.Metrics
+	residue  *residueTracker
+	captured map[int]float64
+	degrade  *degradeState
+}
+
+func (t *Trace) clone() *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{
+		Visits:     append([]Visit(nil), t.Visits...),
+		Conditions: append([]Condition(nil), t.Conditions...),
+		Readings:   append([]Reading(nil), t.Readings...),
+	}
+}
+
+func (rt *residueTracker) clone() *residueTracker {
+	if rt == nil {
+		return nil
+	}
+	c := newResidueTracker()
+	for p, reagents := range rt.cells {
+		cp := make(map[string]bool, len(reagents))
+		for r := range reagents {
+			cp[r] = true
+		}
+		c.cells[p] = cp
+	}
+	for id, cells := range rt.reported {
+		cp := make(map[arch.Point]bool, len(cells))
+		for p := range cells {
+			cp[p] = true
+		}
+		c.reported[id] = cp
+	}
+	c.out.Incidents = append([]Incident(nil), rt.out.Incidents...)
+	return c
+}
+
+// checkpoint snapshots the machine parked at the named block.
+func (m *machine) checkpoint(block string) *Checkpoint {
+	cp := &Checkpoint{
+		Block:     block,
+		Cycle:     m.res.Cycles,
+		Env:       make(map[string]float64, len(m.env)),
+		Dispensed: m.res.Dispensed,
+		Collected: m.res.Collected,
+		trace:     m.res.Trace.clone(),
+		metrics:   m.met.Clone(),
+		residue:   m.residue.clone(),
+		captured:  make(map[int]float64, len(m.captured)),
+	}
+	for k, v := range m.env {
+		cp.Env[k] = v
+	}
+	for k, v := range m.captured {
+		cp.captured[k] = v
+	}
+	cp.Droplets = make([]*Droplet, 0, len(m.droplets))
+	for _, d := range m.droplets {
+		cp.Droplets = append(cp.Droplets, d.clone())
+	}
+	sort.Slice(cp.Droplets, func(i, j int) bool {
+		a, b := cp.Droplets[i].ID, cp.Droplets[j].ID
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Ver < b.Ver
+	})
+	if m.ds != nil {
+		cp.degrade = m.ds.clone()
+	}
+	return cp
+}
+
+// clone returns an independent copy of the checkpoint (the repair planner
+// mutates droplet positions on a copy, never on the caller's checkpoint).
+func (cp *Checkpoint) clone() *Checkpoint {
+	c := &Checkpoint{
+		Block:     cp.Block,
+		Cycle:     cp.Cycle,
+		Env:       make(map[string]float64, len(cp.Env)),
+		Dispensed: cp.Dispensed,
+		Collected: cp.Collected,
+		trace:     cp.trace.clone(),
+		metrics:   cp.metrics.Clone(),
+		residue:   cp.residue.clone(),
+		captured:  make(map[int]float64, len(cp.captured)),
+	}
+	for k, v := range cp.Env {
+		c.Env[k] = v
+	}
+	for k, v := range cp.captured {
+		c.captured[k] = v
+	}
+	c.Droplets = make([]*Droplet, len(cp.Droplets))
+	for i, d := range cp.Droplets {
+		c.Droplets[i] = d.clone()
+	}
+	if cp.degrade != nil {
+		c.degrade = cp.degrade.clone()
+	}
+	return c
+}
+
+// restore loads the checkpoint into a freshly constructed machine. The
+// machine keeps its own telemetry/residue/degradation objects when the
+// checkpoint carries none (telemetry toggled on at resume time starts
+// empty; a controller-shared degrade state wins over the snapshot's).
+func (m *machine) restore(cp *Checkpoint) {
+	m.res.Cycles = cp.Cycle
+	m.res.Dispensed = cp.Dispensed
+	m.res.Collected = cp.Collected
+	m.res.Trace = cp.trace.clone()
+	for k, v := range cp.Env {
+		m.env[k] = v
+	}
+	for k, v := range cp.captured {
+		m.captured[k] = v
+	}
+	for _, d := range cp.Droplets {
+		c := d.clone()
+		m.droplets[c.ID] = c
+	}
+	if m.met != nil && cp.metrics != nil {
+		m.met = cp.metrics.Clone()
+		m.res.Metrics = m.met
+	}
+	if m.residue != nil && cp.residue != nil {
+		m.residue = cp.residue.clone()
+	}
+	if m.opts.degrade == nil && cp.degrade != nil {
+		m.ds = cp.degrade.clone()
+	}
+}
+
+// Checkpoint snapshots the stepper's state at the block boundary it is
+// parked at. It errors after a terminal failure or after completion (there
+// is nothing left to resume).
+func (s *Stepper) Checkpoint() (*Checkpoint, error) {
+	if s.err != nil {
+		return nil, fmt.Errorf("exec: cannot checkpoint a failed run: %w", s.err)
+	}
+	if s.done {
+		return nil, fmt.Errorf("exec: cannot checkpoint: assay already complete")
+	}
+	return s.m.checkpoint(s.cur.Label), nil
+}
+
+// NewStepperAt resumes stepwise execution from a checkpoint. The target
+// executable may be a different compilation of the same protocol (the
+// recompile-around recovery path): the block is located by label, which
+// the CFG builder keeps stable across rebuilds. The caller is responsible
+// for the droplet positions matching the executable's entry contract for
+// that block — planRepair produces such a checkpoint for a recompiled
+// program. Telemetry, residue tracking, and degradation remain governed by
+// opts; checkpointed state for a facility continues only when the options
+// still request that facility.
+func NewStepperAt(ex *codegen.Executable, chip *arch.Chip, opts Options, cp *Checkpoint) (*Stepper, error) {
+	blk := blockByLabel(ex, cp.Block)
+	if blk == nil {
+		return nil, fmt.Errorf("exec: executable has no block %q to resume at", cp.Block)
+	}
+	m := newMachine(ex, chip, opts)
+	m.restore(cp)
+	return &Stepper{m: m, chip: chip, cur: blk}, nil
+}
+
+func blockByLabel(ex *codegen.Executable, label string) *cfg.Block {
+	for _, b := range ex.Graph.Blocks {
+		if b.Label == label {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/sensor"
+)
+
+// Checkpoint/restore tests: a resumed run must be indistinguishable from
+// an uninterrupted one — same cycles, same outcome, identical telemetry —
+// and the stepper's error paths must stay terminal.
+
+func TestStepperCheckpointRoundTrip(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+	opts := func() Options {
+		return Options{Sensors: sensor.Constant(0.9), Metrics: true, TrackContamination: true}
+	}
+
+	batch, err := Run(ex, chip, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Step partway, checkpoint, and resume on a fresh machine.
+	st := NewStepper(ex, chip, opts())
+	for i := 0; i < 2; i++ {
+		if _, err := st.Step(); err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	cp, err := st.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	resumed, err := NewStepperAt(ex, chip, opts(), cp)
+	if err != nil {
+		t.Fatalf("NewStepperAt: %v", err)
+	}
+	res, err := resumed.Finish()
+	if err != nil {
+		t.Fatalf("resumed Finish: %v", err)
+	}
+
+	if res.Cycles != batch.Cycles || res.Dispensed != batch.Dispensed || res.Collected != batch.Collected {
+		t.Errorf("resumed run %d/%d/%d differs from batch %d/%d/%d",
+			res.Cycles, res.Dispensed, res.Collected, batch.Cycles, batch.Dispensed, batch.Collected)
+	}
+	if !reflect.DeepEqual(res.DryEnv, batch.DryEnv) {
+		t.Errorf("dry env differs: %v vs %v", res.DryEnv, batch.DryEnv)
+	}
+	if !reflect.DeepEqual(res.Trace, batch.Trace) {
+		t.Error("trace differs between resumed and batch run")
+	}
+	if !reflect.DeepEqual(res.Metrics, batch.Metrics) {
+		t.Error("telemetry differs between resumed and batch run")
+	}
+	if !reflect.DeepEqual(res.Contamination, batch.Contamination) {
+		t.Error("contamination report differs between resumed and batch run")
+	}
+
+	// The checkpoint stays usable: resume from it a second time.
+	again, err := NewStepperAt(ex, chip, opts(), cp)
+	if err != nil {
+		t.Fatalf("second NewStepperAt: %v", err)
+	}
+	res2, err := again.Finish()
+	if err != nil {
+		t.Fatalf("second resumed Finish: %v", err)
+	}
+	if res2.Cycles != batch.Cycles {
+		t.Errorf("second resume: %d cycles, want %d", res2.Cycles, batch.Cycles)
+	}
+}
+
+func TestCheckpointIsolatedFromMachine(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+	st := NewStepper(ex, chip, Options{Sensors: sensor.Constant(0.9)})
+	if _, err := st.Step(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := st.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycle := cp.Cycle
+	wantDroplets := len(cp.Droplets)
+	var wantPos []arch.Point
+	for _, d := range cp.Droplets {
+		wantPos = append(wantPos, d.Pos)
+	}
+	// Drive the machine onward; the snapshot must not move.
+	if _, err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Cycle != wantCycle || len(cp.Droplets) != wantDroplets {
+		t.Fatalf("checkpoint mutated by continued execution")
+	}
+	for i, d := range cp.Droplets {
+		if d.Pos != wantPos[i] {
+			t.Errorf("droplet %s moved inside the checkpoint: %v -> %v", d.ID, wantPos[i], d.Pos)
+		}
+	}
+}
+
+func TestStepperStepAfterTerminalError(t *testing.T) {
+	// A stuck electrode makes the block fail; the stepper must stay
+	// terminal: Step and Finish keep returning the same error, and
+	// Checkpoint refuses.
+	ex, chip := miniExec(t, moveSeq())
+	st := NewStepper(ex, chip, Options{
+		MaxCycles:   10_000,
+		Degradation: &Degradation{Stuck: []StuckAt{{Cell: arch.Point{X: 1, Y: 1}, Cycle: 0}}},
+	})
+	var firstErr error
+	for !st.Done() {
+		if _, err := st.Step(); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	var stuck *StuckElectrodeError
+	if !errors.As(firstErr, &stuck) {
+		t.Fatalf("want StuckElectrodeError from stepping, got %v", firstErr)
+	}
+	if _, err := st.Step(); err != firstErr {
+		t.Errorf("Step after terminal error: got %v, want the original error", err)
+	}
+	if _, err := st.Finish(); err != firstErr {
+		t.Errorf("Finish after terminal error: got %v, want the original error", err)
+	}
+	if st.Err() != firstErr {
+		t.Errorf("Err() = %v, want the original error", st.Err())
+	}
+	if _, err := st.Checkpoint(); err == nil || !strings.Contains(err.Error(), "failed run") {
+		t.Errorf("Checkpoint after terminal error should refuse, got %v", err)
+	}
+}
+
+func TestCheckpointAfterCompletion(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+	st := NewStepper(ex, chip, Options{Sensors: sensor.Constant(0.9)})
+	if _, err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Checkpoint(); err == nil || !strings.Contains(err.Error(), "complete") {
+		t.Errorf("Checkpoint after completion should refuse, got %v", err)
+	}
+	if _, err := st.Step(); err == nil {
+		t.Error("Step after completion should error")
+	}
+}
+
+func TestNewStepperAtUnknownBlock(t *testing.T) {
+	chip := arch.Default()
+	ex := compile(t, chip, recoveryAssay)
+	cp := &Checkpoint{Block: "no-such-block"}
+	if _, err := NewStepperAt(ex, chip, Options{}, cp); err == nil ||
+		!strings.Contains(err.Error(), "no block") {
+		t.Errorf("resume at unknown block should refuse, got %v", err)
+	}
+}

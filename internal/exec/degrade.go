@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"fmt"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/codegen"
+)
+
+// Permanent electrode faults (Su & Chakrabarty, fault-tolerant DMFB
+// design): unlike the transient losses of Fault, a degraded electrode
+// stays dead — charge no longer accumulates on it, so a droplet commanded
+// onto it simply fails to move. The feedback loop notices the discrepancy
+// on the very cycle the move is commanded: the droplet that should have
+// followed the actuated cell is still sitting where it was. That
+// detection is surfaced as a typed StuckElectrodeError carrying the
+// suspect cell, which the recovery controller turns into a recompile-
+// around (the cell joins FaultyElectrodes and the placement avoids it).
+//
+// A hold on a dead electrode is deliberately undetectable: an unpowered
+// droplet does not move, so holding looks identical with or without the
+// fault. Only a commanded move can betray a stuck-at-off electrode —
+// exactly the observability a real chip's droplet sensor has.
+
+// StuckAt schedules one permanent stuck-at-off electrode failure: the
+// electrode at Cell stops actuating at global cycle Cycle and never
+// recovers. The clock is global across recovery attempts — restarting the
+// assay does not heal the hardware.
+type StuckAt struct {
+	Cell  arch.Point
+	Cycle int
+}
+
+// Degradation models the chip wearing out during (and across) runs.
+type Degradation struct {
+	// Stuck lists scheduled permanent failures.
+	Stuck []StuckAt
+	// WearBudget, when positive, kills every electrode after it has been
+	// actuated that many times — dielectric breakdown from charge stress.
+	// Actuations are counted across recovery attempts.
+	WearBudget int
+}
+
+// StuckElectrodeError reports a detected permanent electrode failure: a
+// droplet was commanded to move onto an actuated electrode and did not
+// follow, implicating the target cell. The droplet itself survives (it is
+// holding in place), which is what distinguishes this from a
+// DropletLossError and lets the recovery controller resume from a
+// checkpoint instead of flushing and restarting.
+type StuckElectrodeError struct {
+	// Cell is the suspect electrode.
+	Cell arch.Point
+	// Cycle is the machine cycle of the failed move; Label the sequence
+	// being executed; Droplet the droplet that failed to follow.
+	Cycle   int
+	Label   string
+	Droplet string
+}
+
+func (e *StuckElectrodeError) Error() string {
+	return fmt.Sprintf("exec: electrode (%d,%d) stuck at off: droplet %s failed to follow at cycle %d (in %s)",
+		e.Cell.X, e.Cell.Y, e.Droplet, e.Cycle, e.Label)
+}
+
+// degradeState is the mutable health of the chip: which electrodes have
+// died, how worn each one is, and a global cycle clock that keeps ticking
+// across recovery attempts (restarting the program does not rewind the
+// hardware). The recovery controller threads one shared state through
+// every attempt via the private Options.degrade field; a plain Run builds
+// a fresh state from the public spec.
+type degradeState struct {
+	spec  Degradation
+	clock int                 // global cycles elapsed, across attempts
+	wear  map[arch.Point]int  // actuations delivered per electrode
+	stuck map[arch.Point]bool // electrodes known dead
+}
+
+func newDegradeState(spec *Degradation) *degradeState {
+	ds := &degradeState{stuck: map[arch.Point]bool{}}
+	if spec != nil {
+		ds.spec = *spec
+		ds.spec.Stuck = append([]StuckAt(nil), spec.Stuck...)
+	}
+	if ds.spec.WearBudget > 0 {
+		ds.wear = map[arch.Point]int{}
+	}
+	return ds
+}
+
+func (ds *degradeState) clone() *degradeState {
+	c := &degradeState{spec: ds.spec, clock: ds.clock, stuck: make(map[arch.Point]bool, len(ds.stuck))}
+	c.spec.Stuck = append([]StuckAt(nil), ds.spec.Stuck...)
+	for p := range ds.stuck {
+		c.stuck[p] = true
+	}
+	if ds.wear != nil {
+		c.wear = make(map[arch.Point]int, len(ds.wear))
+		for p, n := range ds.wear {
+			c.wear[p] = n
+		}
+	}
+	return c
+}
+
+// dead reports whether the electrode delivers charge this cycle. Scheduled
+// failures fire once the global clock reaches their cycle; worn-out
+// electrodes fire once their budget is exhausted. Both are memoized into
+// the stuck set (permanence).
+func (ds *degradeState) dead(c arch.Point) bool {
+	if ds.stuck[c] {
+		return true
+	}
+	for _, sa := range ds.spec.Stuck {
+		if sa.Cell == c && ds.clock >= sa.Cycle {
+			ds.stuck[c] = true
+			return true
+		}
+	}
+	if ds.wear != nil && ds.wear[c] >= ds.spec.WearBudget {
+		ds.stuck[c] = true
+		return true
+	}
+	return false
+}
+
+// markStuck records an externally confirmed dead electrode (the recovery
+// controller calls this after detection so the shared state agrees with
+// the fault set handed to the recompiler).
+func (ds *degradeState) markStuck(c arch.Point) { ds.stuck[c] = true }
+
+// advance ticks the global clock past one executed frame and charges wear
+// to every electrode the frame actuated (dead electrodes draw no charge).
+func (ds *degradeState) advance(f codegen.Frame) {
+	ds.clock++
+	if ds.wear == nil {
+		return
+	}
+	for _, c := range f {
+		if !ds.stuck[c] {
+			ds.wear[c]++
+		}
+	}
+}

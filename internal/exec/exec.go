@@ -153,10 +153,19 @@ type Options struct {
 	// context's error. Servers use this to shed abandoned or overlong
 	// simulate requests.
 	Context context.Context
+	// Degradation, when non-nil, injects permanent electrode failures
+	// (stuck-at-off cells and wear-out); a commanded move onto a dead
+	// electrode surfaces as a StuckElectrodeError. Nil costs nothing on
+	// the per-cycle path.
+	Degradation *Degradation
 
 	// faults holds pending transient droplet losses; set only through
-	// RunWithRecovery.
+	// the recovery controller.
 	faults []Fault
+	// degrade, when set by the recovery controller, shares one chip-health
+	// state across attempts (hardware does not heal on restart); otherwise
+	// a fresh state is derived from Degradation.
+	degrade *degradeState
 }
 
 // ctxCheckCycles is how many simulated cycles pass between context
@@ -185,6 +194,11 @@ func newMachine(ex *codegen.Executable, chip *arch.Chip, opts Options) *machine 
 	}
 	if opts.TrackContamination {
 		m.residue = newResidueTracker()
+	}
+	if opts.degrade != nil {
+		m.ds = opts.degrade
+	} else if opts.Degradation != nil {
+		m.ds = newDegradeState(opts.Degradation)
 	}
 	if opts.Metrics {
 		m.met = obs.NewMetrics(chip.Cols, chip.Rows)
@@ -262,6 +276,7 @@ type machine struct {
 	res      *Result
 	residue  *residueTracker
 	lost     *Droplet
+	ds       *degradeState
 
 	// Telemetry state (nil when Options.Metrics is off). vs and sm point
 	// at the sample and aggregate of the sequence currently executing.
@@ -272,14 +287,18 @@ type machine struct {
 }
 
 // failAt wraps err with the runtime position: the label of the sequence
-// being executed and the absolute cycle number. Droplet-loss signals pass
-// through untouched (the recovery controller matches on them), as do
-// errors already carrying a position.
+// being executed and the absolute cycle number. Droplet-loss signals and
+// stuck-electrode detections pass through untouched (the recovery
+// controller matches on them and they already carry a position), as do
+// errors already wrapped.
 func (m *machine) failAt(label string, err error) error {
 	if err == nil {
 		return nil
 	}
 	if _, ok := err.(*lossSignal); ok {
+		return err
+	}
+	if _, ok := err.(*StuckElectrodeError); ok {
 		return err
 	}
 	var re *RuntimeError
@@ -375,6 +394,9 @@ func (m *machine) runSequence(s *codegen.Sequence, label string, isEdge bool) er
 			}
 		}
 		m.res.Cycles++
+		if m.ds != nil {
+			m.ds.advance(s.Frames[t])
+		}
 		if m.met != nil {
 			m.recordCycle(s.Frames[t])
 		}
@@ -544,6 +566,16 @@ func (m *machine) applyFrame(f codegen.Frame, label string, t int) error {
 		}
 		switch len(next) {
 		case 1:
+			if m.ds != nil && m.ds.dead(next[0]) {
+				// The droplet was commanded onto a dead electrode and did
+				// not follow: the feedback loop implicates the target cell
+				// (§8.4 extended to permanent faults). The droplet holds —
+				// it is stuck, not lost.
+				return &StuckElectrodeError{
+					Cell: next[0], Cycle: m.res.Cycles,
+					Label: label, Droplet: d.ID.String(),
+				}
+			}
 			d.Pos = next[0]
 			m.touch(1)
 		case 0:

@@ -71,11 +71,13 @@ func (s *Stepper) Elapsed() time.Duration {
 
 // Step executes the current block and the transfer to its successor.
 func (s *Stepper) Step() (*StepInfo, error) {
-	if s.done {
-		return nil, fmt.Errorf("exec: assay already complete")
-	}
+	// A terminal error outranks completion: a failed stepper keeps
+	// returning its original error, never "already complete".
 	if s.err != nil {
 		return nil, s.err
+	}
+	if s.done {
+		return nil, fmt.Errorf("exec: assay already complete")
 	}
 	fail := func(err error) (*StepInfo, error) {
 		s.err = err

@@ -118,6 +118,26 @@ func RuntimeEvents(m *Metrics, cyclePeriod time.Duration) []TraceEvent {
 			Args: map[string]any{"on-chip": v.MaxDroplets},
 		})
 	}
+	for _, r := range m.Recoveries {
+		out = append(out, TraceEvent{
+			Name: "recovery: " + r.Kind,
+			Ph:   "I",
+			Ts:   us(r.DetectCycle),
+			Pid:  1,
+			Tid:  RuntimeTrack,
+			Cat:  "runtime",
+			Args: map[string]any{
+				"cell":             fmt.Sprintf("(%d,%d)", r.X, r.Y),
+				"droplet":          r.Droplet,
+				"action":           r.Action,
+				"recompiled":       r.Recompiled,
+				"recompile_ns":     r.RecompileNanos,
+				"repair_cycles":    r.RepairCycles,
+				"lost_cycles":      r.LostCycles,
+				"checkpoint_cycle": r.CheckpointCycle,
+			},
+		})
+	}
 	return out
 }
 

@@ -46,6 +46,9 @@ type Metrics struct {
 	Sequences map[string]*SeqMetrics
 	// Timeline lists every executed block and edge sequence in order.
 	Timeline []*VisitSample
+	// Recoveries lists the fault-recovery incidents of the run, recorded by
+	// the recovery controller (empty for fault-free executions).
+	Recoveries []RecoverySample
 }
 
 // SeqMetrics aggregates all executions of one block or edge sequence.
@@ -72,6 +75,82 @@ type VisitSample struct {
 	// MaxDroplets is the peak droplet population during this visit
 	// (population at entry for zero-cycle sequences).
 	MaxDroplets int
+}
+
+// RecoverySample records one fault-recovery incident: what the feedback
+// loop detected, where, and what the controller did about it. Cell
+// coordinates are plain ints so obs stays dependency-free of arch.
+type RecoverySample struct {
+	// Kind is "droplet-loss" (transient) or "stuck-electrode" (permanent).
+	Kind string
+	// X, Y locate the suspect electrode (stuck-electrode incidents only).
+	X, Y int
+	// Droplet names the droplet that surfaced the fault.
+	Droplet string
+	// DetectCycle is the machine cycle at which the feedback loop noticed;
+	// CheckpointCycle the cycle of the checkpoint recovery resumed from
+	// (zero when the controller restarted from scratch).
+	DetectCycle     int
+	CheckpointCycle int
+	// Action is "resume" (checkpointed continuation on a recompiled
+	// program) or "restart" (whole-program re-execution).
+	Action string
+	// Recompiled reports whether a replacement executable was produced.
+	Recompiled bool
+	// RecompileNanos is the wall-clock cost of recompilation. It is kept
+	// off the cycle axis so Cycles stays deterministic.
+	RecompileNanos int64
+	// RepairCycles is the length of the repair routes that carried the
+	// checkpointed droplets into the new placement (resume only).
+	RepairCycles int
+	// LostCycles is the simulated time this incident wasted.
+	LostCycles int
+}
+
+// RecordRecovery appends one recovery incident. Nil-safe: recovery
+// instrumentation may fire with telemetry off.
+func (m *Metrics) RecordRecovery(r RecoverySample) {
+	if m == nil {
+		return
+	}
+	m.Recoveries = append(m.Recoveries, r)
+}
+
+// Clone returns a deep copy of the metrics snapshot, used by the exec
+// checkpointing machinery: a checkpoint must freeze the telemetry at the
+// block boundary while the live machine keeps mutating its own copy.
+func (m *Metrics) Clone() *Metrics {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	c.Heat = make([][]int, len(m.Heat))
+	for y, row := range m.Heat {
+		c.Heat[y] = append([]int(nil), row...)
+	}
+	c.ActiveHist = cloneIntMap(m.ActiveHist)
+	c.DropletHist = cloneIntMap(m.DropletHist)
+	c.ModuleOccupancy = cloneIntMap(m.ModuleOccupancy)
+	c.Sequences = make(map[string]*SeqMetrics, len(m.Sequences))
+	for l, sm := range m.Sequences {
+		cp := *sm
+		c.Sequences[l] = &cp
+	}
+	c.Timeline = make([]*VisitSample, len(m.Timeline))
+	for i, vs := range m.Timeline {
+		cp := *vs
+		c.Timeline[i] = &cp
+	}
+	c.Recoveries = append([]RecoverySample(nil), m.Recoveries...)
+	return &c
+}
+
+func cloneIntMap(in map[int]int) map[int]int {
+	out := make(map[int]int, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
 }
 
 // NewMetrics returns an empty metrics collector for a cols×rows array.
@@ -158,6 +237,19 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		fmt.Fprintf(w, "module occupancy (droplet-cycles):\n")
 		for _, s := range slots {
 			fmt.Fprintf(w, "  slot %-3d %d\n", s, m.ModuleOccupancy[s])
+		}
+	}
+	if len(m.Recoveries) > 0 {
+		fmt.Fprintf(w, "recoveries:\n")
+		for _, r := range m.Recoveries {
+			switch r.Kind {
+			case "stuck-electrode":
+				fmt.Fprintf(w, "  stuck electrode (%d,%d) detected at cycle %d (droplet %s): %s, %d cycles lost\n",
+					r.X, r.Y, r.DetectCycle, r.Droplet, r.Action, r.LostCycles)
+			default:
+				fmt.Fprintf(w, "  droplet %s lost at cycle %d: %s, %d cycles lost\n",
+					r.Droplet, r.DetectCycle, r.Action, r.LostCycles)
+			}
 		}
 	}
 	labels := make([]string, 0, len(m.Sequences))

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -275,5 +276,74 @@ func TestMetricsAggregates(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestMetricsClone(t *testing.T) {
+	m := NewMetrics(3, 2)
+	m.Cycles = 7
+	m.Actuations = 5
+	m.Heat[1][2] = 4
+	m.ActiveHist[2] = 3
+	m.DropletHist[1] = 7
+	m.ModuleOccupancy[0] = 9
+	vs, sm := m.BeginVisit("b1", false, 0)
+	vs.Cycles, vs.Actuations = 3, 4
+	sm.Cycles = 3
+	m.RecordRecovery(RecoverySample{Kind: "stuck-electrode", X: 1, Y: 1, Action: "resume"})
+
+	c := m.Clone()
+	if !reflect.DeepEqual(c, m) {
+		t.Fatal("clone differs from original")
+	}
+	// Mutating the original must not leak into the clone (deep copy).
+	m.Heat[1][2] = 99
+	m.ActiveHist[2] = 99
+	m.Sequences["b1"].Cycles = 99
+	m.Timeline[0].Actuations = 99
+	m.RecordRecovery(RecoverySample{Kind: "droplet-loss"})
+	if c.Heat[1][2] != 4 || c.ActiveHist[2] != 3 ||
+		c.Sequences["b1"].Cycles != 3 || c.Timeline[0].Actuations != 4 ||
+		len(c.Recoveries) != 1 {
+		t.Error("clone shares state with the original")
+	}
+}
+
+func TestMetricsCloneNil(t *testing.T) {
+	var m *Metrics
+	if m.Clone() != nil {
+		t.Error("nil metrics must clone to nil")
+	}
+}
+
+func TestRecordRecoveryNilSafe(t *testing.T) {
+	var m *Metrics
+	m.RecordRecovery(RecoverySample{Kind: "droplet-loss"}) // must not panic
+}
+
+func TestRecoveryEventsInRuntimeTrace(t *testing.T) {
+	m := NewMetrics(2, 2)
+	vs, _ := m.BeginVisit("b1", false, 0)
+	vs.Cycles = 10
+	m.RecordRecovery(RecoverySample{
+		Kind: "stuck-electrode", X: 1, Y: 0, Droplet: "a.1",
+		DetectCycle: 5, Action: "resume", Recompiled: true, LostCycles: 3,
+	})
+	events := RuntimeEvents(m, 10*time.Millisecond)
+	var found bool
+	for _, ev := range events {
+		if ev.Ph == "I" && ev.Name == "recovery: stuck-electrode" {
+			found = true
+			if ev.Args["action"] != "resume" {
+				t.Errorf("recovery event args %v", ev.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no recovery instant event emitted")
+	}
+	ct := &ChromeTrace{TraceEvents: events}
+	if err := ct.Validate(); err != nil {
+		t.Fatalf("trace with recovery events invalid: %v", err)
 	}
 }

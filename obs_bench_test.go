@@ -131,6 +131,29 @@ func TestNilTracerZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestNilMetricsRecoveryZeroAlloc extends the guard to the recovery
+// instrumentation: recording recovery accounting against nil metrics (and
+// spanning a nil tracer around the recompile, as the controller does)
+// must not allocate — fault handling costs nothing when telemetry is off.
+func TestNilMetricsRecoveryZeroAlloc(t *testing.T) {
+	var m *obs.Metrics
+	var tr *obs.Tracer
+	sample := obs.RecoverySample{
+		Kind: "stuck-electrode", X: 3, Y: 4, Droplet: "a.1",
+		DetectCycle: 100, Action: "resume", Recompiled: true,
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("recovery-recompile")
+		sp.SetInt("faults", 1)
+		sp.SetBool("ok", true)
+		sp.End()
+		m.RecordRecovery(sample)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-metrics recovery path allocated %.1f times; want 0", allocs)
+	}
+}
+
 // TestObservabilityOverhead compares wall-clock medians of untraced vs
 // traced compilation and plain vs telemetry runs. The bound is deliberately
 // loose — its job is to catch a hot-path regression such as unbounded

@@ -1,0 +1,267 @@
+// The recovery acceptance suite, run over the full benchmark corpus: a
+// permanent stuck-at-off electrode is injected mid-assay into every
+// bundled assay, and the online recovery controller must close the
+// cyber-physical loop — detect the fault through droplet feedback,
+// recompile around the dead electrode (verify-gated), and complete the
+// assay. The recompiled program must carry the defect in its topology and
+// pass static verification, the mixed-program telemetry must still
+// reconcile per visit against symbolic replay, and the checkpointed
+// resume must beat the whole-program restart baseline on wasted cycles
+// for at least one assay. When $BFRECOVERY_OUT is set, the per-assay
+// accounting is written there as JSON (the CI recovery artifact).
+package biocoder_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/assays"
+	"biocoder/internal/codegen"
+	"biocoder/internal/exec"
+	"biocoder/internal/verify"
+)
+
+// recoveryAccount is one assay's row in the corpus accounting artifact.
+type recoveryAccount struct {
+	Assay             string `json:"assay"`
+	Cell              [2]int `json:"cell"`
+	StuckAtCycle      int    `json:"stuck_at_cycle"`
+	CleanCycles       int    `json:"clean_cycles"`
+	ResumeAction      string `json:"resume_action"`
+	ResumeLostCycles  int    `json:"resume_lost_cycles"`
+	ResumeCycles      int    `json:"resume_cycles"`
+	RestartLostCycles int    `json:"restart_lost_cycles"`
+	RestartCycles     int    `json:"restart_cycles"`
+	RecompileWallNs   int64  `json:"recompile_wall_ns"`
+}
+
+// probeCorpusStuck runs the compiled assay cleanly and picks a mid-assay
+// droplet move whose target cell, marked defective, still admits a
+// recompilation — guaranteeing the injected stuck electrode is both
+// detectable (a move is commanded onto it) and recoverable (the placement
+// can avoid it). Returns the fault schedule and the clean cycle count.
+func probeCorpusStuck(t *testing.T, a *assays.Assay, prog *biocoder.Compiled) (biocoder.StuckAt, int) {
+	t.Helper()
+	type move struct {
+		cycle int
+		cell  biocoder.Point
+	}
+	var moves []move
+	prev := map[string]biocoder.Point{}
+	opts := biocoder.RunOptions{Sensors: corpusSensors(a)}
+	opts.FrameHook = func(cycle int, label string, frame codegen.Frame, ds []*exec.Droplet) {
+		for _, d := range ds {
+			id := d.ID.String()
+			if p, ok := prev[id]; ok && p.Manhattan(d.Pos) == 1 {
+				moves = append(moves, move{cycle, d.Pos})
+			}
+			prev[id] = d.Pos
+		}
+	}
+	clean, err := prog.Run(opts)
+	if err != nil {
+		t.Fatalf("clean probe run: %v", err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no droplet moves observed")
+	}
+	start := 0
+	for i, mv := range moves {
+		if mv.cycle*2 >= clean.Cycles {
+			start = i
+			break
+		}
+	}
+	recompile := biocoder.Recompiler(func() (*biocoder.BioSystem, error) { return a.Build(), nil },
+		biocoder.Options{})
+	for i := start; i >= 0; i-- {
+		mv := moves[i]
+		if _, err := recompile(context.Background(), []biocoder.Point{mv.cell}); err == nil {
+			// FrameHook reports the post-increment cycle; the move was
+			// commanded at machine cycle mv.cycle-1.
+			return biocoder.StuckAt{Cell: mv.cell, Cycle: mv.cycle - 1}, clean.Cycles
+		}
+	}
+	t.Fatal("no recompilable stuck cell found")
+	return biocoder.StuckAt{}, 0
+}
+
+func TestRecoveryCorpus(t *testing.T) {
+	var accounts []recoveryAccount
+	wins := 0
+	for _, a := range assays.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			build := func() (*biocoder.BioSystem, error) { return a.Build(), nil }
+			bs, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := biocoder.Compile(bs, biocoder.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, cleanCycles := probeCorpusStuck(t, a, prog)
+
+			// The recompile hook records every program it produces; the
+			// controller verify-gates them before adoption.
+			var produced []*biocoder.Compiled
+			recompile := func(ctx context.Context, faults []biocoder.Point) (*biocoder.Compiled, error) {
+				p, err := biocoder.Recompiler(build, biocoder.Options{})(ctx, faults)
+				if err == nil {
+					produced = append(produced, p)
+				}
+				return p, err
+			}
+			opts := func() biocoder.RunOptions {
+				return biocoder.RunOptions{
+					Sensors:     corpusSensors(a),
+					Metrics:     true,
+					Degradation: &biocoder.Degradation{Stuck: []biocoder.StuckAt{sa}},
+				}
+			}
+
+			res, err := prog.RunWithPolicy(opts(), biocoder.RecoveryPolicy{Recompile: recompile})
+			if err != nil {
+				t.Fatalf("recompile policy: stuck (%d,%d)@%d: %v", sa.Cell.X, sa.Cell.Y, sa.Cycle, err)
+			}
+			if res.Recoveries < 1 {
+				t.Fatalf("injected fault went undetected (recoveries=%d)", res.Recoveries)
+			}
+			var stuckEv *biocoder.RecoveryEvent
+			for i := range res.Events {
+				if res.Events[i].Kind == "stuck-electrode" {
+					stuckEv = &res.Events[i]
+					break
+				}
+			}
+			if stuckEv == nil {
+				t.Fatalf("no stuck-electrode event in %+v", res.Events)
+			}
+			if !stuckEv.Recompiled {
+				t.Errorf("controller did not adopt a recompiled program: %+v", *stuckEv)
+			}
+			if len(res.Metrics.Recoveries) != len(res.Events) {
+				t.Errorf("metrics carry %d recovery samples, controller reported %d events",
+					len(res.Metrics.Recoveries), len(res.Events))
+			}
+
+			// The adopted replacement must mark the defect and pass the
+			// full static verifier.
+			if len(produced) == 0 {
+				t.Fatal("recompile hook never produced a program")
+			}
+			rec2 := produced[len(produced)-1]
+			if !rec2.Topology.Faulty(sa.Cell) {
+				t.Errorf("recompiled topology does not mark (%d,%d) defective", sa.Cell.X, sa.Cell.Y)
+			}
+			if err := verify.Run(&verify.Unit{Graph: rec2.Graph, Exec: rec2.Executable}).Err(); err != nil {
+				t.Errorf("recompiled program fails verification: %v", err)
+			}
+			checkRecoveredReconciliation(t, []*biocoder.Compiled{prog, rec2}, res.Metrics)
+
+			// Restart baseline: same fault, same recompilation, but every
+			// recovery replays the whole program from the start.
+			restart, err := prog.RunWithPolicy(opts(), biocoder.RecoveryPolicy{Recompile: recompile, Restart: true})
+			if err != nil {
+				t.Fatalf("restart policy: %v", err)
+			}
+			if res.LostTime < restart.LostTime {
+				wins++
+			}
+			accounts = append(accounts, recoveryAccount{
+				Assay:             a.Name,
+				Cell:              [2]int{sa.Cell.X, sa.Cell.Y},
+				StuckAtCycle:      sa.Cycle,
+				CleanCycles:       cleanCycles,
+				ResumeAction:      stuckEv.Action,
+				ResumeLostCycles:  res.LostTime,
+				ResumeCycles:      res.Cycles,
+				RestartLostCycles: restart.LostTime,
+				RestartCycles:     restart.Cycles,
+				RecompileWallNs:   stuckEv.RecompileWall.Nanoseconds(),
+			})
+		})
+	}
+	if wins == 0 {
+		t.Errorf("checkpointed resume never beat the restart baseline across the corpus")
+	}
+	if out := os.Getenv("BFRECOVERY_OUT"); out != "" {
+		data, err := json.MarshalIndent(accounts, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote recovery accounting for %d assays to %s", len(accounts), out)
+	}
+}
+
+// checkRecoveredReconciliation reconciles the telemetry of a run that
+// switched programs mid-flight: every visit on the timeline must match
+// the per-visit touch and actuation counts that symbolic replay derives
+// from ONE of the programs the run executed (block labels are stable
+// across recompilation, so the same label may cost differently before and
+// after the switch), and the heatmap must still account for every
+// actuation.
+func checkRecoveredReconciliation(t *testing.T, progs []*biocoder.Compiled, m *biocoder.Metrics) {
+	t.Helper()
+	if m == nil {
+		t.Fatal("metrics missing")
+	}
+	if m.HeatTotal() != m.Actuations {
+		t.Errorf("heatmap total %d != actuations %d", m.HeatTotal(), m.Actuations)
+	}
+	type perVisit struct{ touch, act int }
+	tables := make([]map[string]perVisit, len(progs))
+	for i, p := range progs {
+		blockTouch, edgeTouch := verify.ReplayTouches(&verify.Unit{Graph: p.Graph, Exec: p.Executable})
+		tab := map[string]perVisit{}
+		for _, b := range p.Graph.Blocks {
+			if bc := p.Executable.Blocks[b.ID]; bc != nil {
+				tab[b.Label] = perVisit{len(blockTouch[b.ID]), bc.Seq.ActiveCount()}
+			}
+		}
+		for _, e := range p.Graph.Edges() {
+			if ec := p.Executable.Edge(e.From, e.To); ec != nil {
+				label := e.From.Label + "->" + e.To.Label
+				tab[label] = perVisit{len(edgeTouch[[2]int{e.From.ID, e.To.ID}]), ec.Seq.ActiveCount()}
+			}
+		}
+		tables[i] = tab
+	}
+	totalAct, totalTouch := 0, 0
+	for _, vs := range m.Timeline {
+		totalAct += vs.Actuations
+		totalTouch += vs.Touches
+		matched := false
+		known := false
+		for _, tab := range tables {
+			pv, ok := tab[vs.Label]
+			if !ok {
+				continue
+			}
+			known = true
+			if vs.Touches == pv.touch && vs.Actuations == pv.act {
+				matched = true
+				break
+			}
+		}
+		if !known {
+			t.Errorf("timeline names sequence %q which no executed program has", vs.Label)
+		} else if !matched {
+			t.Errorf("visit of %s at cycle %d (%d touches, %d actuations) matches no program's replay counts",
+				vs.Label, vs.StartCycle, vs.Touches, vs.Actuations)
+		}
+	}
+	if totalAct != m.Actuations {
+		t.Errorf("timeline actuations sum to %d, total counter says %d", totalAct, m.Actuations)
+	}
+	if totalTouch != m.Touches {
+		t.Errorf("timeline touches sum to %d, total counter says %d", totalTouch, m.Touches)
+	}
+}
