@@ -1,0 +1,229 @@
+package biocoder_test
+
+// Compile-path benchmarks for the block backend: serial vs parallel
+// fan-out, cold vs warm memo, one-block-edit recompilation, and
+// fault-scoped vs full recovery recompilation. TestWriteBenchCompileJSON
+// runs the same scenarios under testing.Benchmark and emits a
+// machine-readable BENCH_compile.json when BENCH_COMPILE_OUT is set (CI
+// archives it), so backend speedups and regressions are diffable across
+// PRs.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/assays"
+)
+
+const benchAssay = "Opiate detection immunoassay"
+
+func benchGraph(b *testing.B) *biocoder.BioSystem {
+	b.Helper()
+	return assays.ByName(benchAssay).Build()
+}
+
+func benchCompile(b *testing.B, opt biocoder.Options) *biocoder.Compiled {
+	b.Helper()
+	g, err := benchGraph(b).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := biocoder.CompileGraphOptions(g, biocoder.DefaultChip(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkCompileSerial is the baseline: the unmodified serial pipeline.
+func BenchmarkCompileSerial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchCompile(b, biocoder.Options{})
+	}
+}
+
+// BenchmarkCompileParallel fans block synthesis out over the CPUs; output
+// is byte-identical to serial (held by TestParallelCompileMatchesSerial).
+func BenchmarkCompileParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchCompile(b, biocoder.Options{Workers: runtime.NumCPU()})
+	}
+}
+
+// BenchmarkCompileWarmMemo recompiles an unedited program against a warm
+// block memo: every block is a fingerprint hit, so the measured cost is
+// parse + SSI + fingerprinting + σ-translation, with no synthesis.
+func BenchmarkCompileWarmMemo(b *testing.B) {
+	memo := biocoder.NewMemo()
+	benchCompile(b, biocoder.Options{Memo: memo}) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCompile(b, biocoder.Options{Memo: memo})
+	}
+}
+
+// BenchmarkRecompileOneBlockEdit measures the incremental loop a protocol
+// author sits in: a memo warmed by the previous revision, then a compile
+// of a revision with one edited block — only that block (and blocks whose
+// fingerprints it shifts) re-synthesizes.
+func BenchmarkRecompileOneBlockEdit(b *testing.B) {
+	compile := func(incubate time.Duration, memo *biocoder.Memo) {
+		g, err := incrementalProtocol(incubate).Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := biocoder.CompileGraphOptions(g, biocoder.DefaultChip(),
+			biocoder.Options{Memo: memo}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		memo := biocoder.NewMemo()
+		compile(10*time.Second, memo)
+		b.StartTimer()
+		compile(20*time.Second, memo)
+	}
+}
+
+// benchScopedFault picks a fault cell that admits a partial recompile of
+// the benchmark assay and returns it with the previous compilation.
+func benchScopedFault(b *testing.B) (*biocoder.Compiled, biocoder.Point) {
+	b.Helper()
+	prog := benchCompile(b, biocoder.Options{})
+	for _, c := range pickScopedFault(b, prog) {
+		if _, _, err := biocoder.PartialRecompile(prog, []biocoder.Point{c}, biocoder.Options{}); err == nil {
+			return prog, c
+		}
+	}
+	b.Fatal("no candidate fault admits a partial recompile")
+	return nil, biocoder.Point{}
+}
+
+// BenchmarkRecoveryScoped measures fault-scoped recovery recompilation:
+// only blocks whose footprints cross the fault re-synthesize.
+func BenchmarkRecoveryScoped(b *testing.B) {
+	prog, fault := benchScopedFault(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := biocoder.PartialRecompile(prog, []biocoder.Point{fault}, biocoder.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryFull is the pre-scoping recovery cost: a whole-program
+// recompile against the degraded topology, as the recovery controller did
+// before fault-scoped recompilation existed.
+func BenchmarkRecoveryFull(b *testing.B) {
+	_, fault := benchScopedFault(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCompile(b, biocoder.Options{FaultyElectrodes: []biocoder.Point{fault}})
+	}
+}
+
+// TestWriteBenchCompileJSON emits the compile benchmarks in machine-readable
+// form to the path in BENCH_COMPILE_OUT (skipped when unset), plus the
+// recovery scoping ratio — how many blocks a scoped recompile actually
+// redoes.
+func TestWriteBenchCompileJSON(t *testing.T) {
+	out := os.Getenv("BENCH_COMPILE_OUT")
+	if out == "" {
+		t.Skip("BENCH_COMPILE_OUT not set")
+	}
+	scenarios := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"compileSerial", BenchmarkCompileSerial},
+		{"compileParallel", BenchmarkCompileParallel},
+		{"compileWarmMemo", BenchmarkCompileWarmMemo},
+		{"recompileOneBlockEdit", BenchmarkRecompileOneBlockEdit},
+		{"recoveryScoped", BenchmarkRecoveryScoped},
+		{"recoveryFull", BenchmarkRecoveryFull},
+	}
+	type row struct {
+		N           int     `json:"n"`
+		NsPerOp     int64   `json:"nsPerOp"`
+		MsPerOp     float64 `json:"msPerOp"`
+		OpsPerSec   float64 `json:"opsPerSec"`
+		BytesPerOp  int64   `json:"bytesPerOp"`
+		AllocsPerOp int64   `json:"allocsPerOp"`
+	}
+	doc := struct {
+		Version string         `json:"compilerVersion"`
+		GoOS    string         `json:"goos"`
+		GoArch  string         `json:"goarch"`
+		CPUs    int            `json:"cpus"`
+		Assay   string         `json:"assay"`
+		Results map[string]row `json:"results"`
+		Scoped  struct {
+			Blocks           int `json:"blocks"`
+			BlocksRecompiled int `json:"blocksRecompiled"`
+			Edges            int `json:"edges"`
+			EdgesRecompiled  int `json:"edgesRecompiled"`
+		} `json:"recoveryScoping"`
+	}{
+		Version: biocoder.Version,
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Assay:   benchAssay,
+		Results: map[string]row{},
+	}
+	for _, sc := range scenarios {
+		r := testing.Benchmark(sc.fn)
+		if r.N == 0 {
+			t.Fatalf("benchmark %s did not run", sc.name)
+		}
+		ns := r.NsPerOp()
+		doc.Results[sc.name] = row{
+			N:           r.N,
+			NsPerOp:     ns,
+			MsPerOp:     float64(ns) / 1e6,
+			OpsPerSec:   1e9 / float64(ns),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		t.Logf("%-22s %s", sc.name, r)
+	}
+
+	// The scoping ratio: redo strictly fewer blocks than the program has.
+	a := assays.ByName(benchAssay)
+	prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pickScopedFault(t, prog) {
+		if _, stats, err := biocoder.PartialRecompile(prog, []biocoder.Point{c}, biocoder.Options{}); err == nil {
+			doc.Scoped.Blocks = stats.Blocks
+			doc.Scoped.BlocksRecompiled = stats.BlocksRecompiled
+			doc.Scoped.Edges = stats.Edges
+			doc.Scoped.EdgesRecompiled = stats.EdgesRecompiled
+			break
+		}
+	}
+	if doc.Scoped.Blocks == 0 {
+		t.Fatal("no scoped recompile succeeded")
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

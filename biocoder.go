@@ -33,6 +33,7 @@ import (
 	"biocoder/internal/arch"
 	"biocoder/internal/cfg"
 	"biocoder/internal/codegen"
+	"biocoder/internal/depgraph"
 	"biocoder/internal/dilute"
 	"biocoder/internal/exec"
 	"biocoder/internal/lang"
@@ -199,7 +200,36 @@ type Options struct {
 	// context's error. A nil Context never cancels. The bfd daemon and the
 	// -timeout flags of bfc/bfsim rely on this to shed slow compiles.
 	Context context.Context
+	// Workers sets the number of concurrent block-synthesis workers for
+	// the back end (schedule → place → codegen per basic block). Values
+	// below 2 keep the serial pipeline. Output is byte-identical to a
+	// serial compile: blocks are synthesized independently (the depgraph
+	// analysis proves that independence) and assembled in block order.
+	// Only the default backend parallelizes; NoLiveRangeSplitting and
+	// FreePlacement place blocks against shared mutable state and fall
+	// back to the serial pipeline.
+	Workers int
+	// Memo, when non-nil, memoizes per-block synthesis across compiles,
+	// keyed on the block's content-addressed fingerprint (dependence DAG +
+	// chip + options + compiler Version — see internal/depgraph). An
+	// edited assay then recompiles only its changed blocks. Share one Memo
+	// across compilations to get reuse; it is safe for concurrent use.
+	// Restricted to the default backend like Workers.
+	Memo *Memo
 }
+
+// Memoization re-exports (see internal/depgraph).
+type (
+	// Memo is the content-addressed per-block synthesis cache for
+	// Options.Memo.
+	Memo = depgraph.Memo
+	// MemoStats is a snapshot of memo effectiveness counters.
+	MemoStats = depgraph.Stats
+)
+
+// NewMemo returns an empty per-block synthesis cache with the default
+// entry bound, for Options.Memo.
+func NewMemo() *Memo { return depgraph.NewMemo() }
 
 // Observability re-exports: phase tracing and runtime telemetry live in
 // internal/obs; these aliases expose what external tooling needs.
@@ -267,6 +297,9 @@ func CompileGraphOptions(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled,
 }
 
 func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error) {
+	if usesBlockBackend(opt) {
+		return compileGraphBlocks(g, chip, opt)
+	}
 	tr := opt.Tracer
 	ctx := opt.Context
 	root := tr.Start("compile")

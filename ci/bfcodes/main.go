@@ -1,7 +1,8 @@
 // Command bfcodes is the CI consistency check for the BF diagnostic-code
 // registry. It cross-references every code the toolchain can emit — the
 // verifier passes (BF0xx/BF1xx/BF2xx/BF4xx), the abstract-interpretation
-// analyses (BF3xx), and the pin-safety analysis (BF5xx) — against two
+// analyses (BF3xx), the pin-safety analysis (BF5xx), and the inter-block
+// dependency analysis (BF6xx) — against two
 // ground truths:
 //
 //  1. the documentation tables in DESIGN.md (a `| BFnnn |` row per code),
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"biocoder/internal/analysis"
+	"biocoder/internal/depgraph"
 	"biocoder/internal/pinsafe"
 	"biocoder/internal/verify"
 )
@@ -41,6 +43,9 @@ func registered() map[string]bool {
 		codes[c] = true
 	}
 	for _, c := range pinsafe.Codes() {
+		codes[c] = true
+	}
+	for _, c := range depgraph.Codes() {
 		codes[c] = true
 	}
 	return codes

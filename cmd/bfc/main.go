@@ -16,6 +16,11 @@
 // -trace FILE additionally records every compilation phase (parse → SSI →
 // schedule → place → codegen, with per-block and per-routing-burst detail)
 // as Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
+//
+// -j N compiles basic blocks on N workers (the output stays byte-identical
+// to the serial pipeline), and -incremental compiles twice against a block
+// memo keyed by content-addressed fingerprints, reporting the cache
+// disposition — the warm recompile must be all hits.
 package main
 
 import (
@@ -50,6 +55,8 @@ func main() {
 	doAnalyze := flag.Bool("analyze", false, "run the abstract-interpretation analyses (volumes, timing, contamination); fail on error diagnostics")
 	doPins := flag.Bool("pins", false, "run the pin-constrained safety analysis (interference graph, DSATUR pin count, broadcast replay); fail on error diagnostics")
 	tracePath := flag.String("trace", "", "write compile-phase spans as Chrome trace-event JSON (load in Perfetto) to this file")
+	workers := flag.Int("j", 0, "compile basic blocks on this many workers (0 or 1: serial pipeline; output is byte-identical)")
+	incremental := flag.Bool("incremental", false, "compile twice against a block memo and report the cache disposition; the recompile must be all hits")
 	timeout := flag.Duration("timeout", 0, "abort compilation after this duration (0: no limit)")
 	list := flag.Bool("list", false, "list benchmark assays and exit")
 	flag.Parse()
@@ -107,15 +114,54 @@ func main() {
 		return
 	}
 
-	copt := biocoder.Options{Tracer: tracer}
+	copt := biocoder.Options{Tracer: tracer, Workers: *workers}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		copt.Context = ctx
 	}
+	var memo *biocoder.Memo
+	if *incremental {
+		memo = biocoder.NewMemo()
+		copt.Memo = memo
+	}
 	prog, err := biocoder.CompileGraphOptions(g, chip, copt)
 	if err != nil {
 		fatal(err)
+	}
+
+	// -incremental: recompile the unedited program against the warm memo.
+	// Every block must come back as a hit, and the recompiled executable
+	// must serialize byte-for-byte identically to the cold one.
+	if *incremental {
+		cold := memo.Stats()
+		g2, err := loadGraph(*assayName, *file)
+		if err != nil {
+			fatal(err)
+		}
+		ropt := copt
+		ropt.Tracer = nil
+		prog2, err := biocoder.CompileGraphOptions(g2, chip, ropt)
+		if err != nil {
+			fatal(err)
+		}
+		var a, b strings.Builder
+		if err := prog.Save(&a); err != nil {
+			fatal(err)
+		}
+		if err := prog2.Save(&b); err != nil {
+			fatal(err)
+		}
+		warm := memo.Stats()
+		hits, misses := warm.Hits-cold.Hits, warm.Misses-cold.Misses
+		fmt.Fprintf(os.Stderr, "incremental: cold %d miss(es); warm %d hit(s), %d miss(es), %d rejected; %d memo entrie(s)\n",
+			cold.Misses, hits, misses, warm.Rejected, warm.Entries)
+		if a.String() != b.String() {
+			fatal(fmt.Errorf("incremental recompile diverged from the cold compile"))
+		}
+		if misses > 0 {
+			fatal(fmt.Errorf("incremental recompile of an unedited program missed the memo %d time(s)", misses))
+		}
 	}
 
 	if *doVerify {

@@ -4,6 +4,9 @@
 // of expected phase shares — fails when the distribution drifts beyond a
 // tolerance, so a compile-time regression in one phase (a router blowup, a
 // scheduler slowdown) is caught by CI rather than hidden inside a total.
+// Traces from the parallel block backend (bfc -j / -incremental) carry the
+// block-memo cache disposition on their "compile" spans; bftrace sums those
+// counters and prints a memo reuse line under the phase table.
 //
 // Usage:
 //
@@ -34,7 +37,9 @@ import (
 // ("parse", "lower") that precede it. Nested detail spans ("block …",
 // "edge …", "route") are deliberately excluded — their time is already
 // inside their parent phase's duration and would double-count.
-var phaseNames = []string{"parse", "lower", "ssi", "topology", "schedule", "place", "codegen", "fold", "check"}
+// "blocks" and "edges" are the parallel block backend's fan-out phases
+// (bfc -j), which replace schedule/place/codegen in such traces.
+var phaseNames = []string{"parse", "lower", "ssi", "topology", "schedule", "place", "codegen", "blocks", "edges", "fold", "check"}
 
 // baseline is the committed phase-share snapshot CI diffs against.
 type baseline struct {
@@ -61,8 +66,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	totals := map[string]float64{} // phase -> µs, summed over all files
+	var memo memoCounters
 	for _, path := range fs.Args() {
-		if err := accumulate(path, totals); err != nil {
+		if err := accumulate(path, totals, &memo); err != nil {
 			fmt.Fprintf(stderr, "bftrace: %s: %v\n", path, err)
 			return 1
 		}
@@ -81,6 +87,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%-10s %12s %7s\n", "phase", "total", "share")
 	for _, n := range names {
 		fmt.Fprintf(stdout, "%-10s %10.2fms %6.1f%%\n", n, totals[n]/1000, shares[n]*100)
+	}
+	if memo.hits+memo.misses > 0 {
+		fmt.Fprintf(stdout, "memo: %d hit(s), %d miss(es) (%.0f%% block reuse) across %d parallel compile(s)\n",
+			memo.hits, memo.misses,
+			100*float64(memo.hits)/float64(memo.hits+memo.misses), memo.compiles)
 	}
 
 	if *writePath != "" {
@@ -103,10 +114,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// memoCounters aggregates the block-memo cache disposition recorded on
+// "compile" root spans by the parallel backend (bfc -j/-incremental).
+type memoCounters struct {
+	hits, misses int
+	compiles     int // "compile" spans that carried memo counters
+}
+
 // accumulate validates one trace file and adds its per-phase durations
-// (µs) into totals. Only compile-track complete events with known phase
-// names count; runtime and per-block detail events are ignored.
-func accumulate(path string, totals map[string]float64) error {
+// (µs) into totals and its memo cache counters into memo. Only
+// compile-track complete events with known phase names count toward the
+// phase table; runtime and per-block detail events are ignored.
+func accumulate(path string, totals map[string]float64, memo *memoCounters) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -124,8 +143,21 @@ func accumulate(path string, totals map[string]float64) error {
 		known[n] = true
 	}
 	for _, ev := range ct.TraceEvents {
-		if ev.Ph == "X" && ev.Tid == obs.CompileTrack && known[ev.Name] {
+		if ev.Ph != "X" || ev.Tid != obs.CompileTrack {
+			continue
+		}
+		if known[ev.Name] {
 			totals[ev.Name] += ev.Dur
+		}
+		if ev.Name == "compile" {
+			// JSON numbers decode as float64.
+			h, okH := ev.Args["memo_hits"].(float64)
+			m, okM := ev.Args["memo_misses"].(float64)
+			if okH || okM {
+				memo.hits += int(h)
+				memo.misses += int(m)
+				memo.compiles++
+			}
 		}
 	}
 	return nil

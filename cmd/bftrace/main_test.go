@@ -97,3 +97,44 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("missing file: exit %d, want 1", code)
 	}
 }
+
+// TestMemoCounters checks that the block-memo cache disposition recorded on
+// "compile" spans by the parallel backend is summed across files and
+// printed, and that serial traces (no counters) stay silent.
+func TestMemoCounters(t *testing.T) {
+	events := []obs.TraceEvent{
+		{Name: "compile", Ph: "X", Ts: 0, Dur: 100, Pid: 1, Tid: obs.CompileTrack, Cat: "compile",
+			Args: map[string]any{"workers": 4, "memo_hits": 3, "memo_misses": 2}},
+		{Name: "blocks", Ph: "X", Ts: 0, Dur: 80, Pid: 1, Tid: obs.CompileTrack, Cat: "compile"},
+		{Name: "edges", Ph: "X", Ts: 80, Dur: 20, Pid: 1, Tid: obs.CompileTrack, Cat: "compile"},
+	}
+	path := filepath.Join(t.TempDir(), "parallel.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(f, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path, path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "memo: 6 hit(s), 4 miss(es) (60% block reuse) across 2 parallel compile(s)") {
+		t.Errorf("memo disposition line missing or wrong:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "blocks") || !strings.Contains(out.String(), "edges") {
+		t.Errorf("parallel fan-out phases missing from the table:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{writeTestTrace(t)}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "memo:") {
+		t.Errorf("serial trace printed a memo line:\n%s", out.String())
+	}
+}

@@ -68,17 +68,41 @@ type jsonPins struct {
 	Derived           bool `json:"derived"`
 }
 
+// jsonBlockSummary is one block's effect summary under the deps subcommand.
+type jsonBlockSummary struct {
+	Block          int      `json:"block"`
+	Label          string   `json:"label"`
+	TransferIn     []string `json:"transferIn,omitempty"`
+	TransferOut    []string `json:"transferOut,omitempty"`
+	SensorReads    []string `json:"sensorReads,omitempty"`
+	ReservoirIn    []string `json:"reservoirIn,omitempty"`
+	ReservoirOut   []string `json:"reservoirOut,omitempty"`
+	FootprintCells int      `json:"footprintCells"`
+	Fingerprint    string   `json:"fingerprint"`
+}
+
+// jsonDepEdge is one droplet-carrying CFG edge in the block dependency graph.
+type jsonDepEdge struct {
+	From      int      `json:"from"`
+	To        int      `json:"to"`
+	FromLabel string   `json:"fromLabel"`
+	ToLabel   string   `json:"toLabel"`
+	Droplets  []string `json:"droplets,omitempty"`
+}
+
 // jsonTarget is one verified or analyzed program in the JSON report.
 type jsonTarget struct {
-	Name        string       `json:"name"`
-	Error       string       `json:"error,omitempty"`
-	Diags       []jsonDiag   `json:"diagnostics"`
-	Passes      []jsonPass   `json:"passes,omitempty"`
-	Timing      *jsonTiming  `json:"timing,omitempty"`
-	Outputs     []jsonOutput `json:"outputs,omitempty"`
-	Hazards     int          `json:"hazards,omitempty"`
-	Suggestions []jsonWash   `json:"washSuggestions,omitempty"`
-	Pins        *jsonPins    `json:"pins,omitempty"`
+	Name        string             `json:"name"`
+	Error       string             `json:"error,omitempty"`
+	Diags       []jsonDiag         `json:"diagnostics"`
+	Passes      []jsonPass         `json:"passes,omitempty"`
+	Timing      *jsonTiming        `json:"timing,omitempty"`
+	Outputs     []jsonOutput       `json:"outputs,omitempty"`
+	Hazards     int                `json:"hazards,omitempty"`
+	Suggestions []jsonWash         `json:"washSuggestions,omitempty"`
+	Pins        *jsonPins          `json:"pins,omitempty"`
+	Blocks      []jsonBlockSummary `json:"blocks,omitempty"`
+	DepEdges    []jsonDepEdge      `json:"deps,omitempty"`
 }
 
 func diagJSON(d verify.Diag) jsonDiag {

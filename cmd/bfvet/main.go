@@ -23,6 +23,15 @@
 // the derived map out, and -deadline additionally checks the static timing
 // bounds (BF310-BF312) as under analyze.
 //
+// The deps subcommand runs the inter-block effect and dependency analysis of
+// internal/depgraph: per-block effect summaries (droplet transfers, sensor
+// reads, reservoir traffic, chip footprint) with content-addressed block
+// fingerprints, plus the three proof obligations behind parallel and
+// incremental compilation — inter-block dependency violations (BF601),
+// effect-summary divergence against symbolic replay (BF602), and fingerprint
+// instability under canonicalization (BF603). -dot exports the block
+// dependency graph in Graphviz dot syntax.
+//
 // Usage:
 //
 //	bfvet protocol.bio ...
@@ -34,6 +43,8 @@
 //	bfvet pins protocol.bio
 //	bfvet pins -pins 24 -o protocol.pins -json protocol.bio
 //	bfvet pins -pinmap board.pins -Werror protocol.bio
+//	bfvet deps protocol.bio
+//	bfvet deps -assay "PCR" -dot pcr.dot -json
 //
 // Diagnostics print one per line as CODE severity [location]: message, or as
 // a JSON array with -json. bfvet exits 1 when any error-severity diagnostic
@@ -69,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(args) > 0 && args[0] == "pins" {
 		return runPins(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "deps" {
+		return runDeps(args[1:], stdout, stderr)
 	}
 	return runVerify(args, stdout, stderr)
 }

@@ -295,3 +295,90 @@ func TestPinsUsageErrors(t *testing.T) {
 		t.Errorf("-o with two targets: exit %d, want 2", code)
 	}
 }
+
+func TestDepsAssay(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"deps", "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"block b1", "fp ", "footprint", "distinct fingerprint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("deps summary lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BF60") {
+		t.Errorf("bundled assay raised a BF6xx diagnostic:\n%s", out)
+	}
+}
+
+func TestDepsJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"deps", "-json", "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var targets []struct {
+		Name  string `json:"name"`
+		Diags []struct {
+			Code string `json:"code"`
+		} `json:"diagnostics"`
+		Blocks []struct {
+			Label          string `json:"label"`
+			Fingerprint    string `json:"fingerprint"`
+			FootprintCells int    `json:"footprintCells"`
+		} `json:"blocks"`
+		Deps []struct {
+			FromLabel string   `json:"fromLabel"`
+			Droplets  []string `json:"droplets"`
+		} `json:"deps"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &targets); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if len(targets) != 1 || targets[0].Name != "PCR" {
+		t.Fatalf("targets = %+v", targets)
+	}
+	if len(targets[0].Diags) != 0 {
+		t.Errorf("PCR has BF6xx diagnostics: %+v", targets[0].Diags)
+	}
+	if len(targets[0].Blocks) < 4 || len(targets[0].Deps) == 0 {
+		t.Fatalf("blocks/deps missing: %+v", targets[0])
+	}
+	for _, b := range targets[0].Blocks {
+		if len(b.Fingerprint) != 64 {
+			t.Errorf("block %s: fingerprint %q is not a sha256 hex digest", b.Label, b.Fingerprint)
+		}
+	}
+}
+
+func TestDepsDOT(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	dot := filepath.Join(t.TempDir(), "pcr.dot")
+	if code := run([]string{"deps", "-dot", dot, "-assay", "PCR"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "digraph") || !strings.Contains(s, "->") {
+		t.Errorf("dot export looks malformed:\n%s", s)
+	}
+}
+
+func TestDepsUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"deps"}, &stdout, &stderr); code != 2 {
+		t.Errorf("no inputs: exit %d, want 2", code)
+	}
+	if code := run([]string{"deps", "-assay", "No Such Assay"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown assay: exit %d, want 2", code)
+	}
+	if code := run([]string{"deps", "-dot", "x.dot", writeScript(t, cleanScript), writeScript(t, cleanScript)}, &stdout, &stderr); code != 2 {
+		t.Errorf("-dot with two targets: exit %d, want 2", code)
+	}
+	if code := run([]string{"deps", "-dot", "-", "-json", "-assay", "PCR"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-dot - with -json: exit %d, want 2", code)
+	}
+}

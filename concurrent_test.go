@@ -72,6 +72,73 @@ func TestConcurrentCompileCorpus(t *testing.T) {
 	}
 }
 
+// TestConcurrentParallelCompileCorpus is TestConcurrentCompileCorpus for
+// the block backend: several goroutines per assay, each compiling with
+// workers>1 against one process-wide shared memo, interleaved across
+// assays. Under -race this holds both the worker pool and the memo's
+// internal synchronization; the byte-comparison against a serial reference
+// holds the output contract — parallel, memoized compilation must be
+// indistinguishable from the serial pipeline.
+func TestConcurrentParallelCompileCorpus(t *testing.T) {
+	const perAssay = 3
+	memo := biocoder.NewMemo()
+	for _, a := range assays.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := a.Build().Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := biocoder.CompileGraphOptions(g, biocoder.DefaultChip(), biocoder.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := ref.Save(&want); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			outs := make([][]byte, perAssay)
+			errs := make([]error, perAssay)
+			for i := 0; i < perAssay; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					g, err := a.Build().Build()
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					prog, err := biocoder.CompileGraphOptions(g, biocoder.DefaultChip(),
+						biocoder.Options{Workers: 4, Memo: memo})
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					var buf bytes.Buffer
+					if err := prog.Save(&buf); err != nil {
+						errs[i] = err
+						return
+					}
+					outs[i] = buf.Bytes()
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("concurrent parallel compile %d: %v", i, err)
+				}
+			}
+			for i := 0; i < perAssay; i++ {
+				if !bytes.Equal(want.Bytes(), outs[i]) {
+					t.Fatalf("parallel+memo compile %d diverged from the serial reference", i)
+				}
+			}
+		})
+	}
+}
+
 func TestCompileContextCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,204 @@
+package biocoder
+
+// Fault-scoped partial recompilation: when the cyber-physical loop detects
+// newly degraded electrodes, only the blocks and edges whose chip
+// footprints (depgraph.BlockFootprint/EdgeFootprint) intersect the fault
+// set are re-synthesized against the degraded topology; everything else is
+// reused from the previous compilation by reference — its activation
+// sequences provably never touch the failed cells. This is the static
+// analysis paying off at recovery time: re-place and re-route only the
+// affected blocks instead of recompiling the whole program.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/cfg"
+	"biocoder/internal/codegen"
+	"biocoder/internal/depgraph"
+	"biocoder/internal/place"
+	"biocoder/internal/sched"
+)
+
+// RecompileStats accounts one or more partial recompilations.
+type RecompileStats struct {
+	// Blocks and Edges count the program's blocks and CFG edges seen.
+	Blocks int
+	Edges  int
+	// BlocksReused / EdgesReused were adopted unchanged (their footprints
+	// avoid every fault); BlocksRecompiled / EdgesRecompiled were
+	// re-synthesized against the degraded topology.
+	BlocksReused     int
+	BlocksRecompiled int
+	EdgesReused      int
+	EdgesRecompiled  int
+}
+
+func (s *RecompileStats) add(o RecompileStats) {
+	s.Blocks += o.Blocks
+	s.Edges += o.Edges
+	s.BlocksReused += o.BlocksReused
+	s.BlocksRecompiled += o.BlocksRecompiled
+	s.EdgesReused += o.EdgesReused
+	s.EdgesRecompiled += o.EdgesRecompiled
+}
+
+// PartialRecompile rebuilds prev around the given fault set (the full
+// accumulated set, as RecoveryPolicy.Recompile receives it), re-synthesizing
+// only the blocks whose footprints intersect a fault, and only the edges
+// that are incident to such a block or cross a fault themselves. Reused
+// blocks and edges share memory with prev — neither executable may be
+// mutated afterwards.
+//
+// The result's Schedule covers every block, but its Placement holds only
+// the re-synthesized blocks: reused placements bind to prev's topology,
+// whose slot numbering the degraded topology does not preserve. Run the
+// result, don't re-place it.
+//
+// Only the default backend is supported: NoLiveRangeSplitting and
+// FreePlacement place against whole-program state, and FoldEdges merges
+// edge sequences into blocks, so none of them admit block-scoped reuse.
+func PartialRecompile(prev *Compiled, faults []Point, opt Options) (*Compiled, *RecompileStats, error) {
+	if prev == nil || prev.Executable == nil || prev.Graph == nil {
+		return nil, nil, fmt.Errorf("biocoder: partial recompile needs a previous compilation with graph and executable")
+	}
+	if opt.NoLiveRangeSplitting || opt.FreePlacement || opt.FoldEdges {
+		return nil, nil, fmt.Errorf("biocoder: partial recompile supports only the default backend (no NoLiveRangeSplitting, FreePlacement or FoldEdges)")
+	}
+	ctx := opt.Context
+	tr := opt.Tracer
+	chip := prev.Chip
+	g := prev.Graph // already in SSI form
+
+	root := tr.Start("partial-recompile")
+	defer root.End()
+	root.SetInt("faults", len(faults))
+
+	topo, err := place.BuildTopologyFaulty(chip, faults)
+	if err != nil {
+		return nil, nil, err
+	}
+	faultSet := make(map[arch.Point]bool, len(faults))
+	for _, p := range faults {
+		faultSet[p] = true
+	}
+
+	policy := sched.CriticalPath
+	if opt.MinSlackScheduling {
+		policy = sched.MinSlack
+	}
+	schedConf := sched.Config{
+		Res:         topo.Resources(),
+		CyclePeriod: chip.CyclePeriod,
+		Serial:      opt.SerialSchedules,
+		Priority:    policy,
+		Ctx:         ctx,
+	}
+	live := cfg.ComputeLiveness(g)
+
+	stats := &RecompileStats{Blocks: len(g.Blocks)}
+	dirty := map[int]bool{}
+	for _, b := range g.Blocks {
+		bc := prev.Executable.Blocks[b.ID]
+		if bc == nil || depgraph.Intersects(depgraph.BlockFootprint(bc), faultSet) {
+			dirty[b.ID] = true
+		}
+	}
+
+	sr := &sched.Result{Blocks: map[int]*sched.BlockSchedule{}}
+	pl := &place.Placement{Topo: topo, Blocks: map[int]*place.BlockPlacement{}}
+	ex := &codegen.Executable{
+		Graph:  g,
+		Topo:   topo,
+		Blocks: map[int]*codegen.BlockCode{},
+		Edges:  map[[2]int]*codegen.EdgeCode{},
+	}
+	for _, b := range g.Blocks {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
+		if !dirty[b.ID] {
+			sr.Blocks[b.ID] = prev.Schedule.Blocks[b.ID]
+			ex.Blocks[b.ID] = prev.Executable.Blocks[b.ID]
+			stats.BlocksReused++
+			continue
+		}
+		sp := tr.Start("reblock " + b.Label)
+		bs, bp, bc, err := synthBlock(b, schedConf, live, topo, tr, opt)
+		sp.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		sr.Blocks[b.ID] = bs
+		pl.Blocks[b.ID] = bp
+		ex.Blocks[b.ID] = bc
+		stats.BlocksRecompiled++
+	}
+	if err := pl.Check(); err != nil {
+		return nil, nil, err
+	}
+
+	for _, e := range g.Edges() {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
+		stats.Edges++
+		key := [2]int{e.From.ID, e.To.ID}
+		prevEC := prev.Executable.Edges[key]
+		if prevEC != nil && !dirty[e.From.ID] && !dirty[e.To.ID] &&
+			!depgraph.Intersects(depgraph.EdgeFootprint(prevEC), faultSet) {
+			ex.Edges[key] = prevEC
+			stats.EdgesReused++
+			continue
+		}
+		sp := tr.Start("reedge " + e.From.Label + "->" + e.To.Label)
+		ec, err := codegen.GenEdge(ctx, e.From, e.To, ex.Blocks[e.From.ID], ex.Blocks[e.To.ID], topo, tr)
+		sp.End()
+		if err != nil {
+			return nil, nil, err
+		}
+		ex.Edges[key] = ec
+		stats.EdgesRecompiled++
+	}
+
+	if err := ex.Check(); err != nil {
+		return nil, nil, err
+	}
+	root.SetInt("blocks_reused", stats.BlocksReused)
+	root.SetInt("blocks_recompiled", stats.BlocksRecompiled)
+	root.SetInt("edges_reused", stats.EdgesReused)
+	root.SetInt("edges_recompiled", stats.EdgesRecompiled)
+	return &Compiled{
+		Chip:       chip,
+		Graph:      g,
+		Topology:   topo,
+		Schedule:   sr,
+		Placement:  pl,
+		Executable: ex,
+	}, stats, nil
+}
+
+// ScopedRecompiler returns a RecoveryPolicy.Recompile hook that partially
+// recompiles prev around each detected fault set (always scoping against
+// the original compilation — the hook receives the full accumulated set),
+// plus the stats record the hook accumulates across recovery incidents.
+// Compare with Recompiler, which rebuilds and recompiles the whole program.
+func ScopedRecompiler(prev *Compiled, opt Options) (func(context.Context, []Point) (*Compiled, error), *RecompileStats) {
+	total := &RecompileStats{}
+	var mu sync.Mutex
+	hook := func(ctx context.Context, faults []Point) (*Compiled, error) {
+		o := opt
+		o.Context = ctx
+		next, stats, err := PartialRecompile(prev, faults, o)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		total.add(*stats)
+		mu.Unlock()
+		return next, nil
+	}
+	return hook, total
+}

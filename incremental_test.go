@@ -1,0 +1,165 @@
+package biocoder_test
+
+// Tests for fault-scoped partial recompilation: PartialRecompile must
+// re-synthesize exactly the blocks whose chip footprints intersect the
+// fault set (reusing the rest by reference), and ScopedRecompiler must
+// close the recovery loop end to end while recompiling strictly fewer
+// blocks than the whole program.
+
+import (
+	"testing"
+
+	"biocoder"
+	"biocoder/internal/assays"
+	"biocoder/internal/depgraph"
+	"biocoder/internal/verify"
+)
+
+// pickScopedFault returns a chip cell inside at least one block footprint
+// but outside at least one other — the precondition for partial
+// recompilation to have something to reuse AND something to redo.
+// Candidates touching the fewest blocks are tried first.
+func pickScopedFault(t testing.TB, prog *biocoder.Compiled) []biocoder.Point {
+	t.Helper()
+	counts := map[biocoder.Point]int{}
+	blocks := 0
+	for _, bc := range prog.Executable.Blocks {
+		blocks++
+		for _, c := range depgraph.BlockFootprint(bc) {
+			counts[c]++
+		}
+	}
+	var cells []biocoder.Point
+	for c, n := range counts {
+		if n < blocks {
+			cells = append(cells, c)
+		}
+	}
+	if len(cells) == 0 {
+		t.Fatal("every footprint cell is shared by all blocks; fixture too small")
+	}
+	// Deterministic order: fewest-touched first, then row-major.
+	for i := 0; i < len(cells); i++ {
+		for j := i + 1; j < len(cells); j++ {
+			a, b := cells[i], cells[j]
+			if counts[b] < counts[a] || (counts[b] == counts[a] &&
+				(b.Y < a.Y || (b.Y == a.Y && b.X < a.X))) {
+				cells[i], cells[j] = cells[j], cells[i]
+			}
+		}
+	}
+	return cells
+}
+
+func TestPartialRecompileScoped(t *testing.T) {
+	a := assays.ByName("Opiate detection immunoassay")
+	prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next *biocoder.Compiled
+	var stats *biocoder.RecompileStats
+	var fault biocoder.Point
+	for _, c := range pickScopedFault(t, prog) {
+		next, stats, err = biocoder.PartialRecompile(prog, []biocoder.Point{c}, biocoder.Options{})
+		if err == nil {
+			fault = c
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("no candidate fault admitted a partial recompile: %v", err)
+	}
+	if stats.BlocksRecompiled < 1 {
+		t.Fatalf("fault %v inside a block footprint triggered no recompilation: %+v", fault, stats)
+	}
+	if stats.BlocksRecompiled >= stats.Blocks {
+		t.Fatalf("partial recompile redid all %d blocks: %+v", stats.Blocks, stats)
+	}
+	if stats.BlocksReused+stats.BlocksRecompiled != stats.Blocks {
+		t.Fatalf("block accounting does not add up: %+v", stats)
+	}
+
+	// Reused blocks must be shared by reference (that is the point — no
+	// re-synthesis cost), and their footprints must avoid the fault.
+	reused := 0
+	for id, bc := range next.Executable.Blocks {
+		if bc == prog.Executable.Blocks[id] {
+			reused++
+			if depgraph.Intersects(depgraph.BlockFootprint(bc), map[biocoder.Point]bool{fault: true}) {
+				t.Errorf("reused block %d footprint crosses the fault %v", id, fault)
+			}
+		}
+	}
+	if reused != stats.BlocksReused {
+		t.Errorf("%d blocks shared by reference, stats claim %d reused", reused, stats.BlocksReused)
+	}
+
+	// The degraded program must mark the defect and pass full verification.
+	if !next.Topology.Faulty(fault) {
+		t.Errorf("partial recompile topology does not mark %v defective", fault)
+	}
+	if err := verify.Run(&verify.Unit{Graph: next.Graph, Exec: next.Executable}).Err(); err != nil {
+		t.Errorf("partially recompiled program fails verification: %v", err)
+	}
+	if _, err := next.Run(biocoder.RunOptions{Sensors: corpusSensors(a)}); err != nil {
+		t.Fatalf("partially recompiled program does not run: %v", err)
+	}
+}
+
+func TestPartialRecompileRestricted(t *testing.T) {
+	a := assays.ByName("PCR")
+	prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []biocoder.Options{
+		{NoLiveRangeSplitting: true},
+		{FreePlacement: true},
+		{FoldEdges: true},
+	} {
+		if _, _, err := biocoder.PartialRecompile(prog, nil, opt); err == nil {
+			t.Errorf("PartialRecompile accepted unsupported options %+v", opt)
+		}
+	}
+	if _, _, err := biocoder.PartialRecompile(nil, nil, biocoder.Options{}); err == nil {
+		t.Error("PartialRecompile accepted a nil previous compilation")
+	}
+}
+
+// TestScopedRecoveryRecompilesFewerBlocks runs the online recovery
+// controller with ScopedRecompiler as the recompile hook: a mid-assay stuck
+// electrode must be detected and recovered from, and the accumulated stats
+// must show the recompilation was fault-scoped — strictly fewer blocks
+// re-synthesized than the program has.
+func TestScopedRecoveryRecompilesFewerBlocks(t *testing.T) {
+	a := assays.ByName("Opiate detection immunoassay")
+	prog, err := biocoder.Compile(a.Build(), biocoder.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := probeCorpusStuck(t, a, prog)
+
+	hook, stats := biocoder.ScopedRecompiler(prog, biocoder.Options{})
+	res, err := prog.RunWithPolicy(biocoder.RunOptions{
+		Sensors:     corpusSensors(a),
+		Degradation: &biocoder.Degradation{Stuck: []biocoder.StuckAt{sa}},
+	}, biocoder.RecoveryPolicy{Recompile: hook})
+	if err != nil {
+		t.Fatalf("scoped recovery: stuck (%d,%d)@%d: %v", sa.Cell.X, sa.Cell.Y, sa.Cycle, err)
+	}
+	if res.Recoveries < 1 {
+		t.Fatalf("injected fault went undetected (recoveries=%d)", res.Recoveries)
+	}
+	if stats.Blocks == 0 {
+		t.Fatal("recompile hook was never invoked")
+	}
+	if stats.BlocksRecompiled < 1 {
+		t.Fatalf("recovery recompiled no blocks: %+v", *stats)
+	}
+	if stats.BlocksRecompiled >= stats.Blocks {
+		t.Fatalf("recovery recompiled the whole program (%d of %d blocks): not fault-scoped", stats.BlocksRecompiled, stats.Blocks)
+	}
+	t.Logf("scoped recovery: %d/%d blocks, %d/%d edges recompiled",
+		stats.BlocksRecompiled, stats.Blocks, stats.EdgesRecompiled, stats.Edges)
+}

@@ -81,6 +81,21 @@ func GenerateCtx(ctx context.Context, g *cfg.Graph, sr *sched.Result, pl *place.
 	return ex, nil
 }
 
+// GenBlock generates the activation sequence of one scheduled, placed block —
+// the per-block entry point of the parallel backend. It reads only the
+// block's own schedule/placement and the shared read-only topology, so
+// GenerateCtx's block loop is equivalent to calling it per block.
+func GenBlock(ctx context.Context, b *cfg.Block, bs *sched.BlockSchedule, bp *place.BlockPlacement, topo *place.Topology, tr *obs.Tracer) (*BlockCode, error) {
+	return genBlock(ctx, b, bs, bp, topo, tr)
+}
+
+// GenEdge generates the transfer sequence of one CFG edge from the two
+// adjacent blocks' compiled code — the per-edge entry point of the parallel
+// backend and of fault-scoped partial recompilation.
+func GenEdge(ctx context.Context, from, to *cfg.Block, fromCode, toCode *BlockCode, topo *place.Topology, tr *obs.Tracer) (*EdgeCode, error) {
+	return genEdge(ctx, from, to, fromCode, toCode, topo.Chip, topo, tr)
+}
+
 // ctxErr reports the context's cancellation state; a nil context never
 // cancels.
 func ctxErr(ctx context.Context) error {

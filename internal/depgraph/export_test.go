@@ -1,0 +1,5 @@
+package depgraph
+
+// SetTestDestabilize toggles the deliberate canonicalization breaker used
+// to prove the BF603 self-check can fire. Test-only.
+func SetTestDestabilize(v bool) { testDestabilize = v }

@@ -1,0 +1,224 @@
+package depgraph
+
+// Content-addressed block fingerprints.
+//
+// A fingerprint identifies everything the per-block synthesis pipeline
+// (schedule → place → route → codegen) can observe about one post-SSI basic
+// block: the block's dependence DAG up to renaming, the chip description,
+// the synthesis-relevant compile options, and the compiler version — the
+// same key discipline as the bfd serve cache, pushed down from whole
+// programs to single blocks.
+//
+// Hashing is a bottom-up Merkle labeling of the dependence DAG
+// (Weisfeiler-Lehman style): a φ destination hashes as ("phi", base name,
+// rank among the φ destinations of the same name), an instruction hashes
+// its structural fields plus the hashes of its arguments' definitions, and
+// the i-th result of an instruction hashes as (instruction hash, i). SSI
+// version numbers and instruction IDs never enter the hash, and the block
+// fingerprint combines instruction hashes as a sorted multiset — so both
+// renaming the SSI versions and reordering the instruction list (to any
+// equivalent order of the same DAG) leave the fingerprint unchanged. BF603
+// holds exactly this invariance; FuzzBlockFingerprint fuzzes it.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+)
+
+// Key is the program-independent part of a block fingerprint: the compiler
+// version, the chip description, and the canonical synthesis options. Two
+// blocks may only share synthesis results when their Keys are identical —
+// the same discipline as the serve cache, which keys whole compilations on
+// (version, chip, options, IR).
+type Key struct {
+	version string
+	chip    string
+	options string
+}
+
+// NewKey builds a fingerprint key. The compiler version is a required
+// positional argument — pass biocoder.Version — so that omitting it from a
+// key is a compile-time error at the call site, not a silent stale cache
+// hit; an empty version is additionally rejected at runtime.
+func NewKey(version, chipText, optionsText string) (Key, error) {
+	if version == "" {
+		return Key{}, fmt.Errorf("depgraph: fingerprint key requires a non-empty compiler version (pass biocoder.Version): a version-less key survives compiler upgrades and serves stale synthesis results")
+	}
+	return Key{version: version, chip: chipText, options: optionsText}, nil
+}
+
+// KeyFor is NewKey with the chip rendered through its canonical text form
+// (arch.WriteConfig), the same serialization the serve cache keys on.
+func KeyFor(version string, chip *arch.Chip, optionsText string) (Key, error) {
+	var b strings.Builder
+	if err := arch.WriteConfig(&b, chip); err != nil {
+		return Key{}, fmt.Errorf("depgraph: rendering chip for fingerprint key: %w", err)
+	}
+	return NewKey(version, b.String(), optionsText)
+}
+
+// IsZero reports whether k is the zero Key (never produced by NewKey).
+func (k Key) IsZero() bool { return k == Key{} }
+
+// Version returns the compiler version the key was built with.
+func (k Key) Version() string { return k.version }
+
+// hashParts is the shared length-prefixed SHA-256 combiner: every part is
+// framed by its length so that concatenation ambiguities cannot collide.
+func hashParts(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// instrShape renders the structural (rename-invariant) fields of a wet
+// instruction: everything synthesis reads except the fluid identities.
+func instrShape(in *ir.Instr) string {
+	return fmt.Sprintf("%d|%s|%g|%d|%g|%s|%s|%d|%d",
+		int(in.Kind), in.FluidType, in.Volume, int64(in.Duration), in.Temp,
+		in.SensorVar, in.Port, len(in.Args), len(in.Results))
+}
+
+// blockHasher assigns Weisfeiler-Lehman hashes to every definition and
+// every wet instruction of one block, independent of instruction-list
+// order (hashes are computed by recursion over def-use edges, memoized).
+type blockHasher struct {
+	defSite map[ir.FluidID]defSite
+	phiHash map[ir.FluidID]string
+	instrs  map[int]string // instruction ID -> WL hash (wet instructions)
+	byInstr map[*ir.Instr]bool
+}
+
+type defSite struct {
+	in  *ir.Instr
+	idx int // result index
+}
+
+// testDestabilize, when set (from export_test.go only), makes the hasher
+// include raw instruction IDs — deliberately breaking canonicalization so
+// the BF603 self-check can be shown to fire.
+var testDestabilize bool
+
+// newBlockHasher labels block b. The labeling needs every in-block use to
+// have an in-block definition (φ destination or earlier result); arguments
+// without one hash as opaque externals, which BF601 reports separately.
+func newBlockHasher(b *cfg.Block) *blockHasher {
+	h := &blockHasher{
+		defSite: map[ir.FluidID]defSite{},
+		phiHash: map[ir.FluidID]string{},
+		instrs:  map[int]string{},
+		byInstr: map[*ir.Instr]bool{},
+	}
+	// φ destinations hash by (base name, rank): among the φ destinations
+	// sharing a name, rank is the position in version order — invariant
+	// under any order-preserving renaming of versions.
+	byName := map[string][]ir.FluidID{}
+	for _, phi := range b.Phis {
+		byName[phi.Dst.Name] = append(byName[phi.Dst.Name], phi.Dst)
+	}
+	for name, vs := range byName {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Ver < vs[j].Ver })
+		for rank, v := range vs {
+			h.phiHash[v] = hashParts("phi", name, strconv.Itoa(rank))
+		}
+	}
+	for _, in := range b.Instrs {
+		if !in.Kind.IsWet() {
+			continue
+		}
+		h.byInstr[in] = true
+		for i, r := range in.Results {
+			h.defSite[r] = defSite{in: in, idx: i}
+		}
+	}
+	for _, in := range b.Instrs {
+		if in.Kind.IsWet() {
+			h.instrHash(in)
+		}
+	}
+	return h
+}
+
+// instrHash returns the WL hash of a wet instruction, computing it (and
+// its transitive producers') on first demand. Blocks are DAGs — SSI gives
+// every version a unique definition — so the recursion terminates.
+func (h *blockHasher) instrHash(in *ir.Instr) string {
+	if v, ok := h.instrs[in.ID]; ok {
+		return v
+	}
+	parts := []string{"instr", instrShape(in)}
+	if testDestabilize {
+		parts = append(parts, strconv.Itoa(in.ID))
+	}
+	for _, a := range in.Args {
+		parts = append(parts, h.defHash(a))
+	}
+	v := hashParts(parts...)
+	h.instrs[in.ID] = v
+	return v
+}
+
+// defHash returns the WL hash of the definition of version f within the
+// block: its φ hash, its producing instruction's result hash, or — for a
+// version with no in-block definition (a BF601 violation) — an opaque
+// external marker carrying only the base name.
+func (h *blockHasher) defHash(f ir.FluidID) string {
+	if v, ok := h.phiHash[f]; ok {
+		return v
+	}
+	if site, ok := h.defSite[f]; ok {
+		return hashParts("res", h.instrHash(site.in), strconv.Itoa(site.idx))
+	}
+	return hashParts("ext", f.Name)
+}
+
+// Fingerprint computes the content-addressed fingerprint of block b under
+// key k. liveOut is the block's live-out set (its TRANSFER_OUT droplets);
+// it contributes by base name + definition hash so the set of exported
+// values is pinned without exposing version numbers. The key must come
+// from NewKey/KeyFor.
+func Fingerprint(k Key, b *cfg.Block, liveOut cfg.Set) (string, error) {
+	if k.IsZero() {
+		return "", fmt.Errorf("depgraph: fingerprint of block %s: zero Key (use NewKey/KeyFor)", b.Label)
+	}
+	h := newBlockHasher(b)
+	return fingerprintWith(k, b, liveOut, h), nil
+}
+
+func fingerprintWith(k Key, b *cfg.Block, liveOut cfg.Set, h *blockHasher) string {
+	var phis, instrs, outs []string
+	for _, phi := range b.Phis {
+		phis = append(phis, h.phiHash[phi.Dst])
+	}
+	for _, in := range b.Instrs {
+		if in.Kind.IsWet() {
+			instrs = append(instrs, h.instrHash(in))
+		}
+	}
+	for f := range liveOut {
+		outs = append(outs, hashParts("out", f.Name, h.defHash(f)))
+	}
+	sort.Strings(phis)
+	sort.Strings(instrs)
+	sort.Strings(outs)
+	parts := []string{"block", k.version, k.chip, k.options,
+		strconv.Itoa(len(phis)), strconv.Itoa(len(instrs)), strconv.Itoa(len(outs))}
+	parts = append(parts, phis...)
+	parts = append(parts, instrs...)
+	parts = append(parts, outs...)
+	return hashParts(parts...)
+}

@@ -1,0 +1,148 @@
+package depgraph
+
+// FuzzBlockFingerprint holds the canonicalization invariant against
+// generated block DAGs: an order-preserving renaming of the SSI versions
+// combined with an arbitrary (here: reversed) reordering of the
+// instruction list must never change the fingerprint, while a semantic
+// mutation of the same block must.
+
+import (
+	"testing"
+	"time"
+
+	"biocoder/internal/cfg"
+	"biocoder/internal/ir"
+)
+
+// genFuzzBlock deterministically grows a block DAG from the fuzz bytes:
+// a couple of φ inputs, then one wet instruction per byte pair, each
+// consuming previously defined versions.
+func genFuzzBlock(data []byte) (*cfg.Block, cfg.Set) {
+	b := &cfg.Block{ID: 1, Label: "fz"}
+	ver := 1
+	var defs []ir.FluidID
+	nphi := 1
+	if len(data) > 0 {
+		nphi = 1 + int(data[0])%3
+	}
+	for i := 0; i < nphi; i++ {
+		dst := ir.FluidID{Name: "f" + string(rune('a'+i%2)), Ver: ver}
+		ver++
+		b.Phis = append(b.Phis, cfg.Phi{Dst: dst})
+		defs = append(defs, dst)
+	}
+	id := 100
+	for i := 1; i+1 < len(data) && i < 17; i += 2 {
+		k, v := data[i], data[i+1]
+		in := &ir.Instr{ID: id}
+		id++
+		arg := defs[int(v)%len(defs)]
+		switch k % 4 {
+		case 0:
+			in.Kind = ir.Mix
+			in.Duration = time.Duration(1+int(k)%5) * time.Second
+			in.Args = []ir.FluidID{arg, defs[int(v/7)%len(defs)]}
+		case 1:
+			in.Kind = ir.Heat
+			in.Temp = 30 + float64(v%60)
+			in.Duration = time.Second
+			in.Args = []ir.FluidID{arg}
+		case 2:
+			in.Kind = ir.Sense
+			in.SensorVar = "x"
+			in.Duration = time.Second
+			in.Args = []ir.FluidID{arg}
+		case 3:
+			in.Kind = ir.Split
+			in.Args = []ir.FluidID{arg}
+		}
+		nres := 1
+		if in.Kind == ir.Split {
+			nres = 2
+		}
+		for r := 0; r < nres; r++ {
+			res := ir.FluidID{Name: arg.Name, Ver: ver}
+			ver++
+			in.Results = append(in.Results, res)
+			defs = append(defs, res)
+		}
+		b.Instrs = append(b.Instrs, in)
+	}
+	liveOut := cfg.Set{}
+	if len(defs) > 0 {
+		liveOut[defs[len(defs)-1]] = true
+	}
+	return b, liveOut
+}
+
+func FuzzBlockFingerprint(f *testing.F) {
+	f.Add([]byte{2, 0, 0, 1, 1, 3, 2}, uint8(3))
+	f.Add([]byte{0, 7, 5, 2, 9, 6, 1, 4, 4}, uint8(11))
+	f.Add([]byte{1}, uint8(0))
+	f.Add([]byte{}, uint8(255))
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, shift uint8) {
+		b, liveOut := genFuzzBlock(data)
+		key, err := NewKey("fuzz-version", "chip", "opt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := Fingerprint(key, b, liveOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Order-preserving renaming (Ver is positive, so v*3+shift is
+		// strictly monotone) plus full list reversal and an instruction-ID
+		// shift: the fingerprint must not move.
+		rel := func(f ir.FluidID) ir.FluidID {
+			return ir.FluidID{Name: f.Name, Ver: f.Ver*3 + int(shift)}
+		}
+		clone := &cfg.Block{ID: b.ID, Label: b.Label}
+		for i := len(b.Phis) - 1; i >= 0; i-- {
+			clone.Phis = append(clone.Phis, cfg.Phi{Dst: rel(b.Phis[i].Dst)})
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			c := *in
+			c.ID = in.ID + 7777
+			c.Args = relabelAll(in.Args, rel)
+			c.Results = relabelAll(in.Results, rel)
+			clone.Instrs = append(clone.Instrs, &c)
+		}
+		cloneOut := cfg.Set{}
+		for f := range liveOut {
+			cloneOut[rel(f)] = true
+		}
+		cfp, err := Fingerprint(key, clone, cloneOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfp != fp {
+			t.Fatalf("fingerprint changed under order-preserving renaming + reorder\ninput: %v shift %d", data, shift)
+		}
+
+		// A semantic mutation must move it: retype the last instruction's
+		// duration-bearing field (or the φ count when there are none).
+		if len(clone.Instrs) > 0 {
+			clone.Instrs[0].Duration += 30 * time.Second
+			clone.Instrs[0].Temp += 1
+			mfp, err := Fingerprint(key, clone, cloneOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mfp == fp {
+				t.Fatalf("fingerprint ignored a semantic mutation\ninput: %v", data)
+			}
+		} else {
+			clone.Phis = append(clone.Phis, cfg.Phi{Dst: ir.FluidID{Name: "extra", Ver: 999}})
+			mfp, err := Fingerprint(key, clone, cloneOut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mfp == fp {
+				t.Fatalf("fingerprint ignored an added φ input\ninput: %v", data)
+			}
+		}
+	})
+}

@@ -131,6 +131,23 @@ func (s *Span) SetBool(key string, v bool) {
 	s.Attrs = append(s.Attrs, Attr{Key: key, Val: v})
 }
 
+// Graft appends fully-ended spans collected elsewhere (typically by a
+// per-worker Tracer during parallel compilation) as children of s. The
+// grafted spans keep their own wall-clock Begin/Duration, so a parallel
+// phase span shows the wall time of the fan-out while its grafted
+// children show each worker's real timing. Nil-safe; nil children are
+// skipped.
+func (s *Span) Graft(children ...*Span) {
+	if s == nil {
+		return
+	}
+	for _, c := range children {
+		if c != nil {
+			s.Children = append(s.Children, c)
+		}
+	}
+}
+
 // Roots returns the collected top-level spans (nil tracer: none).
 func (t *Tracer) Roots() []*Span {
 	if t == nil {

@@ -132,6 +132,18 @@ func PlaceCtx(ctx context.Context, g *cfg.Graph, s *sched.Result, topo *Topology
 	return pl, nil
 }
 
+// PlaceBlock places one scheduled block with the greedy virtual-topology
+// binder — the per-block entry point of the parallel backend (PlaceCtx is
+// this for every block). Binding consults only the block's own schedule and
+// the shared read-only topology, so blocks place independently (§6.3.4).
+func PlaceBlock(bs *sched.BlockSchedule, topo *Topology) (*BlockPlacement, error) {
+	bp, err := placeBlock(bs, topo)
+	if err != nil {
+		return nil, fmt.Errorf("place: block %s: %w", bs.Block.Label, err)
+	}
+	return bp, nil
+}
+
 // ctxErr reports the context's cancellation state; a nil context never
 // cancels.
 func ctxErr(ctx context.Context) error {

@@ -219,6 +219,23 @@ func Schedule(g *cfg.Graph, conf Config) (*Result, error) {
 	return res, nil
 }
 
+// ScheduleBlock schedules one block of an SSI-form graph against conf; live
+// must be the liveness of the graph owning b (cfg.ComputeLiveness). It is the
+// per-block entry point of the parallel backend: Schedule is equivalent to
+// calling it for every block. Block scheduling depends only on the block's
+// own dependence DAG, the liveness sets and conf — never on sibling blocks —
+// which is what makes the fan-out sound.
+func ScheduleBlock(b *cfg.Block, conf Config, live *cfg.Liveness) (*BlockSchedule, error) {
+	if conf.CyclePeriod <= 0 {
+		return nil, fmt.Errorf("sched: cycle period must be positive")
+	}
+	bs, err := scheduleBlock(b, conf, live)
+	if err != nil {
+		return nil, fmt.Errorf("sched: block %s: %w", b.Label, err)
+	}
+	return bs, nil
+}
+
 // blockState tracks the resource counters during list scheduling.
 type blockState struct {
 	conf Config

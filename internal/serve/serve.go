@@ -91,6 +91,7 @@ type Server struct {
 	cfg     Config
 	stats   Stats
 	cache   *lruCache
+	memo    *biocoder.Memo // process-wide block memo shared by every backend compile
 	flights flightGroup
 	sem     chan struct{}
 
@@ -111,6 +112,7 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		stats: Stats{start: time.Now()},
 		cache: newLRUCache(cfg.CacheBytes),
+		memo:  biocoder.NewMemo(),
 		sem:   make(chan struct{}, cfg.Workers),
 	}
 }
@@ -264,6 +266,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.stats.snapshot()
 	snap.CacheEntries, snap.CacheBytes, snap.CacheEvicted = s.cache.stats()
 	snap.CacheBudget = s.cfg.CacheBytes
+	ms := s.memo.Stats()
+	snap.MemoHits, snap.MemoMisses, snap.MemoRejected = ms.Hits, ms.Misses, ms.Rejected
+	snap.MemoEntries = ms.Entries
 	snap.Workers = s.cfg.Workers
 	snap.Version = biocoder.Version
 	s.mu.Lock()
@@ -365,6 +370,7 @@ func (s *Server) compileEntry(tr *obs.Tracer, key string, g *cfg.Graph, chip *ar
 		FreePlacement:        opt.FreePlacement,
 		FoldEdges:            opt.FoldEdges,
 		FaultyElectrodes:     faultPoints(opt.Faults),
+		Memo:                 s.memo,
 		Tracer:               tr,
 		Context:              cctx,
 	})

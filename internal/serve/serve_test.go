@@ -599,3 +599,46 @@ func TestRequestDeadline(t *testing.T) {
 		t.Error("shed request not counted as timeout")
 	}
 }
+
+// TestStatsBlockMemo holds the process-wide block memo surface: backend
+// compiles populate it (misses, entries), a second compile of a different
+// program reuses structurally identical blocks (hits, e.g. the empty
+// entry/exit blocks), and the counters are exported at /v1/stats. The
+// served executables must remain bfvet-clean under memoized compilation.
+func TestStatsBlockMemo(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/compile", compileBody(testAssay))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d: %s", resp.StatusCode, body)
+	}
+	mustVerifyClean(t, body)
+	resp, body = postJSON(t, ts.URL+"/v1/compile", compileBody("PCR"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d: %s", resp.StatusCode, body)
+	}
+	mustVerifyClean(t, body)
+
+	sresp, sbody := getJSON(t, ts.URL+"/v1/stats")
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", sresp.StatusCode)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(sbody, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Compiles != 2 {
+		t.Fatalf("compiles = %d, want 2 (distinct programs must both reach the backend)", snap.Compiles)
+	}
+	if snap.MemoMisses == 0 || snap.MemoEntries == 0 {
+		t.Errorf("block memo never populated: %+v", snap)
+	}
+	if snap.MemoHits == 0 {
+		t.Errorf("no block reuse across compiles (entry/exit blocks at least should hit): %+v", snap)
+	}
+	if snap.MemoRejected != 0 {
+		t.Errorf("memo rejected %d translation(s) on a clean corpus", snap.MemoRejected)
+	}
+	if !bytes.Contains(sbody, []byte("blockMemoHits")) {
+		t.Errorf("stats JSON lacks blockMemoHits:\n%s", sbody)
+	}
+}

@@ -42,9 +42,16 @@ type StatsSnapshot struct {
 	CacheBytes    int64   `json:"cacheBytes"`
 	CacheBudget   int64   `json:"cacheBudgetBytes"`
 	CacheEvicted  int64   `json:"cacheEvictions"`
-	Workers       int     `json:"workers"`
-	Version       string  `json:"version"`
-	Draining      bool    `json:"draining"`
+	// Block-memo disposition: per-block synthesis reuse across backend
+	// compiles, keyed by content-addressed block fingerprints. Distinct
+	// from the response LRU above, which caches whole compile responses.
+	MemoHits     int64  `json:"blockMemoHits"`
+	MemoMisses   int64  `json:"blockMemoMisses"`
+	MemoRejected int64  `json:"blockMemoRejected"`
+	MemoEntries  int    `json:"blockMemoEntries"`
+	Workers      int    `json:"workers"`
+	Version      string `json:"version"`
+	Draining     bool   `json:"draining"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {

@@ -168,6 +168,11 @@ type SeqReplay struct {
 	Start map[ir.FluidID]arch.Point
 	Moves []Move
 	OK    bool
+	// End holds the reconstructed final droplet positions; nil when the
+	// replay aborted. This is the replayed counterpart of the block's
+	// declared Exit contract, used by the depgraph effect-summary
+	// reconciliation (BF602).
+	End map[ir.FluidID]arch.Point
 }
 
 // ReplayMoves re-runs the symbolic replay over the unit's executable and
@@ -235,7 +240,11 @@ func (r *replayer) run() {
 			r.res.blockTouch[b.ID] = r.cur
 		}
 		if r.recMoves {
-			r.res.blockMoves[b.ID] = &SeqReplay{Start: clonePositions(bc.Entry), Moves: r.curMoves, OK: end != nil}
+			sr := &SeqReplay{Start: clonePositions(bc.Entry), Moves: r.curMoves, OK: end != nil}
+			if end != nil {
+				sr.End = clonePositions(end)
+			}
+			r.res.blockMoves[b.ID] = sr
 		}
 		if end != nil {
 			r.checkBoundary(scope, "exit contract", end, bc.Exit)
@@ -720,7 +729,11 @@ func (r *replayer) replayEdge(from, to *cfg.Block) {
 			r.res.edgeTouch[[2]int{from.ID, to.ID}] = r.cur
 		}
 		if r.recMoves {
-			r.res.edgeMoves[[2]int{from.ID, to.ID}] = &SeqReplay{Start: clonePositions(start), Moves: r.curMoves, OK: end != nil}
+			sr := &SeqReplay{Start: clonePositions(start), Moves: r.curMoves, OK: end != nil}
+			if end != nil {
+				sr.End = clonePositions(end)
+			}
+			r.res.edgeMoves[[2]int{from.ID, to.ID}] = sr
 		}
 		if end == nil {
 			return
