@@ -216,6 +216,14 @@ type Options struct {
 	// across compilations to get reuse; it is safe for concurrent use.
 	// Restricted to the default backend like Workers.
 	Memo *Memo
+	// Registry, when non-nil, receives process-wide compile metrics:
+	// per-phase durations (biocoder_compile_phase_seconds), total compile
+	// latency (biocoder_compile_seconds), and an outcome counter
+	// (biocoder_compiles_total). Unlike Tracer — a per-compile span tree —
+	// the registry aggregates across compiles; a nil Registry costs
+	// nothing. Like Workers/Memo/Tracer/Context, it never changes the
+	// compiled output and is excluded from content-addressed cache keys.
+	Registry *Registry
 }
 
 // Memoization re-exports (see internal/depgraph).
@@ -241,10 +249,20 @@ type (
 	// Metrics is the cycle-accurate runtime telemetry snapshot produced
 	// when RunOptions.Metrics is set (see Result.Metrics).
 	Metrics = obs.Metrics
+	// Registry is the process-wide metrics registry for Options.Registry,
+	// RunOptions.Registry, and RecoveryPolicy.Registry: counters, gauges,
+	// and fixed-bucket histograms with Prometheus text exposition. A nil
+	// *Registry is a valid no-op sink.
+	Registry = obs.Registry
+	// Label is one metric label pair for direct Registry use.
+	Label = obs.Label
 )
 
 // NewTracer returns an empty compile tracer.
 func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewRegistry returns an empty process-wide metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // Compiled is a fully compiled protocol with its intermediate artifacts
 // exposed for inspection (SSI-form CFG, schedule, placement) and the final
@@ -296,12 +314,19 @@ func CompileGraphOptions(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled,
 	return compileGraph(g, chip, opt)
 }
 
-func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error) {
+func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (_ *Compiled, err error) {
+	if opt.Registry != nil {
+		// Whole-compile accounting wraps both backends; the serial phases
+		// below additionally record per-phase durations.
+		start := time.Now()
+		defer func() { recordCompile(opt.Registry, time.Since(start), err) }()
+	}
 	if usesBlockBackend(opt) {
 		return compileGraphBlocks(g, chip, opt)
 	}
 	tr := opt.Tracer
 	ctx := opt.Context
+	phase := phaseObserver(opt.Registry)
 	root := tr.Start("compile")
 	root.SetInt("blocks", len(g.Blocks))
 	defer root.End()
@@ -310,13 +335,17 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		return nil, err
 	}
 	sp := tr.Start("ssi")
-	err := cfg.ToSSI(g)
+	t0 := time.Now()
+	err = cfg.ToSSI(g)
+	phase("ssi", t0)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("biocoder: SSI conversion: %w", err)
 	}
 	sp = tr.Start("topology")
+	t0 = time.Now()
 	topo, err := place.BuildTopologyFaulty(chip, opt.FaultyElectrodes)
+	phase("topology", t0)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -330,6 +359,7 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		res = place.FreeResources(topo)
 	}
 	sp = tr.Start("schedule")
+	t0 = time.Now()
 	sr, err := sched.Schedule(g, sched.Config{
 		Res:             res,
 		CyclePeriod:     chip.CyclePeriod,
@@ -339,12 +369,14 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		Tracer:          tr,
 		Ctx:             ctx,
 	})
+	phase("schedule", t0)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	var pl *place.Placement
 	sp = tr.Start("place")
+	t0 = time.Now()
 	switch {
 	case opt.NoLiveRangeSplitting && opt.FreePlacement:
 		sp.End()
@@ -359,6 +391,7 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		sp.SetStr("strategy", "virtual")
 		pl, err = place.PlaceCtx(ctx, g, sr, topo, tr)
 	}
+	phase("place", t0)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -367,7 +400,9 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		return nil, err
 	}
 	sp = tr.Start("codegen")
+	t0 = time.Now()
 	ex, err := codegen.GenerateCtx(ctx, g, sr, pl, topo, tr)
+	phase("codegen", t0)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -382,7 +417,9 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		}
 	}
 	sp = tr.Start("check")
+	t0 = time.Now()
 	err = ex.Check()
+	phase("check", t0)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -395,6 +432,35 @@ func compileGraph(g *cfg.Graph, chip *arch.Chip, opt Options) (*Compiled, error)
 		Placement:  pl,
 		Executable: ex,
 	}, nil
+}
+
+// phaseObserver returns a phase-duration recorder for the serial pipeline.
+// With a nil registry it returns a no-op whose per-phase cost is two calls
+// of time.Now — allocation-free, so instrumentation stays unconditionally
+// in place.
+func phaseObserver(reg *obs.Registry) func(name string, since time.Time) {
+	if reg == nil {
+		return func(string, time.Time) {}
+	}
+	return func(name string, since time.Time) {
+		reg.Histogram("biocoder_compile_phase_seconds",
+			"Serial-pipeline compile phase durations.",
+			obs.DefTimeBuckets, obs.L("phase", name)).Observe(time.Since(since).Seconds())
+	}
+}
+
+// recordCompile folds one finished compile (either backend) into the
+// registry: total latency and an outcome counter. Callers guard on a nil
+// registry before deferring this.
+func recordCompile(reg *obs.Registry, elapsed time.Duration, err error) {
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	reg.Histogram("biocoder_compile_seconds", "Whole-compile wall-clock latency.",
+		obs.DefTimeBuckets).Observe(elapsed.Seconds())
+	reg.Counter("biocoder_compiles_total", "Compiles by outcome.",
+		obs.L("outcome", outcome)).Inc()
 }
 
 // Run simulates the compiled protocol.
@@ -473,6 +539,9 @@ type RecoveryPolicy struct {
 	Restart bool
 	// Tracer records recompile and repair-routing spans.
 	Tracer *Tracer
+	// Registry receives per-incident recovery metrics (segment duration
+	// histograms, lost-time summary, incident counters); nil disables.
+	Registry *Registry
 	// Context bounds execution and recompilation.
 	Context context.Context
 }
@@ -489,6 +558,7 @@ func (c *Compiled) RunWithPolicy(opts RunOptions, pol RecoveryPolicy) (*Recovery
 		Faults:      pol.Faults,
 		Restart:     pol.Restart,
 		Tracer:      pol.Tracer,
+		Registry:    pol.Registry,
 		Context:     pol.Context,
 	}
 	if pol.Recompile != nil {

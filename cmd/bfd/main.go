@@ -13,6 +13,11 @@
 //	POST /v1/simulate   compile (cached) and simulate; streams NDJSON
 //	GET  /v1/healthz    liveness; 503 while draining
 //	GET  /v1/stats      request, cache, and worker-pool counters
+//	GET  /metrics       Prometheus text exposition of the same counters
+//
+// Every response carries an X-Bfd-Request ID that also appears in the
+// structured request log (-log) and on the request's trace root span, so
+// one ID correlates all three signals.
 //
 // On SIGINT/SIGTERM the daemon drains: health flips to 503, new work is
 // refused, in-flight requests finish (bounded by -drain-timeout), then the
@@ -25,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,13 +47,22 @@ func main() {
 	maxReqBytes := flag.Int64("max-request-bytes", 1<<20, "max request body size in bytes")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline (queue wait + compile + simulation)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	logMode := flag.String("log", "text", "request log format: text, json, or off")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	logger, err := buildLogger(*logMode)
+	if err != nil {
+		fatal(err)
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
 		CacheBytes:      *cacheBytes,
 		MaxRequestBytes: *maxReqBytes,
 		RequestTimeout:  *timeout,
+		Logger:          logger,
+		EnablePprof:     *pprof,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -77,6 +92,21 @@ func main() {
 		log.Printf("bfd: shutdown: %v", err)
 	}
 	log.Printf("bfd: stopped")
+}
+
+// buildLogger maps the -log flag to a slog.Logger on stderr, or nil to
+// disable request logging entirely (the serve layer is nil-safe).
+func buildLogger(mode string) (*slog.Logger, error) {
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off", "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("-log %q: want text, json, or off", mode)
+	}
 }
 
 func fatal(err error) {

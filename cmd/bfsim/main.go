@@ -10,6 +10,7 @@
 //	bfsim -file protocol.bio -print-trace -video run.txt -every 100
 //	bfsim -assay "PCR" -trace run.json -metrics -
 //	bfsim -assay "PCR" -stick 4,7@2000 -recover recompile
+//	bfsim -assay "PCR" -stick 10,2@0 -slo 30m
 //
 // -trace FILE writes a combined Chrome trace-event JSON file (compile
 // phases plus the cycle-accurate runtime timeline) loadable in Perfetto.
@@ -92,6 +93,7 @@ func main() {
 	flag.Var(&sticks, "stick", "permanent stuck-at-off electrode x,y@cycle detected at runtime (repeatable)")
 	wear := flag.Int("wear", 0, "actuation wear budget: every electrode fails stuck-at-off after N actuations")
 	recoverMode := flag.String("recover", "recompile", "permanent-fault recovery policy: recompile (around the dead electrode, resume from checkpoint) or restart")
+	slo := flag.Duration("slo", 0, "recovery SLO budget: exit 1 if p95 recovery or lost time exceeds this duration (0: no gate)")
 	timeout := flag.Duration("timeout", 0, "abort the compile+simulate run after this duration (0: no limit)")
 	flag.Parse()
 
@@ -228,6 +230,11 @@ func main() {
 			fatal(err)
 		}
 		printRecovery(rec)
+		if *slo > 0 {
+			if err := gateRecoverySLO(rec, chip, *slo); err != nil {
+				fatal(err)
+			}
+		}
 		res = rec.Result
 	} else {
 		var err error
@@ -372,6 +379,27 @@ func printRecovery(rec *biocoder.RecoveryResult) {
 		}
 		fmt.Printf(", %d cycles lost\n", ev.LostCycles)
 	}
+}
+
+// gateRecoverySLO checks the run's recovery incidents against the -slo
+// budget: nearest-rank p95 of per-incident recovery time (lost simulated
+// time plus recompile wall clock — both stall the chip) and of lost time
+// alone. A run with zero incidents passes vacuously.
+func gateRecoverySLO(rec *biocoder.RecoveryResult, chip *arch.Chip, budget time.Duration) error {
+	incidents := make([]obs.RecoveryIncident, len(rec.Events))
+	for i, ev := range rec.Events {
+		lost := chip.Duration(ev.LostCycles)
+		incidents[i] = obs.RecoveryIncident{
+			Kind:     ev.Kind,
+			Action:   ev.Action,
+			Lost:     lost,
+			Recovery: lost + ev.RecompileWall,
+		}
+	}
+	rep := obs.EvaluateRecoverySLO(incidents, budget)
+	fmt.Printf("recovery SLO: budget %v, %d incident(s), p95 recovery %v, p95 lost %v, max recovery %v\n",
+		rep.Budget, len(rep.Incidents), rep.P95Recovery, rep.P95Lost, rep.MaxRecovery)
+	return rep.Err()
 }
 
 func parseStuck(specs []string) ([]biocoder.StuckAt, error) {

@@ -2,7 +2,10 @@ package main
 
 import (
 	"testing"
+	"time"
 
+	"biocoder"
+	"biocoder/internal/arch"
 	"biocoder/internal/assays"
 	"biocoder/internal/sensor"
 )
@@ -75,6 +78,34 @@ func TestBuildSensorsScenario(t *testing.T) {
 	}
 	if _, err := buildSensors(nil, "early-exit", 1, nil); err == nil {
 		t.Error("scenario without assay accepted")
+	}
+}
+
+func TestGateRecoverySLO(t *testing.T) {
+	chip := arch.Default() // 10ms cycle period
+	mk := func(lostCycles int, wall time.Duration) biocoder.RecoveryResult {
+		return biocoder.RecoveryResult{Events: []biocoder.RecoveryEvent{
+			{Kind: "stuck-electrode", Action: "resume", LostCycles: lostCycles, RecompileWall: wall, Recompiled: wall > 0},
+		}}
+	}
+
+	// Zero incidents: vacuous pass.
+	if err := gateRecoverySLO(&biocoder.RecoveryResult{}, chip, time.Second); err != nil {
+		t.Errorf("vacuous run violated SLO: %v", err)
+	}
+
+	// 600 lost cycles = 6s simulated + 100ms recompile wall; budget 10s holds.
+	rec := mk(600, 100*time.Millisecond)
+	if err := gateRecoverySLO(&rec, chip, 10*time.Second); err != nil {
+		t.Errorf("within-budget run violated SLO: %v", err)
+	}
+	// Budget 5s fails: p95 recovery 6.1s and p95 lost 6s both exceed it.
+	if err := gateRecoverySLO(&rec, chip, 5*time.Second); err == nil {
+		t.Error("over-budget run passed the SLO gate")
+	}
+	// Budget 6.05s: recovery (6.1s) violates but lost (6s) does not.
+	if err := gateRecoverySLO(&rec, chip, 6050*time.Millisecond); err == nil {
+		t.Error("recompile wall clock not charged against the recovery budget")
 	}
 }
 

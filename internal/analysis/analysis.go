@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"time"
 
+	"biocoder/internal/obs"
 	"biocoder/internal/verify"
 	"biocoder/internal/wash"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	// Washes are planned wash tours; cells they cover are considered
 	// scrubbed and do not contribute contamination hazards.
 	Washes []*wash.Tour
+	// Registry, when non-nil, receives per-pass durations as
+	// biocoder_analysis_pass_seconds histograms in addition to the
+	// Report.PassTimes snapshot.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -130,7 +135,13 @@ func Analyze(u *verify.Unit, conf Config) (*Result, error) {
 	timed := func(name string, run func()) {
 		start := time.Now()
 		run()
-		times = append(times, verify.PassTime{Name: name, Duration: time.Since(start)})
+		d := time.Since(start)
+		times = append(times, verify.PassTime{Name: name, Duration: d})
+		if conf.Registry != nil {
+			conf.Registry.Histogram("biocoder_analysis_pass_seconds",
+				"Abstract-interpretation analysis pass durations.",
+				obs.DefTimeBuckets, obs.L("pass", name)).Observe(d.Seconds())
+		}
 	}
 	timed("volume", func() { res.Outputs = analyzeVolumes(nu.Graph, conf, rep) })
 	if nu.Exec != nil {

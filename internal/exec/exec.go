@@ -158,6 +158,12 @@ type Options struct {
 	// electrode surfaces as a StuckElectrodeError. Nil costs nothing on
 	// the per-cycle path.
 	Degradation *Degradation
+	// Registry, when non-nil, receives process-wide run metrics
+	// (biocoder_sim_* cycle, actuation, and droplet instruments). Unlike
+	// Metrics — a per-run snapshot — the registry aggregates across runs;
+	// handles are resolved once at machine construction, so a nil registry
+	// adds a single branch and zero allocations per cycle.
+	Registry *obs.Registry
 
 	// faults holds pending transient droplet losses; set only through
 	// the recovery controller.
@@ -199,6 +205,14 @@ func newMachine(ex *codegen.Executable, chip *arch.Chip, opts Options) *machine 
 		m.ds = opts.degrade
 	} else if opts.Degradation != nil {
 		m.ds = newDegradeState(opts.Degradation)
+	}
+	if opts.Registry != nil {
+		m.simCycles = opts.Registry.Counter("biocoder_sim_cycles_total",
+			"Simulated actuation cycles executed.")
+		m.simActs = opts.Registry.Counter("biocoder_sim_actuations_total",
+			"Electrode actuations driven.")
+		m.simDrops = opts.Registry.Gauge("biocoder_sim_droplets",
+			"Droplets currently on chip in the most recent simulated cycle.")
 	}
 	if opts.Metrics {
 		m.met = obs.NewMetrics(chip.Cols, chip.Rows)
@@ -284,6 +298,12 @@ type machine struct {
 	cellSlot map[arch.Point]int
 	vs       *obs.VisitSample
 	sm       *obs.SeqMetrics
+
+	// Process-wide registry handles (nil when Options.Registry is off),
+	// pre-resolved so the per-cycle path never performs a registry lookup.
+	simCycles *obs.Counter
+	simActs   *obs.Counter
+	simDrops  *obs.Gauge
 }
 
 // failAt wraps err with the runtime position: the label of the sequence
@@ -399,6 +419,11 @@ func (m *machine) runSequence(s *codegen.Sequence, label string, isEdge bool) er
 		}
 		if m.met != nil {
 			m.recordCycle(s.Frames[t])
+		}
+		if m.simCycles != nil {
+			m.simCycles.Inc()
+			m.simActs.Add(int64(len(s.Frames[t])))
+			m.simDrops.Set(int64(len(m.droplets)))
 		}
 		if m.res.Cycles > m.opts.MaxCycles {
 			return m.failAt(label, fmt.Errorf("execution exceeded %d cycles (runaway loop?)", m.opts.MaxCycles))

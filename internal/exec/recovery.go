@@ -87,6 +87,11 @@ type RecoveryPolicy struct {
 	Restart bool
 	// Tracer, when non-nil, records recompile and repair-routing spans.
 	Tracer *obs.Tracer
+	// Registry, when non-nil, receives per-incident recovery metrics:
+	// segment durations (biocoder_recovery_segment_seconds), lost time
+	// (biocoder_recovery_lost_seconds), and an incident counter by kind
+	// and action (biocoder_recoveries_total).
+	Registry *obs.Registry
 	// Context bounds both execution and recompilation.
 	Context context.Context
 }
@@ -231,11 +236,13 @@ func RunWithPolicy(ex *codegen.Executable, chip *arch.Chip, opts Options, pol Re
 			}
 			out.Recoveries++
 			waste := loss.Cycle + flushPerDroplet*loss.Survivors
-			out.Events = append(out.Events, RecoveryEvent{
+			ev := RecoveryEvent{
 				Kind: "droplet-loss", Droplet: loss.Droplet,
 				DetectCycle: loss.Cycle, CheckpointCycle: last.Cycle,
 				Action: "restart", LostCycles: waste,
-			})
+			}
+			out.Events = append(out.Events, ev)
+			recordRecoveryMetrics(pol.Registry, chip, ev)
 			out.LostTime += waste
 			cp = nil
 			continue
@@ -287,6 +294,7 @@ func RunWithPolicy(ex *codegen.Executable, chip *arch.Chip, opts Options, pol Re
 						ev.LostCycles = waste
 						out.LostTime += waste
 						out.Events = append(out.Events, ev)
+						recordRecoveryMetrics(pol.Registry, chip, ev)
 						cp = cp2
 						continue
 					}
@@ -300,6 +308,7 @@ func RunWithPolicy(ex *codegen.Executable, chip *arch.Chip, opts Options, pol Re
 		ev.LostCycles = waste
 		out.LostTime += waste
 		out.Events = append(out.Events, ev)
+		recordRecoveryMetrics(pol.Registry, chip, ev)
 		cp = nil
 	}
 	return nil, fmt.Errorf("exec: assay failed after %d recovery attempts", pol.MaxAttempts)
@@ -362,6 +371,42 @@ func appendCell(set []arch.Point, c arch.Point) []arch.Point {
 		}
 	}
 	return append(set, c)
+}
+
+// recordRecoveryMetrics folds one recovery incident into the process-wide
+// registry. Segment durations land on the simulated-time axis via the
+// chip's cycle period — except the recompile segment, which is wall clock
+// (the chip genuinely stalls for it, so the SLO budget covers both axes).
+// Incidents are rare, so per-event registry lookups are fine here; the hot
+// per-cycle path uses pre-resolved handles instead (see newMachine).
+func recordRecoveryMetrics(reg *obs.Registry, chip *arch.Chip, ev RecoveryEvent) {
+	if reg == nil {
+		return
+	}
+	seg := func(name string, d time.Duration) {
+		reg.Histogram("biocoder_recovery_segment_seconds",
+			"Recovery segment durations by phase; recompile is wall clock, the rest simulated time.",
+			obs.DefTimeBuckets, obs.L("segment", name)).Observe(d.Seconds())
+	}
+	// detect: how far past the last checkpoint the fault surfaced — the
+	// prefix that must be replayed (resume) or is simply lost (restart).
+	seg("detect", chip.Duration(ev.DetectCycle-ev.CheckpointCycle))
+	if ev.Recompiled || ev.RecompileWall > 0 {
+		seg("recompile", ev.RecompileWall)
+	}
+	switch ev.Action {
+	case "resume":
+		seg("repair", chip.Duration(ev.RepairCycles))
+		seg("resume", chip.Duration(ev.DetectCycle-ev.CheckpointCycle))
+	case "restart":
+		seg("restart", chip.Duration(ev.LostCycles))
+	}
+	reg.Summary("biocoder_recovery_lost_seconds",
+		"Simulated time lost per recovery incident.").
+		Observe(chip.Duration(ev.LostCycles).Seconds())
+	reg.Counter("biocoder_recoveries_total",
+		"Recovery incidents by fault kind and controller action.",
+		obs.L("kind", ev.Kind), obs.L("action", ev.Action)).Inc()
 }
 
 func recoverySample(ev RecoveryEvent) obs.RecoverySample {

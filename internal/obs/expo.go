@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteExposition renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE line per
+// family, then one sample line per series, families sorted by name and
+// series in registration order. Histograms emit cumulative _bucket lines
+// (the +Inf bucket always equals _count), plus _sum and _count; summaries
+// emit _sum and _count. A nil registry writes nothing.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		f := r.families[n]
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ls := range f.order {
+			writeSeries(bw, f, f.series[ls])
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, f *family, s *series) {
+	switch f.kind {
+	case kindCounter:
+		v := s.c.Load()
+		if s.cf != nil {
+			v = s.cf()
+		}
+		fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.labels), v)
+	case kindGauge:
+		if s.gf != nil {
+			fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), formatFloat(s.gf()))
+			return
+		}
+		fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.labels), s.g.Load())
+	case kindHistogram:
+		h := s.h
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(withLE(s.labels, formatFloat(bound))), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(withLE(s.labels, "+Inf")), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(s.labels), formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(s.labels), h.Count())
+	case kindSummary:
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(s.labels), formatFloat(s.s.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(s.labels), s.s.Count())
+	}
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLE appends the le label; labels stay sorted because the histogram
+// families of this codebase use lowercase keys that sort before "le" or
+// have none, and sorting is not required by the format anyway.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("le=%q", le)
+	}
+	return labels + fmt.Sprintf(",le=%q", le)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Sample is one parsed exposition line: a metric name (including _bucket /
+// _sum / _count suffixes), its labels, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed Prometheus text document, produced by
+// ParseExposition. It is the read half of the registry round trip, used by
+// the exposition tests and the /v1/stats ↔ /metrics parity check.
+type Exposition struct {
+	// Help and Type map family names to their # HELP and # TYPE lines.
+	Help, Type map[string]string
+	// Samples lists every metric line in document order.
+	Samples []Sample
+}
+
+// Value returns the sample with the given name and exactly the given
+// labels (order-insensitive), and whether one exists.
+func (e *Exposition) Value(name string, labels ...Label) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		ok := true
+		for _, l := range labels {
+			if s.Labels[l.Key] != l.Val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition parses a Prometheus text-format document. It is a
+// self-contained strict parser for the subset WriteExposition emits —
+// HELP/TYPE comments and `name{labels} value` samples — and errors on
+// anything malformed, so tests can assert exposition validity without an
+// external scrape library.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{Help: map[string]string{}, Type: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				e.Help[name] = rest
+			case "TYPE":
+				switch rest {
+				case kindCounter, kindGauge, kindHistogram, kindSummary, "untyped":
+					e.Type[name] = rest
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", fmt.Errorf("unknown comment kind %q", kind)
+	}
+	name = fields[2]
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return kind, name, rest, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("want exactly one value in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label %q", s)
+		}
+		key := s[:eq]
+		if !validMetricName(key) {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) < 2 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value after %q", key)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value after %q", key)
+		}
+		val, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return fmt.Errorf("bad label value for %q: %w", key, err)
+		}
+		if _, dup := into[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		into[key] = val
+		s = s[end+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			if s == "" {
+				return fmt.Errorf("trailing comma in label set")
+			}
+		} else if s != "" {
+			return fmt.Errorf("junk after label value: %q", s)
+		}
+	}
+	return nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

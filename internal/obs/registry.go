@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the process-wide metrics registry: named families of
+// counters, gauges, fixed-bucket histograms and quantile-less summaries,
+// exposed in the Prometheus text format by WriteExposition. It follows the
+// same discipline as the Tracer: a nil *Registry is a valid no-op sink,
+// every instrument handle obtained from it is nil and every operation on a
+// nil handle is allocation-free, so instrumentation stays unconditionally
+// in place on hot paths and costs nothing when observability is off.
+//
+// Instruments are identified by (family name, label set). Registering the
+// same identity twice returns the same instrument, so independent
+// subsystems can share a family; registering the same name with a
+// different instrument kind panics (a programming error, like a duplicate
+// expvar). Hot paths should resolve their handles once — a handle is a
+// plain pointer whose operations are single atomic updates — and keep the
+// per-call Registry lookups (a mutex and map probe) for setup code.
+//
+// Naming scheme: bfd_* for the serving daemon's request-path metrics,
+// biocoder_* for compiler and runtime metrics (see DESIGN.md).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Label is one metric label pair. Labels are rendered sorted by key, so
+// registration order does not affect series identity or exposition.
+type Label struct{ Key, Val string }
+
+// L is shorthand for constructing a Label.
+func L(key, val string) Label { return Label{Key: key, Val: val} }
+
+// Instrument kinds, matching the Prometheus TYPE vocabulary.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+	kindSummary   = "summary"
+)
+
+type family struct {
+	name, help, kind string
+	series           map[string]*series
+	order            []string // label-string registration order
+}
+
+type series struct {
+	labels string // rendered `k="v",...` (no braces), sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	s      *Summary
+	cf     func() int64   // CounterFunc source
+	gf     func() float64 // GaugeFunc source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter registers (or finds) a monotone counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(kindCounter, name, help, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	c := s.c
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge registers (or finds) a gauge: an integer value that can go up and
+// down (in-flight requests, busy workers, droplets on chip).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(kindGauge, name, help, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	g := s.g
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. Buckets are
+// inclusive upper bounds, strictly increasing; the implicit +Inf bucket is
+// added at exposition. A found instrument keeps its original buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(kindHistogram, name, help, labels)
+	if s.h == nil {
+		s.h = newHistogram(buckets)
+	}
+	h := s.h
+	r.mu.Unlock()
+	return h
+}
+
+// Summary registers (or finds) a quantile-less summary (_sum and _count
+// only), for totals whose distribution is tracked elsewhere.
+func (r *Registry) Summary(name, help string, labels ...Label) *Summary {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(kindSummary, name, help, labels)
+	if s.s == nil {
+		s.s = &Summary{}
+	}
+	sm := s.s
+	r.mu.Unlock()
+	return sm
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for monotone counters owned by another subsystem
+// (e.g. the block memo's hit/miss counters), guaranteeing the exposition
+// can never disagree with the owner's own accounting.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.seriesFor(kindCounter, name, help, labels)
+	s.cf = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time (uptime,
+// cache occupancy).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	s := r.seriesFor(kindGauge, name, help, labels)
+	s.gf = fn
+	r.mu.Unlock()
+}
+
+// seriesFor finds or creates the series. It returns with r.mu HELD so the
+// caller can initialize the instrument without a second lookup racing.
+func (r *Registry) seriesFor(kind, name, help string, labels []Label) *series {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		f.series[ls] = s
+		f.order = append(f.order, ls)
+	}
+	return s
+}
+
+// renderLabels renders a label set in canonical form: sorted by key,
+// values escaped per the Prometheus text format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes \, " and \n exactly as the Prometheus text format
+		// requires (label values here are plain ASCII identifiers).
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Val)
+	}
+	return b.String()
+}
+
+// Counter is a monotone counter. All methods are nil-safe; Add with a
+// negative delta is a programming error but is not checked on the hot path.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value (0 on a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer gauge. All methods are nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Load returns the current value (0 on a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram. Observe is a bucket scan plus
+// three atomic updates — safe for concurrent use, allocation-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly increasing at %v", buckets[i]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Summary is a quantile-less summary: sum and count of observations.
+type Summary struct {
+	sum   atomicFloat
+	count atomic.Int64
+}
+
+// Observe records one value.
+func (s *Summary) Observe(v float64) {
+	if s == nil {
+		return
+	}
+	s.count.Add(1)
+	s.sum.add(v)
+}
+
+// Count returns the number of observations (0 on nil).
+func (s *Summary) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (s *Summary) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.sum.load()
+}
+
+// atomicFloat is a float64 updated by CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// DefTimeBuckets are the default duration buckets in seconds, spanning the
+// stack's two time scales: wall-clock compile/request latencies (sub-ms to
+// seconds) and simulated recovery segments (cycles × the 10 ms cycle
+// period, seconds to tens of minutes).
+var DefTimeBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 600, 1800,
+}
+
+// DefCountBuckets are default buckets for cycle and size counts.
+var DefCountBuckets = []float64{
+	1, 10, 50, 100, 500, 1000, 5000, 10_000, 50_000, 100_000, 1_000_000,
+}

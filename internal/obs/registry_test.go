@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// populate registers one instrument of every kind, with and without
+// labels, and drives some traffic through them.
+func populate(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	c := r.Counter("bfd_requests_total", "HTTP requests accepted.")
+	c.Inc()
+	c.Add(2)
+	r.Counter("bfd_cache_total", "Cache lookups by disposition.", L("disposition", "hit")).Add(5)
+	r.Counter("bfd_cache_total", "Cache lookups by disposition.", L("disposition", "miss")).Inc()
+	g := r.Gauge("bfd_in_flight", "Requests currently in a handler.")
+	g.Set(3)
+	g.Add(-1)
+	h := r.Histogram("bfd_request_seconds", "Request latency.", DefTimeBuckets,
+		L("route", "compile"), L("disposition", "hit"))
+	h.Observe(0.004)
+	h.Observe(0.2)
+	h.Observe(5000) // past the last bound: +Inf bucket only
+	s := r.Summary("biocoder_recovery_lost_seconds", "Simulated time lost to recovery.")
+	s.Observe(12.5)
+	s.Observe(0.5)
+	r.GaugeFunc("bfd_uptime_seconds", "Seconds since start.", func() float64 { return 42.5 })
+	r.CounterFunc("bfd_block_memo_hits_total", "Block memo hits.", func() int64 { return 7 })
+	return r
+}
+
+// TestExpositionRoundTrip renders the registry and re-parses it with the
+// package's own strict parser, asserting format validity end to end:
+// HELP/TYPE lines for every family, histogram bucket monotonicity, the
+// +Inf bucket equaling _count, and value fidelity.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := populate(t)
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatalf("WriteExposition: %v", err)
+	}
+	text := buf.String()
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, text)
+	}
+
+	wantType := map[string]string{
+		"bfd_requests_total":             "counter",
+		"bfd_cache_total":                "counter",
+		"bfd_in_flight":                  "gauge",
+		"bfd_request_seconds":            "histogram",
+		"biocoder_recovery_lost_seconds": "summary",
+		"bfd_uptime_seconds":             "gauge",
+		"bfd_block_memo_hits_total":      "counter",
+	}
+	for name, kind := range wantType {
+		if e.Type[name] != kind {
+			t.Errorf("TYPE %s = %q, want %q", name, e.Type[name], kind)
+		}
+		if e.Help[name] == "" {
+			t.Errorf("missing HELP for %s", name)
+		}
+	}
+
+	if v, ok := e.Value("bfd_requests_total"); !ok || v != 3 {
+		t.Errorf("bfd_requests_total = %v, %v; want 3", v, ok)
+	}
+	if v, ok := e.Value("bfd_cache_total", L("disposition", "hit")); !ok || v != 5 {
+		t.Errorf("bfd_cache_total{hit} = %v, %v; want 5", v, ok)
+	}
+	if v, ok := e.Value("bfd_in_flight"); !ok || v != 2 {
+		t.Errorf("bfd_in_flight = %v, %v; want 2", v, ok)
+	}
+	if v, ok := e.Value("bfd_uptime_seconds"); !ok || v != 42.5 {
+		t.Errorf("bfd_uptime_seconds = %v, %v; want 42.5", v, ok)
+	}
+	if v, ok := e.Value("bfd_block_memo_hits_total"); !ok || v != 7 {
+		t.Errorf("bfd_block_memo_hits_total = %v, %v; want 7", v, ok)
+	}
+	if v, ok := e.Value("biocoder_recovery_lost_seconds_sum"); !ok || v != 13 {
+		t.Errorf("summary _sum = %v, %v; want 13", v, ok)
+	}
+	if v, ok := e.Value("biocoder_recovery_lost_seconds_count"); !ok || v != 2 {
+		t.Errorf("summary _count = %v, %v; want 2", v, ok)
+	}
+
+	// Histogram invariants: every registered bucket bound present, counts
+	// monotone non-decreasing in bound order, +Inf bucket == _count.
+	hLabels := []Label{L("route", "compile"), L("disposition", "hit")}
+	prev := float64(-1)
+	for _, bound := range DefTimeBuckets {
+		le := formatFloat(bound)
+		v, ok := e.Value("bfd_request_seconds_bucket", append(hLabels, L("le", le))...)
+		if !ok {
+			t.Fatalf("missing bucket le=%q", le)
+		}
+		if v < prev {
+			t.Errorf("bucket le=%q count %v < previous %v (not cumulative)", le, v, prev)
+		}
+		prev = v
+	}
+	inf, ok := e.Value("bfd_request_seconds_bucket", append(hLabels, L("le", "+Inf"))...)
+	if !ok {
+		t.Fatal("missing +Inf bucket")
+	}
+	count, ok := e.Value("bfd_request_seconds_count", hLabels...)
+	if !ok {
+		t.Fatal("missing histogram _count")
+	}
+	if inf != count || count != 3 {
+		t.Errorf("+Inf bucket %v, _count %v; want both 3", inf, count)
+	}
+	if inf < prev {
+		t.Errorf("+Inf bucket %v < last finite bucket %v", inf, prev)
+	}
+	if sum, ok := e.Value("bfd_request_seconds_sum", hLabels...); !ok || sum != 5000.204 {
+		t.Errorf("histogram _sum = %v, %v; want 5000.204", sum, ok)
+	}
+
+	// Exposition must be deterministic.
+	var buf2 bytes.Buffer
+	if err := r.WriteExposition(&buf2); err != nil {
+		t.Fatalf("second WriteExposition: %v", err)
+	}
+	if buf2.String() != text {
+		t.Error("exposition is not deterministic across renders")
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("same identity returned distinct counters")
+	}
+	h1 := r.Histogram("h_seconds", "h", DefTimeBuckets)
+	h2 := r.Histogram("h_seconds", "h", []float64{1, 2}) // found: keeps original buckets
+	if h1 != h2 {
+		t.Fatal("same identity returned distinct histograms")
+	}
+	if len(h2.bounds) != len(DefTimeBuckets) {
+		t.Fatal("re-registration replaced original buckets")
+	}
+	// Different label sets are distinct series in one family.
+	l1 := r.Counter("y_total", "y", L("k", "a"))
+	l2 := r.Counter("y_total", "y", L("k", "b"))
+	if l1 == l2 {
+		t.Fatal("distinct label sets shared a counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("clash", "g")
+}
+
+func TestHistogramBadBucketsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing buckets did not panic")
+		}
+	}()
+	r.Histogram("bad_seconds", "b", []float64{1, 1})
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "e", L("path", `a"b\c`+"\n")).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatalf("parse of escaped labels: %v\n%s", err, buf.String())
+	}
+	if v, ok := e.Value("esc_total", L("path", `a"b\c`+"\n")); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: %v, %v", v, ok)
+	}
+}
+
+// TestNilRegistrySafe pins the disabled-path contract: every Registry
+// method on a nil receiver returns a nil handle, every instrument method
+// on a nil handle is a no-op, and exposition writes nothing.
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("n_total", "n")
+	c.Inc()
+	c.Add(5)
+	if c != nil || c.Load() != 0 {
+		t.Fatal("nil registry counter not inert")
+	}
+	g := r.Gauge("n", "n")
+	g.Set(1)
+	g.Add(1)
+	if g != nil || g.Load() != 0 {
+		t.Fatal("nil registry gauge not inert")
+	}
+	h := r.Histogram("n_seconds", "n", DefTimeBuckets)
+	h.Observe(1)
+	if h != nil || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil registry histogram not inert")
+	}
+	s := r.Summary("n_sum", "n")
+	s.Observe(1)
+	if s != nil || s.Count() != 0 || s.Sum() != 0 {
+		t.Fatal("nil registry summary not inert")
+	}
+	r.CounterFunc("n_total", "n", func() int64 { return 1 })
+	r.GaugeFunc("n", "n", func() float64 { return 1 })
+	var buf bytes.Buffer
+	if err := r.WriteExposition(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry exposition wrote %d bytes, err %v", buf.Len(), err)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"name",                    // no value
+		"name 1 2",                // two values
+		`name{k="v" 1`,            // unterminated label set
+		`name{k=v} 1`,             // unquoted value
+		`name{k="a",k="b"} 1`,     // duplicate label
+		`name{k="v",} 1`,          // trailing comma
+		"9name 1",                 // bad metric name
+		"# TYPE name frobnicator", // unknown type
+		"# WAT name",              // unknown comment kind
+		`name{k="v"}junk{} 1`,     // junk between labels and value
+		"name not-a-number",       // bad value
+	}
+	for _, line := range bad {
+		if _, err := ParseExposition(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParseExposition accepted malformed line %q", line)
+		}
+	}
+	// The things we actually emit must parse.
+	good := "# HELP a_total ok\n# TYPE a_total counter\na_total 1\n" +
+		`a_total{x="y"} 2.5` + "\n"
+	if _, err := ParseExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("ParseExposition rejected valid input: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// RecoveryIncident is one recovery event on the service-level-objective
+// axis: how long the assay was off its nominal schedule (Lost) and how long
+// the whole detect→recover arc took including recompilation wall time
+// (Recovery). Durations are on the simulated-time axis except for the
+// recompile component, which is wall clock — the paper's cyber-physical
+// loop stalls the chip for both, so the SLO budget covers their sum.
+type RecoveryIncident struct {
+	Assay    string        `json:"assay,omitempty"`
+	Kind     string        `json:"kind"`
+	Action   string        `json:"action"`
+	Recovery time.Duration `json:"recoveryNanos"`
+	Lost     time.Duration `json:"lostNanos"`
+}
+
+// IncidentFromRecovery converts a per-run RecoverySample into an SLO
+// incident, scaling cycle counts by the chip's cycle period.
+func IncidentFromRecovery(s RecoverySample, cyclePeriod time.Duration) RecoveryIncident {
+	lost := time.Duration(s.LostCycles) * cyclePeriod
+	return RecoveryIncident{
+		Kind:     s.Kind,
+		Action:   s.Action,
+		Recovery: lost + time.Duration(s.RecompileNanos),
+		Lost:     lost,
+	}
+}
+
+// SLOReport is the result of evaluating a set of recovery incidents
+// against a budget. It is the BENCH_recovery_slo.json artifact shape.
+type SLOReport struct {
+	Budget      time.Duration      `json:"budgetNanos"`
+	Incidents   []RecoveryIncident `json:"incidents"`
+	P95Recovery time.Duration      `json:"p95RecoveryNanos"`
+	P95Lost     time.Duration      `json:"p95LostNanos"`
+	MaxRecovery time.Duration      `json:"maxRecoveryNanos"`
+	Violations  []string           `json:"violations,omitempty"`
+}
+
+// EvaluateRecoverySLO computes nearest-rank p95 recovery and lost times
+// over the incidents and records a violation for each statistic exceeding
+// the budget. A run with zero incidents passes vacuously.
+func EvaluateRecoverySLO(incidents []RecoveryIncident, budget time.Duration) *SLOReport {
+	rep := &SLOReport{Budget: budget, Incidents: incidents}
+	if len(incidents) == 0 {
+		return rep
+	}
+	rec := make([]time.Duration, len(incidents))
+	lost := make([]time.Duration, len(incidents))
+	for i, inc := range incidents {
+		rec[i] = inc.Recovery
+		lost[i] = inc.Lost
+		if inc.Recovery > rep.MaxRecovery {
+			rep.MaxRecovery = inc.Recovery
+		}
+	}
+	rep.P95Recovery = quantileNearestRank(rec, 0.95)
+	rep.P95Lost = quantileNearestRank(lost, 0.95)
+	if rep.P95Recovery > budget {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("p95 recovery time %v exceeds budget %v", rep.P95Recovery, budget))
+	}
+	if rep.P95Lost > budget {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("p95 lost time %v exceeds budget %v", rep.P95Lost, budget))
+	}
+	return rep
+}
+
+// Err returns nil if the SLO held, or one error summarizing every
+// violation.
+func (r *SLOReport) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	msg := r.Violations[0]
+	for _, v := range r.Violations[1:] {
+		msg += "; " + v
+	}
+	return fmt.Errorf("recovery SLO violated over %d incidents: %s", len(r.Incidents), msg)
+}
+
+// quantileNearestRank returns the q-quantile by the nearest-rank method
+// (ceil(q·n), 1-indexed) — the conventional definition for SLO percentiles
+// because it always returns an observed value.
+func quantileNearestRank(ds []time.Duration, q float64) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(float64(len(sorted)) * q)
+	if float64(rank) < float64(len(sorted))*q {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIncidentFromRecovery(t *testing.T) {
+	s := RecoverySample{
+		Kind:           "stuck-electrode",
+		Action:         "recompile",
+		LostCycles:     600, // 6 s at the 10 ms cycle period
+		RecompileNanos: int64(250 * time.Millisecond),
+	}
+	inc := IncidentFromRecovery(s, 10*time.Millisecond)
+	if inc.Lost != 6*time.Second {
+		t.Errorf("Lost = %v, want 6s", inc.Lost)
+	}
+	if want := 6*time.Second + 250*time.Millisecond; inc.Recovery != want {
+		t.Errorf("Recovery = %v, want %v", inc.Recovery, want)
+	}
+	if inc.Kind != "stuck-electrode" || inc.Action != "recompile" {
+		t.Errorf("kind/action not carried through: %+v", inc)
+	}
+}
+
+func TestEvaluateRecoverySLO(t *testing.T) {
+	mk := func(rec, lost time.Duration) RecoveryIncident {
+		return RecoveryIncident{Kind: "stuck-electrode", Action: "recompile", Recovery: rec, Lost: lost}
+	}
+
+	t.Run("empty passes vacuously", func(t *testing.T) {
+		rep := EvaluateRecoverySLO(nil, time.Second)
+		if err := rep.Err(); err != nil {
+			t.Fatalf("empty incident set: %v", err)
+		}
+	})
+
+	t.Run("within budget", func(t *testing.T) {
+		incs := []RecoveryIncident{
+			mk(1*time.Second, 900*time.Millisecond),
+			mk(2*time.Second, 1800*time.Millisecond),
+			mk(3*time.Second, 2700*time.Millisecond),
+		}
+		rep := EvaluateRecoverySLO(incs, 5*time.Second)
+		if err := rep.Err(); err != nil {
+			t.Fatalf("within-budget set failed: %v", err)
+		}
+		// Nearest rank: ceil(0.95*3) = 3 → the max observation.
+		if rep.P95Recovery != 3*time.Second {
+			t.Errorf("P95Recovery = %v, want 3s", rep.P95Recovery)
+		}
+		if rep.MaxRecovery != 3*time.Second {
+			t.Errorf("MaxRecovery = %v, want 3s", rep.MaxRecovery)
+		}
+	})
+
+	t.Run("p95 ignores a sub-5% tail", func(t *testing.T) {
+		// 20 incidents, one outlier: nearest rank ceil(0.95*20)=19 picks
+		// the 19th of 20 sorted values — the outlier at rank 20 is ignored.
+		var incs []RecoveryIncident
+		for i := 0; i < 19; i++ {
+			incs = append(incs, mk(time.Second, time.Second))
+		}
+		incs = append(incs, mk(time.Hour, time.Hour))
+		rep := EvaluateRecoverySLO(incs, 2*time.Second)
+		if err := rep.Err(); err != nil {
+			t.Fatalf("one-in-twenty outlier tripped p95: %v", err)
+		}
+		if rep.MaxRecovery != time.Hour {
+			t.Errorf("MaxRecovery = %v, want 1h", rep.MaxRecovery)
+		}
+	})
+
+	t.Run("over budget fails with both violations", func(t *testing.T) {
+		incs := []RecoveryIncident{mk(10*time.Second, 9*time.Second)}
+		rep := EvaluateRecoverySLO(incs, time.Second)
+		err := rep.Err()
+		if err == nil {
+			t.Fatal("over-budget set passed")
+		}
+		if len(rep.Violations) != 2 {
+			t.Errorf("violations = %v, want recovery and lost", rep.Violations)
+		}
+	})
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	ds := []time.Duration{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 3}, {0.95, 5}, {0.2, 1}, {1.0, 5}, {0.0, 1},
+	}
+	for _, c := range cases {
+		if got := quantileNearestRank(ds, c.q); got != c.want {
+			t.Errorf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantileNearestRank([]time.Duration{7}, 0.95); got != 7 {
+		t.Errorf("single element: got %v, want 7", got)
+	}
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"biocoder/internal/obs"
+)
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, data
+}
+
+func scrapeMetrics(t *testing.T, baseURL string) *obs.Exposition {
+	t.Helper()
+	resp, data := getBody(t, baseURL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	e, err := obs.ParseExposition(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, data)
+	}
+	return e
+}
+
+// TestStatsMetricsParity drives real traffic through every disposition and
+// asserts that /v1/stats and /metrics agree on every shared counter. The
+// counters are the same registry atomics, so any drift here means a code
+// path updated one surface and not the other.
+func TestStatsMetricsParity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	postJSON(t, ts.URL+"/v1/compile", compileBody(testAssay)) // miss
+	postJSON(t, ts.URL+"/v1/compile", compileBody(testAssay)) // hit
+	postJSON(t, ts.URL+"/v1/simulate",
+		`{"assay":"Probabilistic PCR","scenario":"early-exit","seed":7,"every":500}`) // hit + simulate
+	postJSON(t, ts.URL+"/v1/compile", `{"bogus`) // 400
+
+	resp, data := getBody(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: status %d", resp.StatusCode)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("unmarshal stats: %v", err)
+	}
+
+	e := scrapeMetrics(t, ts.URL)
+
+	// The /metrics request itself passed through the counting middleware
+	// after the stats snapshot was taken, so it accounts for exactly one
+	// extra request; every other counter must match exactly.
+	want := []struct {
+		metric string
+		stats  int64
+		extra  int64
+	}{
+		{"bfd_requests_total", snap.Requests, 1},
+		{"bfd_compiles_total", snap.Compiles, 0},
+		{"bfd_compile_errors_total", snap.CompileErrors, 0},
+		{"bfd_simulates_total", snap.Simulates, 0},
+		{"bfd_cache_hits_total", snap.CacheHits, 0},
+		{"bfd_cache_misses_total", snap.CacheMisses, 0},
+		{"bfd_coalesced_total", snap.Coalesced, 0},
+		{"bfd_rejected_total", snap.Rejected, 0},
+		{"bfd_panics_total", snap.Panics, 0},
+		{"bfd_timeouts_total", snap.Timeouts, 0},
+		{"bfd_block_memo_hits_total", snap.MemoHits, 0},
+		{"bfd_block_memo_misses_total", snap.MemoMisses, 0},
+		{"bfd_block_memo_rejected_total", snap.MemoRejected, 0},
+		{"bfd_block_memo_entries", int64(snap.MemoEntries), 0},
+		{"bfd_cache_entries", int64(snap.CacheEntries), 0},
+		{"bfd_cache_bytes", snap.CacheBytes, 0},
+		{"bfd_cache_evictions_total", snap.CacheEvicted, 0},
+		{"bfd_cache_budget_bytes", snap.CacheBudget, 0},
+		{"bfd_workers", int64(snap.Workers), 0},
+	}
+	for _, w := range want {
+		v, ok := e.Value(w.metric)
+		if !ok {
+			t.Errorf("/metrics is missing %s", w.metric)
+			continue
+		}
+		if int64(v) != w.stats+w.extra {
+			t.Errorf("%s = %v but /v1/stats says %d (+%d expected skew)",
+				w.metric, v, w.stats, w.extra)
+		}
+	}
+
+	// Sanity on the traffic itself.
+	if snap.Compiles != 1 || snap.CacheHits != 2 || snap.CacheMisses != 1 || snap.Simulates != 1 {
+		t.Errorf("unexpected traffic accounting: %+v", snap)
+	}
+
+	// Request-latency histograms split by disposition must have samples.
+	for _, lbls := range [][]obs.Label{
+		{obs.L("route", "compile"), obs.L("disposition", "miss"), obs.L("le", "+Inf")},
+		{obs.L("route", "compile"), obs.L("disposition", "hit"), obs.L("le", "+Inf")},
+		{obs.L("route", "compile"), obs.L("disposition", "error"), obs.L("le", "+Inf")},
+		{obs.L("route", "simulate"), obs.L("disposition", "hit"), obs.L("le", "+Inf")},
+	} {
+		if v, ok := e.Value("bfd_request_seconds_bucket", lbls...); !ok || v < 1 {
+			t.Errorf("bfd_request_seconds%v = %v, %v; want >= 1 sample", lbls, v, ok)
+		}
+	}
+
+	// The compile went through the instrumented backend and the simulate
+	// through the instrumented machine.
+	if v, ok := e.Value("biocoder_compiles_total", obs.L("outcome", "ok")); !ok || v != 1 {
+		t.Errorf("biocoder_compiles_total{ok} = %v, %v; want 1", v, ok)
+	}
+	if v, ok := e.Value("biocoder_sim_cycles_total"); !ok || v < 1 {
+		t.Errorf("biocoder_sim_cycles_total = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := e.Value("bfd_worker_wait_seconds_count"); !ok || v < 4 {
+		t.Errorf("bfd_worker_wait_seconds_count = %v, %v; want >= 4", v, ok)
+	}
+	// Verify pass timings were recorded for the backend compile.
+	found := false
+	for _, s := range e.Samples {
+		if s.Name == "biocoder_verify_pass_seconds_count" && s.Value >= 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no biocoder_verify_pass_seconds samples after a backend compile")
+	}
+}
+
+// TestCompileWorkersOption pins satellite semantics: per-request Workers
+// and NoMemo reach the backend, the cache key reflects them (so cached
+// responses stay correct), and the compiled executable is byte-identical
+// across worker counts.
+func TestCompileWorkersOption(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp1, body1 := postJSON(t, ts.URL+"/v1/compile", compileBody(testAssay))
+	resp2, body2 := postJSON(t, ts.URL+"/v1/compile",
+		`{"assay":"Probabilistic PCR","options":{"workers":4,"noMemo":true}}`)
+	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("statuses %d, %d; body2 %s", resp1.StatusCode, resp2.StatusCode, body2)
+	}
+	if k1, k2 := resp1.Header.Get("X-Bfd-Key"), resp2.Header.Get("X-Bfd-Key"); k1 == k2 {
+		t.Error("workers/noMemo did not extend the cache key")
+	}
+	if resp2.Header.Get("X-Bfd-Cache") != "miss" {
+		t.Errorf("distinct options served disposition %q, want miss", resp2.Header.Get("X-Bfd-Cache"))
+	}
+	if got := s.stats.Compiles.Load(); got != 2 {
+		t.Errorf("backend compiles = %d, want 2", got)
+	}
+
+	var r1, r2 CompileResponse
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Executable != r2.Executable {
+		t.Error("parallel compile produced a different executable than serial")
+	}
+
+	// workers:1 is serial-equivalent and must share the serial cache entry.
+	resp3, _ := postJSON(t, ts.URL+"/v1/compile",
+		`{"assay":"Probabilistic PCR","options":{"workers":1}}`)
+	if resp3.Header.Get("X-Bfd-Cache") != "hit" {
+		t.Errorf("workers:1 disposition %q, want hit on the serial entry", resp3.Header.Get("X-Bfd-Cache"))
+	}
+	if resp3.Header.Get("X-Bfd-Key") != resp1.Header.Get("X-Bfd-Key") {
+		t.Error("workers:1 has a different key than the serial compile")
+	}
+}
+
+// TestRequestIDCorrelation checks the one-ID contract: the X-Bfd-Request
+// header, the structured log record, and the trace root span all carry the
+// same ID.
+func TestRequestIDCorrelation(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	_, ts := newTestServer(t, Config{Logger: logger})
+
+	resp, body := postJSON(t, ts.URL+"/v1/compile?trace=1", compileBody(testAssay))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Bfd-Request")
+	if id == "" {
+		t.Fatal("missing X-Bfd-Request header")
+	}
+
+	var rec struct {
+		ID     string  `json:"id"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		Cache  string  `json:"cache"`
+		Msg    string  `json:"msg"`
+		Dur    float64 `json:"duration"`
+	}
+	if err := json.Unmarshal(logBuf.Bytes(), &rec); err != nil {
+		t.Fatalf("request log is not one JSON record: %v\n%s", err, logBuf.String())
+	}
+	if rec.ID != id {
+		t.Errorf("log id %q != header id %q", rec.ID, id)
+	}
+	if rec.Path != "/v1/compile" || rec.Status != http.StatusOK || rec.Cache != "miss" {
+		t.Errorf("log record fields: %+v", rec)
+	}
+
+	// The trace export embeds the root span's request attribute.
+	var traced struct {
+		Trace json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &traced); err != nil {
+		t.Fatalf("unmarshal traced response: %v", err)
+	}
+	if !bytes.Contains(traced.Trace, []byte(id)) {
+		t.Error("trace export does not carry the request ID")
+	}
+}
+
+// TestMetricsSurvivesNoTraffic pins that a fresh server serves valid,
+// parseable exposition before any request has arrived.
+func TestMetricsSurvivesNoTraffic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	e := scrapeMetrics(t, ts.URL)
+	if v, ok := e.Value("bfd_requests_total"); !ok || v != 1 {
+		t.Errorf("bfd_requests_total = %v, %v; want 1 (the scrape itself)", v, ok)
+	}
+	if _, ok := e.Value("bfd_uptime_seconds"); !ok {
+		t.Error("missing bfd_uptime_seconds")
+	}
+}

@@ -11,7 +11,13 @@
 //	POST /v1/simulate  The same compile inputs plus seed/scenario/ranges;
 //	                   streams per-cycle telemetry as NDJSON.
 //	GET  /v1/healthz   Liveness (503 while draining).
-//	GET  /v1/stats     Request, cache, and worker-pool counters.
+//	GET  /v1/stats     Request, cache, and worker-pool counters (JSON).
+//	GET  /metrics      The same counters plus latency/recovery histograms
+//	                   in Prometheus text exposition format.
+//
+// Every response carries an X-Bfd-Request ID that is also stamped on the
+// request's trace root span and on the structured request log line (when
+// Config.Logger is set), so one ID correlates log ↔ span tree ↔ metrics.
 //
 // Compiles are cached in a content-addressed, byte-budgeted LRU keyed by a
 // hash of the canonical (pre-SSI) IR, the chip configuration, the compile
@@ -30,15 +36,20 @@ package serve
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"biocoder"
@@ -67,6 +78,17 @@ type Config struct {
 	// detached from the requester: a canceled client does not waste the
 	// nearly finished compile that followers and the cache want.
 	RequestTimeout time.Duration
+	// Registry receives the daemon's metrics and backs GET /metrics. Nil
+	// creates a private registry, so the exposition always serves; pass
+	// one explicitly to share instruments with an embedding process.
+	Registry *obs.Registry
+	// Logger, when non-nil, receives one structured log record per HTTP
+	// request (id, method, path, status, cache disposition, duration).
+	// Nil disables request logging entirely.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
+	// because profiles expose internals and cost CPU when scraped.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +111,8 @@ func (c Config) withDefaults() Config {
 // http.Server, and call Drain before shutting the listener down.
 type Server struct {
 	cfg     Config
+	reg     *obs.Registry
+	logger  *slog.Logger
 	stats   Stats
 	cache   *lruCache
 	memo    *biocoder.Memo // process-wide block memo shared by every backend compile
@@ -108,14 +132,25 @@ type Server struct {
 // New returns a ready-to-serve daemon.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:   cfg,
-		stats: Stats{start: time.Now()},
-		cache: newLRUCache(cfg.CacheBytes),
-		memo:  biocoder.NewMemo(),
-		sem:   make(chan struct{}, cfg.Workers),
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	s := &Server{
+		cfg:    cfg,
+		reg:    reg,
+		logger: cfg.Logger,
+		stats:  newStats(reg, time.Now()),
+		cache:  newLRUCache(cfg.CacheBytes),
+		memo:   biocoder.NewMemo(),
+		sem:    make(chan struct{}, cfg.Workers),
+	}
+	s.registerDerived()
+	return s
 }
+
+// Registry returns the metrics registry backing GET /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Handler returns the daemon's HTTP handler tree.
 func (s *Server) Handler() http.Handler {
@@ -124,6 +159,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/compile", s.heavy(s.handleCompile))
 	mux.HandleFunc("/v1/simulate", s.heavy(s.handleSimulate))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s.recovered(mux)
 }
 
@@ -173,21 +216,36 @@ func (s *Server) leave() {
 	s.mu.Unlock()
 }
 
-// statusWriter tracks whether a response has started, so the panic
-// recovery layer knows when a 500 can still be written.
+// statusWriter tracks whether a response has started (so the panic
+// recovery layer knows when a 500 can still be written) and the status
+// code actually sent (for the request log).
 type statusWriter struct {
 	http.ResponseWriter
-	wrote bool
+	wrote  bool
+	status int
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+	}
 	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+	}
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) statusCode() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 // Flush forwards to the underlying writer so NDJSON streaming works
@@ -198,10 +256,37 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// recovered is the outermost middleware: request counting plus panic
+// requestIDKey carries the per-request ID through the request context.
+type requestIDKey struct{}
+
+// reqFallback numbers request IDs when the random source fails.
+var reqFallback atomic.Int64
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", reqFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestID returns the ID assigned to this request by the middleware, or
+// "" outside a request. Handlers stamp it on their trace root span so one
+// ID correlates the log line, the span tree, and the response headers.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// recovered is the outermost middleware: request-ID assignment, request
+// counting, latency observation, structured logging, and panic
 // containment for every route.
 func (s *Server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := newRequestID()
+		w.Header().Set("X-Bfd-Request", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
 		s.stats.Requests.Add(1)
 		s.stats.InFlight.Add(1)
 		defer s.stats.InFlight.Add(-1)
@@ -213,9 +298,45 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 					writeError(sw, http.StatusInternalServerError, nil, "internal error: %v", p)
 				}
 			}
+			s.finishRequest(r, sw, id, time.Since(start))
 		}()
 		next.ServeHTTP(sw, r)
 	})
+}
+
+// finishRequest observes the request's latency histogram (heavy routes,
+// split by cache disposition) and emits the structured log record.
+func (s *Server) finishRequest(r *http.Request, sw *statusWriter, id string, elapsed time.Duration) {
+	route := ""
+	switch r.URL.Path {
+	case "/v1/compile":
+		route = "compile"
+	case "/v1/simulate":
+		route = "simulate"
+	}
+	disposition := sw.Header().Get("X-Bfd-Cache")
+	if route != "" {
+		d := disposition
+		if d == "" {
+			// Rejected, refused, or failed before the cache was consulted.
+			d = "error"
+		}
+		s.reg.Histogram("bfd_request_seconds",
+			"Heavy-request latency by route and cache disposition.",
+			obs.DefTimeBuckets, obs.L("route", route), obs.L("disposition", d)).
+			Observe(elapsed.Seconds())
+	}
+	if s.logger == nil {
+		return
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.statusCode()),
+		slog.String("cache", disposition),
+		slog.Duration("duration", elapsed),
+	)
 }
 
 // heavy wraps the compile/simulate handlers with the admission pipeline:
@@ -238,9 +359,15 @@ func (s *Server) heavy(next func(http.ResponseWriter, *http.Request)) http.Handl
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		wait := time.Now()
 		select {
 		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
+			s.stats.WorkerWait.Observe(time.Since(wait).Seconds())
+			s.stats.WorkersBusy.Add(1)
+			defer func() {
+				s.stats.WorkersBusy.Add(-1)
+				<-s.sem
+			}()
 		case <-ctx.Done():
 			s.stats.Rejected.Add(1)
 			s.stats.Timeouts.Add(1)
@@ -263,18 +390,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.stats.snapshot()
-	snap.CacheEntries, snap.CacheBytes, snap.CacheEvicted = s.cache.stats()
-	snap.CacheBudget = s.cfg.CacheBytes
-	ms := s.memo.Stats()
-	snap.MemoHits, snap.MemoMisses, snap.MemoRejected = ms.Hits, ms.Misses, ms.Rejected
-	snap.MemoEntries = ms.Entries
-	snap.Workers = s.cfg.Workers
-	snap.Version = biocoder.Version
-	s.mu.Lock()
-	snap.Draining = s.draining
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, snap)
+	writeJSON(w, http.StatusOK, s.snapshotStats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, nil, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteExposition(w)
 }
 
 // verifyError is a compile refused by the static verifier: mechanically
@@ -288,6 +414,7 @@ func (e *verifyError) Error() string {
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	tr := obs.NewTracer()
 	root := tr.Start("serve.compile")
+	root.SetStr("request", RequestID(r.Context()))
 	defer root.End()
 
 	sp := tr.Start("decode")
@@ -301,7 +428,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	e, disposition, err := s.resolve(r.Context(), tr, &req)
 	if err != nil {
-		writeResolveError(w, err)
+		s.writeResolveError(w, err)
 		return
 	}
 
@@ -363,6 +490,10 @@ func (s *Server) compileEntry(tr *obs.Tracer, key string, g *cfg.Graph, chip *ar
 	cctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
 
+	memo := s.memo
+	if opt.NoMemo {
+		memo = nil
+	}
 	prog, err := biocoder.CompileGraphOptions(g, chip, biocoder.Options{
 		NoLiveRangeSplitting: opt.NoLiveRangeSplitting,
 		SerialSchedules:      opt.SerialSchedules,
@@ -370,8 +501,10 @@ func (s *Server) compileEntry(tr *obs.Tracer, key string, g *cfg.Graph, chip *ar
 		FreePlacement:        opt.FreePlacement,
 		FoldEdges:            opt.FoldEdges,
 		FaultyElectrodes:     faultPoints(opt.Faults),
-		Memo:                 s.memo,
+		Workers:              opt.Workers,
+		Memo:                 memo,
 		Tracer:               tr,
+		Registry:             s.reg,
 		Context:              cctx,
 	})
 	if err != nil {
@@ -387,6 +520,11 @@ func (s *Server) compileEntry(tr *obs.Tracer, key string, g *cfg.Graph, chip *ar
 	})
 	sp.SetInt("diags", len(rep.Diags))
 	sp.End()
+	for _, pt := range rep.PassTimes {
+		s.reg.Histogram("biocoder_verify_pass_seconds",
+			"Static-verifier pass durations.", obs.DefTimeBuckets,
+			obs.L("pass", pt.Name)).Observe(pt.Duration.Seconds())
+	}
 	if rep.HasErrors() {
 		s.stats.CompileErrs.Add(1)
 		return nil, &verifyError{rep}
@@ -479,13 +617,25 @@ func canonicalOptions(opt CompileOptions) string {
 		return faults[i].X < faults[j].X
 	})
 	var b strings.Builder
-	fmt.Fprintf(&b, "nolrs=%t serial=%t minslack=%t free=%t fold=%t faults=",
+	fmt.Fprintf(&b, "nolrs=%t serial=%t minslack=%t free=%t fold=%t workers=%d nomemo=%t faults=",
 		opt.NoLiveRangeSplitting, opt.SerialSchedules, opt.MinSlackScheduling,
-		opt.FreePlacement, opt.FoldEdges)
+		opt.FreePlacement, opt.FoldEdges, normalizeWorkers(opt.Workers), opt.NoMemo)
 	for _, p := range faults {
 		fmt.Fprintf(&b, "(%d,%d)", p.X, p.Y)
 	}
 	return b.String()
+}
+
+// normalizeWorkers collapses every serial-equivalent Workers value to 0,
+// so requests differing only in a no-op worker count share a cache entry.
+// Values above 1 keep their identity in the key even though the parallel
+// backend's output is byte-identical: the key stays a pure function of the
+// request, never of a compiler equivalence claim.
+func normalizeWorkers(w int) int {
+	if w < 2 {
+		return 0
+	}
+	return w
 }
 
 func faultPoints(pts []Point) []biocoder.Point {
@@ -560,8 +710,8 @@ func writeError(w http.ResponseWriter, code int, diags []Diag, format string, ar
 
 // writeResolveError maps a resolve failure to its HTTP status: 400 for bad
 // inputs, 422 with diagnostics for verification refusals, 503 for
-// deadline/cancellation, 500 otherwise.
-func writeResolveError(w http.ResponseWriter, err error) {
+// deadline/cancellation (counted as a timeout), 500 otherwise.
+func (s *Server) writeResolveError(w http.ResponseWriter, err error) {
 	var bad *badRequestError
 	if errors.As(err, &bad) {
 		writeError(w, http.StatusBadRequest, nil, "bad request: %v", err)
@@ -573,6 +723,7 @@ func writeResolveError(w http.ResponseWriter, err error) {
 		return
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.stats.Timeouts.Add(1)
 		writeError(w, http.StatusServiceUnavailable, nil, "compile aborted: %v", err)
 		return
 	}
@@ -606,6 +757,7 @@ func writeTraced(w http.ResponseWriter, tr *obs.Tracer, body []byte) {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	tr := obs.NewTracer()
 	root := tr.Start("serve.simulate")
+	root.SetStr("request", RequestID(r.Context()))
 	defer root.End()
 
 	var req SimulateRequest
@@ -619,7 +771,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	e, disposition, err := s.resolve(r.Context(), tr, &req.CompileRequest)
 	if err != nil {
-		writeResolveError(w, err)
+		s.writeResolveError(w, err)
 		return
 	}
 	// The assay (for ranges and scenarios) comes from the request, not
@@ -669,6 +821,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		MaxCycles:          req.MaxCycles,
 		Metrics:            true,
 		TrackContamination: req.TrackContamination,
+		Registry:           s.reg,
 		Context:            r.Context(),
 		MetricsHook: func(cycle int, m *obs.Metrics) {
 			if cycle%req.Every != 0 {

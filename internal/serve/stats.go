@@ -1,27 +1,84 @@
 package serve
 
 import (
-	"sync/atomic"
 	"time"
+
+	"biocoder"
+	"biocoder/internal/obs"
 )
 
-// Stats is the server's counter block. All fields are updated with atomic
-// operations by the request path and snapshotted (racily but coherently
-// enough for monitoring) by the /v1/stats handler.
+// Stats is the server's counter block, backed by the process-wide metrics
+// registry: every field IS a registry instrument, so /v1/stats and
+// GET /metrics read the very same atomics and can never disagree. The
+// request path updates these handles directly — a handle operation is one
+// atomic update, no registry lookup.
 type Stats struct {
 	start time.Time
 
-	Requests    atomic.Int64 // HTTP requests accepted into a handler
-	Compiles    atomic.Int64 // backend compiles actually executed
-	CompileErrs atomic.Int64 // backend compiles that failed
-	Simulates   atomic.Int64 // simulate runs executed
-	CacheHits   atomic.Int64 // compile requests served from the LRU
-	CacheMisses atomic.Int64 // compile requests that went to the backend
-	Coalesced   atomic.Int64 // requests that piggybacked on an in-flight compile
-	Rejected    atomic.Int64 // requests refused (overload, draining, too large)
-	Panics      atomic.Int64 // handler panics recovered by middleware
-	Timeouts    atomic.Int64 // requests aborted by deadline or client cancel
-	InFlight    atomic.Int64 // requests currently inside a handler
+	Requests    *obs.Counter // bfd_requests_total
+	Compiles    *obs.Counter // bfd_compiles_total
+	CompileErrs *obs.Counter // bfd_compile_errors_total
+	Simulates   *obs.Counter // bfd_simulates_total
+	CacheHits   *obs.Counter // bfd_cache_hits_total
+	CacheMisses *obs.Counter // bfd_cache_misses_total
+	Coalesced   *obs.Counter // bfd_coalesced_total
+	Rejected    *obs.Counter // bfd_rejected_total
+	Panics      *obs.Counter // bfd_panics_total
+	Timeouts    *obs.Counter // bfd_timeouts_total
+	InFlight    *obs.Gauge   // bfd_in_flight
+	WorkersBusy *obs.Gauge   // bfd_workers_busy
+
+	// WorkerWait tracks how long heavy requests queued for a worker slot —
+	// the saturation signal (bfd_worker_wait_seconds).
+	WorkerWait *obs.Histogram
+}
+
+// newStats registers the request-path instruments on the registry.
+func newStats(reg *obs.Registry, start time.Time) Stats {
+	return Stats{
+		start:       start,
+		Requests:    reg.Counter("bfd_requests_total", "HTTP requests accepted into a handler."),
+		Compiles:    reg.Counter("bfd_compiles_total", "Backend compiles actually executed."),
+		CompileErrs: reg.Counter("bfd_compile_errors_total", "Backend compiles that failed."),
+		Simulates:   reg.Counter("bfd_simulates_total", "Simulate runs executed."),
+		CacheHits:   reg.Counter("bfd_cache_hits_total", "Compile requests served from the LRU."),
+		CacheMisses: reg.Counter("bfd_cache_misses_total", "Compile requests that went to the backend."),
+		Coalesced:   reg.Counter("bfd_coalesced_total", "Requests that piggybacked on an in-flight compile."),
+		Rejected:    reg.Counter("bfd_rejected_total", "Requests refused (overload, draining, too large)."),
+		Panics:      reg.Counter("bfd_panics_total", "Handler panics recovered by middleware."),
+		Timeouts:    reg.Counter("bfd_timeouts_total", "Requests aborted by deadline or client cancel."),
+		InFlight:    reg.Gauge("bfd_in_flight", "Requests currently inside a handler."),
+		WorkersBusy: reg.Gauge("bfd_workers_busy", "Worker-pool slots currently executing a heavy request."),
+		WorkerWait: reg.Histogram("bfd_worker_wait_seconds",
+			"Time heavy requests queued for a worker-pool slot.", obs.DefTimeBuckets),
+	}
+}
+
+// registerDerived exposes values owned by other subsystems — the block
+// memo, the response LRU, the clock — as scrape-time functions, so the
+// exposition can never drift from the owner's own accounting.
+func (s *Server) registerDerived() {
+	reg := s.reg
+	reg.GaugeFunc("bfd_uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(s.stats.start).Seconds() })
+	reg.GaugeFunc("bfd_workers", "Worker-pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.CounterFunc("bfd_block_memo_hits_total", "Per-block synthesis memo hits.",
+		func() int64 { return s.memo.Stats().Hits })
+	reg.CounterFunc("bfd_block_memo_misses_total", "Per-block synthesis memo misses.",
+		func() int64 { return s.memo.Stats().Misses })
+	reg.CounterFunc("bfd_block_memo_rejected_total", "Blocks the memo refused to cache.",
+		func() int64 { return s.memo.Stats().Rejected })
+	reg.GaugeFunc("bfd_block_memo_entries", "Blocks currently memoized.",
+		func() float64 { return float64(s.memo.Stats().Entries) })
+	reg.GaugeFunc("bfd_cache_entries", "Compile responses in the LRU.",
+		func() float64 { entries, _, _ := s.cache.stats(); return float64(entries) })
+	reg.GaugeFunc("bfd_cache_bytes", "Bytes held by the compile-response LRU.",
+		func() float64 { _, bytes, _ := s.cache.stats(); return float64(bytes) })
+	reg.CounterFunc("bfd_cache_evictions_total", "Compile responses evicted from the LRU.",
+		func() int64 { _, _, evicted := s.cache.stats(); return evicted })
+	reg.GaugeFunc("bfd_cache_budget_bytes", "Byte budget of the compile-response LRU.",
+		func() float64 { return float64(s.cfg.CacheBytes) })
 }
 
 // StatsSnapshot is the JSON shape served at /v1/stats.
@@ -54,19 +111,34 @@ type StatsSnapshot struct {
 	Draining     bool   `json:"draining"`
 }
 
-func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.Requests.Load(),
-		Compiles:      s.Compiles.Load(),
-		CompileErrors: s.CompileErrs.Load(),
-		Simulates:     s.Simulates.Load(),
-		CacheHits:     s.CacheHits.Load(),
-		CacheMisses:   s.CacheMisses.Load(),
-		Coalesced:     s.Coalesced.Load(),
-		Rejected:      s.Rejected.Load(),
-		Panics:        s.Panics.Load(),
-		Timeouts:      s.Timeouts.Load(),
-		InFlight:      s.InFlight.Load(),
+// snapshotStats gathers the whole /v1/stats snapshot in one place — the
+// registry-backed counters, cache and memo occupancy, and drain state —
+// so the handler takes one coherent-enough snapshot instead of assembling
+// it field by field from four sources.
+func (s *Server) snapshotStats() StatsSnapshot {
+	snap := StatsSnapshot{
+		UptimeSeconds: time.Since(s.stats.start).Seconds(),
+		Requests:      s.stats.Requests.Load(),
+		Compiles:      s.stats.Compiles.Load(),
+		CompileErrors: s.stats.CompileErrs.Load(),
+		Simulates:     s.stats.Simulates.Load(),
+		CacheHits:     s.stats.CacheHits.Load(),
+		CacheMisses:   s.stats.CacheMisses.Load(),
+		Coalesced:     s.stats.Coalesced.Load(),
+		Rejected:      s.stats.Rejected.Load(),
+		Panics:        s.stats.Panics.Load(),
+		Timeouts:      s.stats.Timeouts.Load(),
+		InFlight:      s.stats.InFlight.Load(),
+		CacheBudget:   s.cfg.CacheBytes,
+		Workers:       s.cfg.Workers,
+		Version:       biocoder.Version,
 	}
+	snap.CacheEntries, snap.CacheBytes, snap.CacheEvicted = s.cache.stats()
+	ms := s.memo.Stats()
+	snap.MemoHits, snap.MemoMisses, snap.MemoRejected = ms.Hits, ms.Misses, ms.Rejected
+	snap.MemoEntries = ms.Entries
+	s.mu.Lock()
+	snap.Draining = s.draining
+	s.mu.Unlock()
+	return snap
 }

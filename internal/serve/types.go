@@ -21,7 +21,10 @@ type CompileRequest struct {
 	Options CompileOptions `json:"options,omitempty"`
 }
 
-// CompileOptions mirrors the compiler's Options knobs that affect output.
+// CompileOptions mirrors the compiler's Options knobs that affect output,
+// plus the backend-execution knobs (Workers, NoMemo) that don't — those
+// still join the cache key so a cached response always answers exactly
+// the request that was made.
 type CompileOptions struct {
 	NoLiveRangeSplitting bool `json:"noLiveRangeSplitting,omitempty"`
 	SerialSchedules      bool `json:"serialSchedules,omitempty"`
@@ -30,6 +33,13 @@ type CompileOptions struct {
 	FoldEdges            bool `json:"foldEdges,omitempty"`
 	// Faults lists known-defective electrodes to compile around.
 	Faults []Point `json:"faults,omitempty"`
+	// Workers requests parallel block synthesis for this compile
+	// (biocoder.Options.Workers); values below 2 keep the serial
+	// pipeline. Output is byte-identical either way.
+	Workers int `json:"workers,omitempty"`
+	// NoMemo opts this compile out of the daemon's process-wide
+	// per-block synthesis memo.
+	NoMemo bool `json:"noMemo,omitempty"`
 }
 
 // Point is an electrode coordinate.

@@ -154,6 +154,45 @@ func TestNilMetricsRecoveryZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestNilRegistryZeroAlloc extends the guard to the metrics registry: the
+// per-cycle exec hot path pre-resolves instrument handles, and with the
+// registry off those handles are nil — operating on them (and on the nil
+// registry itself) must not allocate.
+func TestNilRegistryZeroAlloc(t *testing.T) {
+	var reg *obs.Registry
+	var c *obs.Counter
+	var g *obs.Gauge
+	var h *obs.Histogram
+	var s *obs.Summary
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(7)
+		g.Add(-1)
+		h.Observe(0.25)
+		s.Observe(1.5)
+		if reg.Counter("x", "") != nil || reg.Gauge("x", "") != nil {
+			t.Fatal("nil registry returned a live handle")
+		}
+		if reg.Histogram("x", "", nil) != nil || reg.Summary("x", "") != nil {
+			t.Fatal("nil registry returned a live handle")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-registry path allocated %.1f times per iteration; want 0", allocs)
+	}
+}
+
+// TestNilRegistryCompileZeroOverhead pins that a compile without a registry
+// never touches the registry plumbing: the phase observer is a no-op
+// closure and the whole-compile accounting is skipped entirely.
+func TestNilRegistryCompileZeroOverhead(t *testing.T) {
+	bs := assays.PCRReplenish().Build()
+	if _, err := biocoder.Compile(bs, biocoder.Options{Registry: nil}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestObservabilityOverhead compares wall-clock medians of untraced vs
 // traced compilation and plain vs telemetry runs. The bound is deliberately
 // loose — its job is to catch a hot-path regression such as unbounded

@@ -1,0 +1,130 @@
+// The recovery-time SLO gate, run over the full benchmark corpus: every
+// bundled assay gets a mid-assay stuck electrode injected, recovers under
+// the recompile policy, and the per-incident recovery and lost times (on
+// the simulated-time axis, plus recompile wall clock) must hold a p95
+// budget. The budget comes from $BFSLO_BUDGET (default 2h of simulated
+// time — about 2.4x the worst incident today, the hour-scale rollback of
+// the long opiate immunoassay; the gate exists to catch recovery-path
+// regressions that multiply lost cycles, not to benchmark). When
+// $BENCH_RECOVERY_SLO_OUT is set the SLO report is written there as JSON
+// (the CI artifact). A mutation subtest proves the gate can fail: the
+// same incidents, slowed past the budget, must trip it.
+package biocoder_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/assays"
+	"biocoder/internal/obs"
+)
+
+func TestRecoverySLOCorpus(t *testing.T) {
+	budget := 2 * time.Hour
+	if env := os.Getenv("BFSLO_BUDGET"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("bad $BFSLO_BUDGET %q: %v", env, err)
+		}
+		budget = d
+	}
+
+	reg := biocoder.NewRegistry()
+	var incidents []obs.RecoveryIncident
+	for _, a := range assays.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			build := func() (*biocoder.BioSystem, error) { return a.Build(), nil }
+			bs, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := biocoder.Compile(bs, biocoder.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, _ := probeCorpusStuck(t, a, prog)
+			res, err := prog.RunWithPolicy(biocoder.RunOptions{
+				Sensors:     corpusSensors(a),
+				Metrics:     true,
+				Degradation: &biocoder.Degradation{Stuck: []biocoder.StuckAt{sa}},
+			}, biocoder.RecoveryPolicy{
+				Recompile: biocoder.Recompiler(build, biocoder.Options{}),
+				Registry:  reg,
+			})
+			if err != nil {
+				t.Fatalf("recovery run: stuck (%d,%d)@%d: %v", sa.Cell.X, sa.Cell.Y, sa.Cycle, err)
+			}
+			if len(res.Metrics.Recoveries) == 0 {
+				t.Fatal("injected fault produced no recovery samples")
+			}
+			for _, s := range res.Metrics.Recoveries {
+				inc := obs.IncidentFromRecovery(s, prog.Chip.CyclePeriod)
+				inc.Assay = a.Name
+				incidents = append(incidents, inc)
+			}
+		})
+	}
+	if len(incidents) == 0 {
+		t.Fatal("corpus produced no recovery incidents to gate")
+	}
+
+	// Cross-check the registry's recovery counter against the incident
+	// list: RunWithPolicy recorded every event into both.
+	var buf bytes.Buffer
+	if err := reg.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e, err := obs.ParseExposition(&buf)
+	if err != nil {
+		t.Fatalf("registry exposition does not parse: %v", err)
+	}
+	counted := 0.0
+	for _, s := range e.Samples {
+		if s.Name == "biocoder_recoveries_total" {
+			counted += s.Value
+		}
+	}
+	if int(counted) != len(incidents) {
+		t.Errorf("biocoder_recoveries_total sums to %v, incident list has %d", counted, len(incidents))
+	}
+
+	rep := obs.EvaluateRecoverySLO(incidents, budget)
+	t.Logf("recovery SLO: budget %v, %d incidents, p95 recovery %v, p95 lost %v, max recovery %v",
+		rep.Budget, len(rep.Incidents), rep.P95Recovery, rep.P95Lost, rep.MaxRecovery)
+	if err := rep.Err(); err != nil {
+		t.Errorf("corpus violates the recovery SLO: %v", err)
+	}
+
+	if out := os.Getenv("BENCH_RECOVERY_SLO_OUT"); out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote recovery SLO report for %d incidents to %s", len(rep.Incidents), out)
+	}
+
+	// Mutation: the same incident set, slowed past the budget, must fail
+	// the gate — proving the gate is live, not vacuously green.
+	t.Run("mutation-slow-recovery", func(t *testing.T) {
+		mutated := append([]obs.RecoveryIncident(nil), incidents...)
+		for i := range mutated {
+			mutated[i].Recovery += budget
+			mutated[i].Lost += budget
+		}
+		bad := obs.EvaluateRecoverySLO(mutated, budget)
+		if bad.Err() == nil {
+			t.Error("slow-recovery mutation slipped past the SLO gate")
+		}
+		if len(bad.Violations) != 2 {
+			t.Errorf("expected p95 recovery and p95 lost violations, got %v", bad.Violations)
+		}
+	})
+}
