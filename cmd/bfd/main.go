@@ -6,14 +6,22 @@
 //
 //	bfd -addr :8077
 //	bfd -addr :8077 -workers 8 -cache-bytes 134217728 -timeout 2m
+//	bfd -addr :8077 -cache-dir /var/lib/bfd/cache -memo-dir /var/lib/bfd/memo
 //
 // Endpoints (see internal/serve and DESIGN.md for the API reference):
 //
 //	POST /v1/compile    compile a protocol; returns executable + diagnostics
 //	POST /v1/simulate   compile (cached) and simulate; streams NDJSON
-//	GET  /v1/healthz    liveness; 503 while draining
+//	GET  /v1/healthz    liveness; 200 for as long as the process serves HTTP
+//	GET  /v1/readyz     readiness; 503 while draining (fleet routing signal)
 //	GET  /v1/stats      request, cache, and worker-pool counters
 //	GET  /metrics       Prometheus text exposition of the same counters
+//
+// With -cache-dir and/or -memo-dir the daemon persists compile responses
+// and per-block synthesis artifacts to content-addressed disk stores, so a
+// restarted daemon answers repeated keys (X-Bfd-Cache: disk) and reuses
+// block artifacts without recompiling. Keys embed the compiler version;
+// stale entries are structurally unreachable.
 //
 // Every response carries an X-Bfd-Request ID that also appears in the
 // structured request log (-log) and on the request's trace root span, so
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"biocoder/internal/serve"
+	"biocoder/internal/store"
 )
 
 func main() {
@@ -49,9 +58,21 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	logMode := flag.String("log", "text", "request log format: text, json, or off")
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	cacheDir := flag.String("cache-dir", "", "persist compile responses to this directory (empty: memory only)")
+	memoDir := flag.String("memo-dir", "", "persist per-block synthesis artifacts to this directory (empty: memory only)")
+	diskBytes := flag.Int64("disk-bytes", 256<<20, "byte budget per on-disk store before oldest-first GC")
 	flag.Parse()
 
 	logger, err := buildLogger(*logMode)
+	if err != nil {
+		fatal(err)
+	}
+
+	cacheStore, err := openStore(*cacheDir, *diskBytes)
+	if err != nil {
+		fatal(err)
+	}
+	memoStore, err := openStore(*memoDir, *diskBytes)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,6 +84,8 @@ func main() {
 		RequestTimeout:  *timeout,
 		Logger:          logger,
 		EnablePprof:     *pprof,
+		CacheStore:      cacheStore,
+		MemoStore:       memoStore,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -107,6 +130,19 @@ func buildLogger(mode string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("-log %q: want text, json, or off", mode)
 	}
+}
+
+// openStore opens a persistent artifact store, or returns nil for an
+// empty dir (serve treats a nil store as "no persistence").
+func openStore(dir string, budget int64) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	st, err := store.Open(dir, budget)
+	if err != nil {
+		return nil, fmt.Errorf("opening store %s: %w", dir, err)
+	}
+	return st, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,147 @@
+// Command bfgate fronts a fleet of bfd replicas with one serving surface.
+//
+// Usage:
+//
+//	bfgate -addr :8070 -replicas http://10.0.0.7:8077,http://10.0.0.8:8077
+//	bfgate -addr :8070 -replicas ... -retries 3 -max-inflight 512
+//
+// Requests route over a consistent-hash ring keyed by the same
+// content-addressed cache key the replicas themselves use, so every
+// repeat of a compile lands on the replica whose memory LRU and disk
+// store already hold it, and adding a replica reshuffles only a 1/N
+// slice of the key space.
+//
+// Endpoints:
+//
+//	POST /v1/compile    routed to the key's replica, with failover
+//	POST /v1/simulate   as bfd; a "seeds" array fans out across the fleet
+//	                    (one compile, one seed per replica, merged NDJSON)
+//	GET  /v1/healthz    gateway liveness
+//	GET  /v1/readyz     503 when no replica is ready
+//	GET  /v1/stats      routing, retry, failover, and per-replica counters
+//	GET  /metrics       Prometheus text exposition of the same counters
+//
+// Replicas are probed on /v1/readyz: a draining or dead bfd is ejected
+// from routing after -fail-after consecutive failures and re-admitted on
+// the first success. Forwarding errors eject immediately. Retries reuse
+// the original X-Bfd-Request-Id and advertise only the remaining request
+// budget via X-Bfd-Deadline-Ms, so a slow first attempt shrinks — never
+// resets — the retry's deadline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"biocoder/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated bfd base URLs (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0: default 64)")
+	healthEvery := flag.Duration("health-every", time.Second, "readiness probe period")
+	failAfter := flag.Int("fail-after", 2, "consecutive probe failures before ejecting a replica")
+	retries := flag.Int("retries", 2, "extra replica attempts after a transport error or 503")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request deadline, retries included")
+	maxInflight := flag.Int("max-inflight", 256, "max concurrently admitted requests before shedding (429)")
+	maxReqBytes := flag.Int64("max-request-bytes", 1<<20, "max request body size in bytes")
+	logMode := flag.String("log", "text", "request log format: text, json, or off")
+	flag.Parse()
+
+	reps := splitReplicas(*replicas)
+	if len(reps) == 0 {
+		fatal(fmt.Errorf("-replicas is required, e.g. -replicas http://127.0.0.1:8077,http://127.0.0.1:8078"))
+	}
+
+	logger, err := buildLogger(*logMode)
+	if err != nil {
+		fatal(err)
+	}
+
+	gw, err := fleet.New(fleet.Config{
+		Replicas:        reps,
+		Vnodes:          *vnodes,
+		HealthEvery:     *healthEvery,
+		FailAfter:       *failAfter,
+		Retries:         *retries,
+		RequestTimeout:  *timeout,
+		MaxInflight:     *maxInflight,
+		MaxRequestBytes: *maxReqBytes,
+		Logger:          logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer gw.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("bfgate: listening on %s, %d replicas", *addr, len(reps))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("bfgate: %v received, shutting down", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("bfgate: shutdown: %v", err)
+	}
+	log.Printf("bfgate: stopped")
+}
+
+// splitReplicas parses the -replicas flag, trimming blanks and trailing
+// slashes so "http://h:1/, http://h:2" and "http://h:1,http://h:2" agree.
+func splitReplicas(s string) []string {
+	var reps []string
+	for _, r := range strings.Split(s, ",") {
+		r = strings.TrimRight(strings.TrimSpace(r), "/")
+		if r != "" {
+			reps = append(reps, r)
+		}
+	}
+	return reps
+}
+
+func buildLogger(mode string) (*slog.Logger, error) {
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off", "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("-log %q: want text, json, or off", mode)
+	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "bfgate:", err)
+	os.Exit(1)
+}

@@ -45,11 +45,13 @@ type Memo struct {
 	mu      sync.Mutex
 	max     int
 	entries map[string]*memoEntry
-	order   []string // FIFO eviction order
+	order   []string  // FIFO eviction order
+	persist Persister // optional disk layer (see memo_disk.go); nil = memory-only
 
 	hits     atomic.Int64
 	misses   atomic.Int64
 	rejected atomic.Int64
+	diskHits atomic.Int64
 }
 
 // DefaultMemoEntries bounds a NewMemo cache; at a few kilobytes per
@@ -77,6 +79,9 @@ type Stats struct {
 	Misses   int64
 	Rejected int64
 	Entries  int
+	// DiskHits counts in-memory misses answered by the attached
+	// Persister (they are also Hits when the translation guards pass).
+	DiskHits int64
 }
 
 // Stats returns the cumulative counters.
@@ -92,6 +97,7 @@ func (m *Memo) Stats() Stats {
 		Misses:   m.misses.Load(),
 		Rejected: m.rejected.Load(),
 		Entries:  n,
+		DiskHits: m.diskHits.Load(),
 	}
 }
 
@@ -174,8 +180,8 @@ func (m *Memo) Store(fp string, b *cfg.Block, liveOut cfg.Set, bs *sched.BlockSc
 	e.exit = copyPositions(bc.Exit)
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, dup := m.entries[fp]; dup {
+		m.mu.Unlock()
 		return
 	}
 	for len(m.entries) >= m.max && len(m.order) > 0 {
@@ -184,6 +190,13 @@ func (m *Memo) Store(fp string, b *cfg.Block, liveOut cfg.Set, bs *sched.BlockSc
 	}
 	m.entries[fp] = e
 	m.order = append(m.order, fp)
+	persist := m.persist
+	m.mu.Unlock()
+	if persist != nil {
+		// Write-through after releasing the lock: entries are immutable
+		// once stored, so the encoder reads race-free.
+		m.persistEntry(persist, fp, e)
+	}
 }
 
 // Lookup returns the stored synthesis of a block fingerprint-equal to b,
@@ -196,7 +209,11 @@ func (m *Memo) Lookup(fp string, b *cfg.Block, liveOut cfg.Set) (*sched.BlockSch
 	}
 	m.mu.Lock()
 	e := m.entries[fp]
+	persist := m.persist
 	m.mu.Unlock()
+	if e == nil && persist != nil {
+		e = m.diskLookup(persist, fp)
+	}
 	if e == nil {
 		m.misses.Add(1)
 		return nil, nil, nil, false

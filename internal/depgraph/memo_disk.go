@@ -1,0 +1,195 @@
+package depgraph
+
+// Persistence layer of the block memo: entries are mirrored to a Persister
+// (in production, internal/store) as they are stored, and an in-memory
+// miss falls back to the disk copy before re-synthesizing. Fingerprints
+// embed chip, options, and biocoder.Version, so a disk entry can never be
+// translated onto a block it wasn't synthesized for — a compiler upgrade
+// or option change simply misses. The gob wire format is guarded by its
+// own tag (memoWireTag): a format change degrades old entries to misses,
+// and the Persister's integrity checking (SHA-256 in internal/store)
+// catches bit rot before gob ever sees it.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"biocoder/internal/arch"
+	"biocoder/internal/codegen"
+	"biocoder/internal/ir"
+	"biocoder/internal/place"
+)
+
+// Persister is the optional disk layer behind a Memo. Implementations must
+// be safe for concurrent use and are expected to verify integrity on Get
+// (a corrupt entry must come back as a miss, not as wrong bytes).
+type Persister interface {
+	// Get returns the blob stored under key, or ok=false.
+	Get(key string) ([]byte, bool)
+	// Put stores blob under key; errors are the persister's to count.
+	Put(key string, blob []byte) error
+}
+
+// memoWireTag versions the gob wire format of persisted memo entries.
+// Bump on any change to the wire structs below.
+const memoWireTag = "bfmemo1"
+
+// SetPersist attaches a disk layer: subsequent Stores are written through
+// and subsequent in-memory Lookup misses consult it before giving up.
+// Attach before serving traffic; the memo does not replay existing
+// in-memory entries to a late-attached persister.
+func (m *Memo) SetPersist(p Persister) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.persist = p
+	m.mu.Unlock()
+}
+
+// Wire mirrors of the unexported memo structs, exported for encoding/gob.
+type memoWire struct {
+	Tag     string
+	PhiDsts []ir.FluidID
+	Sigs    []instrSigWire
+	LiveOut []ir.FluidID
+	Items   []itemRecWire
+	Length  int
+	Seq     *seqWire
+	Entry   map[ir.FluidID]arch.Point
+	Exit    map[ir.FluidID]arch.Point
+}
+
+type instrSigWire struct {
+	ID      int
+	Hash    string
+	Args    []ir.FluidID
+	Results []ir.FluidID
+}
+
+type itemRecWire struct {
+	InstrIdx   int
+	Fluid      ir.FluidID
+	Start, End int
+	Asn        place.Assignment
+}
+
+// seqWire flattens codegen.Sequence: gob handles the nested types, but an
+// explicit mirror keeps the wire format decoupled from codegen's struct
+// evolution (a codegen field rename must not silently change the format).
+type seqWire struct {
+	NumCycles int
+	Frames    [][]arch.Point
+	Events    []codegen.Event
+	Tracks    map[ir.FluidID]*codegen.Track
+}
+
+func encodeMemoEntry(e *memoEntry) ([]byte, error) {
+	w := &memoWire{
+		Tag:     memoWireTag,
+		PhiDsts: e.phiDsts,
+		LiveOut: e.liveOut,
+		Length:  e.length,
+		Entry:   e.entry,
+		Exit:    e.exit,
+	}
+	for _, sig := range e.sigs {
+		w.Sigs = append(w.Sigs, instrSigWire{ID: sig.id, Hash: sig.hash, Args: sig.args, Results: sig.results})
+	}
+	for _, it := range e.items {
+		w.Items = append(w.Items, itemRecWire{InstrIdx: it.instrIdx, Fluid: it.fluid, Start: it.start, End: it.end, Asn: it.asn})
+	}
+	if e.seq != nil {
+		sw := &seqWire{NumCycles: e.seq.NumCycles, Tracks: e.seq.Tracks}
+		for _, f := range e.seq.Frames {
+			sw.Frames = append(sw.Frames, []arch.Point(f))
+		}
+		sw.Events = e.seq.Events
+		w.Seq = sw
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeMemoEntry(blob []byte) (*memoEntry, error) {
+	var w memoWire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&w); err != nil {
+		return nil, err
+	}
+	if w.Tag != memoWireTag {
+		return nil, fmt.Errorf("memo wire tag %q, want %q", w.Tag, memoWireTag)
+	}
+	e := &memoEntry{
+		phiDsts: w.PhiDsts,
+		liveOut: w.LiveOut,
+		length:  w.Length,
+		entry:   w.Entry,
+		exit:    w.Exit,
+	}
+	if e.entry == nil {
+		e.entry = map[ir.FluidID]arch.Point{}
+	}
+	if e.exit == nil {
+		e.exit = map[ir.FluidID]arch.Point{}
+	}
+	for _, sig := range w.Sigs {
+		e.sigs = append(e.sigs, instrSig{id: sig.ID, hash: sig.Hash, args: sig.Args, results: sig.Results})
+	}
+	for _, it := range w.Items {
+		e.items = append(e.items, itemRec{instrIdx: it.InstrIdx, fluid: it.Fluid, start: it.Start, end: it.End, asn: it.Asn})
+	}
+	if w.Seq != nil {
+		seq := &codegen.Sequence{NumCycles: w.Seq.NumCycles, Events: w.Seq.Events, Tracks: w.Seq.Tracks}
+		for _, f := range w.Seq.Frames {
+			seq.Frames = append(seq.Frames, codegen.Frame(f))
+		}
+		if seq.Tracks == nil {
+			seq.Tracks = map[ir.FluidID]*codegen.Track{}
+		}
+		e.seq = seq
+	}
+	return e, nil
+}
+
+// persistEntry mirrors a just-stored entry to the disk layer (best-effort:
+// a write failure costs future warm starts, never correctness).
+func (m *Memo) persistEntry(p Persister, fp string, e *memoEntry) {
+	blob, err := encodeMemoEntry(e)
+	if err != nil {
+		return
+	}
+	p.Put(fp, blob)
+}
+
+// diskLookup consults the persister after an in-memory miss. A decoded
+// entry is promoted into the in-memory map (under the entry bound) so the
+// disk is touched once per fingerprint per process lifetime.
+func (m *Memo) diskLookup(p Persister, fp string) *memoEntry {
+	blob, ok := p.Get(fp)
+	if !ok {
+		return nil
+	}
+	e, err := decodeMemoEntry(blob)
+	if err != nil {
+		return nil
+	}
+	m.diskHits.Add(1)
+	m.mu.Lock()
+	if prev, dup := m.entries[fp]; dup {
+		// A concurrent compile promoted or re-stored it first.
+		m.mu.Unlock()
+		return prev
+	}
+	for len(m.entries) >= m.max && len(m.order) > 0 {
+		delete(m.entries, m.order[0])
+		m.order = m.order[1:]
+	}
+	m.entries[fp] = e
+	m.order = append(m.order, fp)
+	m.mu.Unlock()
+	return e
+}

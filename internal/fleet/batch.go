@@ -1,0 +1,318 @@
+package fleet
+
+// Batched simulate fan-out: one compile, M seeds, M replicas.
+//
+// A Monte-Carlo style request ("run this assay under 50 random sensor
+// traces") would naively cost 50 compiles or 50 serial simulations. The
+// gateway instead compiles the protocol exactly once — through the ring,
+// so the owning replica's cache serves repeats — and then posts the
+// resulting executable to many replicas in parallel, one seed each,
+// merging their NDJSON streams into a single response whose every record
+// carries a "seed" field. A replica dying mid-stream costs one failover
+// record and a restart of that seed on the next replica in ring order,
+// not the whole batch.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"biocoder/internal/serve"
+)
+
+// BatchSimulateRequest is the gateway's POST /v1/simulate body. Without
+// Seeds it is exactly a replica SimulateRequest and proxies through
+// unchanged; with Seeds the gateway compiles once and fans the seeds out
+// across the fleet.
+type BatchSimulateRequest struct {
+	serve.SimulateRequest
+	// Seeds lists sensor-model seeds to run, one simulate per seed.
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// maxBatchSeeds bounds one fan-out; bigger studies should batch at the
+// client, where partial results can be checkpointed.
+const maxBatchSeeds = 256
+
+// handleBatch runs the fan-out. The response is NDJSON: a gateway "start"
+// record, one "assign" record per seed, the replicas' own records (each
+// tagged with its seed, per-replica "start" records dropped), "failover"
+// records when a seed moves, and a final "done" record.
+func (g *Gateway) handleBatch(ctx context.Context, w http.ResponseWriter, r *http.Request, breq *BatchSimulateRequest, deadline time.Time) {
+	reqID := r.Header.Get(serve.HeaderRequestID)
+	if len(breq.Seeds) > maxBatchSeeds {
+		writeError(w, http.StatusBadRequest, "too many seeds (%d; cap %d)", len(breq.Seeds), maxBatchSeeds)
+		return
+	}
+
+	// Phase 1: exactly one compile. A posted executable skips it; anything
+	// else resolves through /v1/compile on the key's owner, so a repeated
+	// batch is a cache hit there.
+	exe := breq.Executable
+	key := ""
+	if exe == "" {
+		cr, status, errBody := g.compileOnce(ctx, &breq.CompileRequest, reqID, deadline)
+		if cr == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write(errBody)
+			return
+		}
+		exe, key = cr.Executable, cr.Key
+	} else {
+		key = postedKey(exe)
+	}
+
+	reps := g.candidates(key)
+	if len(reps) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no replicas")
+		return
+	}
+
+	// Phase 2: the merged stream. From here on the response is committed:
+	// failures surface as per-seed "error" records, not HTTP statuses.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Bfgate-Fanout", fmt.Sprint(len(breq.Seeds)))
+	w.WriteHeader(http.StatusOK)
+	mw := newMergeWriter(w)
+	mw.record(map[string]any{
+		"type": "start", "key": key, "seeds": len(breq.Seeds), "replicas": len(reps),
+	})
+	for i, seed := range breq.Seeds {
+		mw.record(map[string]any{
+			"type": "assign", "seed": seed, "replica": reps[i%len(reps)],
+		})
+	}
+	g.stats.FanoutSeeds.Add(int64(len(breq.Seeds)))
+
+	var wg sync.WaitGroup
+	for i, seed := range breq.Seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			g.runSeed(ctx, mw, breq, exe, seed, reps, i%len(reps), reqID, deadline)
+		}(i, seed)
+	}
+	wg.Wait()
+	mw.record(map[string]any{"type": "done", "seeds": len(breq.Seeds), "failovers": mw.failovers()})
+}
+
+// compileOnce resolves the batch's compile through the normal failover
+// plan and returns the decoded response, or (nil, status, body) to relay
+// an authoritative upstream refusal verbatim.
+func (g *Gateway) compileOnce(ctx context.Context, req *serve.CompileRequest, reqID string, deadline time.Time) (*serve.CompileResponse, int, []byte) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, errJSON("bad compile request: %v", err)
+	}
+	reps := g.candidates(routingKey(req, body))
+	attempts := g.cfg.Retries + 1
+	if attempts > len(reps) {
+		attempts = len(reps)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if i > 0 {
+			g.stats.Retries.Add(1)
+			backoff(ctx, i)
+		}
+		resp, err := g.upstream(ctx, reps[i], "/v1/compile", reqID, deadline, body)
+		if err != nil {
+			lastErr = err
+			g.noteForwardError(reps[i])
+			continue
+		}
+		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			g.noteForwardError(reps[i])
+			continue
+		}
+		if retryable(resp.StatusCode) {
+			lastErr = fmt.Errorf("%s answered %d", reps[i], resp.StatusCode)
+			continue
+		}
+		g.noteForwardOK(reps[i])
+		if i > 0 {
+			g.stats.Failovers.Add(1)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, resp.StatusCode, respBody
+		}
+		var cr serve.CompileResponse
+		if err := json.Unmarshal(respBody, &cr); err != nil {
+			return nil, http.StatusBadGateway, errJSON("replica %s: undecodable compile response: %v", reps[i], err)
+		}
+		return &cr, 0, nil
+	}
+	g.stats.NoReplica.Add(1)
+	return nil, http.StatusServiceUnavailable, errJSON("no replica answered compile: %v", lastErr)
+}
+
+// runSeed drives one seed to a terminal record, failing over along the
+// replica preference order. Records stream into mw as they arrive; a
+// replica that dies mid-stream (before emitting "result" or "error")
+// triggers a "failover" record and a clean restart of the seed elsewhere.
+func (g *Gateway) runSeed(ctx context.Context, mw *mergeWriter, breq *BatchSimulateRequest, exe string, seed int64, reps []string, startIdx int, reqID string, deadline time.Time) {
+	sreq := serve.SimulateRequest{
+		// Posted-executable simulate: only the assay name rides along, for
+		// scenario and sensor-range resolution.
+		CompileRequest:     serve.CompileRequest{Assay: breq.Assay},
+		Executable:         exe,
+		Seed:               seed,
+		Scenario:           breq.Scenario,
+		Ranges:             breq.Ranges,
+		MaxCycles:          breq.MaxCycles,
+		Every:              breq.Every,
+		TrackContamination: breq.TrackContamination,
+	}
+	body, err := json.Marshal(&sreq)
+	if err != nil {
+		mw.record(map[string]any{"type": "error", "seed": seed, "error": err.Error()})
+		return
+	}
+	var lastErr error
+	for attempt := 0; attempt < len(reps); attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		rep := reps[(startIdx+attempt)%len(reps)]
+		if attempt > 0 {
+			g.stats.Retries.Add(1)
+			backoff(ctx, attempt)
+			mw.record(map[string]any{
+				"type": "failover", "seed": seed,
+				"from": reps[(startIdx+attempt-1)%len(reps)], "to": rep,
+			})
+			mw.noteFailover()
+			g.stats.Failovers.Add(1)
+		}
+		done, err := g.streamSeed(ctx, mw, rep, seed, body, reqID, deadline)
+		if done {
+			g.noteForwardOK(rep)
+			return
+		}
+		lastErr = err
+		if err != nil {
+			g.noteForwardError(rep)
+		}
+	}
+	mw.record(map[string]any{
+		"type": "error", "seed": seed,
+		"error": fmt.Sprintf("no replica completed seed %d: %v", seed, lastErr),
+	})
+}
+
+// streamSeed runs one simulate attempt. It returns done=true when the
+// replica produced a terminal "result" or "error" record (the seed is
+// finished, successfully or not — replica-reported simulation errors are
+// authoritative and not retried). done=false with a nil error means the
+// replica refused with a retryable status; a non-nil error is a transport
+// failure mid-stream.
+func (g *Gateway) streamSeed(ctx context.Context, mw *mergeWriter, rep string, seed int64, body []byte, reqID string, deadline time.Time) (bool, error) {
+	resp, err := g.upstream(ctx, rep, "/v1/simulate", reqID, deadline, body)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if retryable(resp.StatusCode) {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		// Authoritative refusal (400/422/...): the whole batch shares one
+		// executable, so every seed would fail identically — emit the
+		// refusal as this seed's terminal record rather than retrying.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		mw.record(map[string]any{
+			"type": "error", "seed": seed,
+			"error": fmt.Sprintf("replica refused simulate (%d): %s", resp.StatusCode, msg),
+		})
+		return true, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	terminal := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // garbled line mid-crash; the scanner error path decides
+		}
+		typ, _ := rec["type"].(string)
+		if typ == "start" {
+			// The gateway already emitted the batch-level start record;
+			// per-replica ones would be M duplicates.
+			continue
+		}
+		rec["seed"] = seed
+		rec["replica"] = rep
+		mw.record(rec)
+		if typ == "result" || typ == "error" {
+			terminal = true
+		}
+	}
+	if err := sc.Err(); err != nil && !terminal {
+		return false, err
+	}
+	if !terminal {
+		return false, fmt.Errorf("replica %s stream ended without a terminal record", rep)
+	}
+	return true, nil
+}
+
+// mergeWriter serializes concurrent seed streams onto one response,
+// flushing per record so the merged stream stays live.
+type mergeWriter struct {
+	mu   sync.Mutex
+	enc  *json.Encoder
+	f    http.Flusher
+	fo   int
+	dead bool
+}
+
+func newMergeWriter(w http.ResponseWriter) *mergeWriter {
+	f, _ := w.(http.Flusher)
+	return &mergeWriter{enc: json.NewEncoder(w), f: f}
+}
+
+func (m *mergeWriter) record(v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead {
+		return
+	}
+	if err := m.enc.Encode(v); err != nil {
+		m.dead = true // caller went away; drop the rest quietly
+		return
+	}
+	if m.f != nil {
+		m.f.Flush()
+	}
+}
+
+func (m *mergeWriter) noteFailover() {
+	m.mu.Lock()
+	m.fo++
+	m.mu.Unlock()
+}
+
+func (m *mergeWriter) failovers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fo
+}
+
+func errJSON(format string, args ...any) []byte {
+	b, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	return b
+}

@@ -1,0 +1,176 @@
+package fleet
+
+// Fleet throughput scaling: cold-compile ops/sec through the gateway as
+// the replica count grows 1 -> 3. Each replica runs a single worker, so
+// the fleet size is the parallelism axis; requests carry distinct
+// content-addressed keys (duplicated fault points — identical compile,
+// different key) so the ring spreads them instead of coalescing them.
+//
+// TestWriteBenchFleetJSON merges a "fleet" section into the
+// BENCH_serve.json document written by the serve package's
+// TestWriteBenchServeJSON (serve cannot import fleet, so the merge
+// happens here, file-level). CI runs both against the same
+// BENCH_SERVE_OUT path and archives the combined artifact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"biocoder/internal/serve"
+)
+
+// benchKeyedBody returns a compile request whose key is unique per i but
+// whose compile work is identical: the fault list repeats the same safe
+// electrode i+1 times, which changes the canonical options text (and so
+// the key) without changing the fault mask.
+func benchKeyedBody(i int) string {
+	pts := strings.TrimSuffix(strings.Repeat(`{"x":3,"y":3},`, i+1), ",")
+	return fmt.Sprintf(`{"assay":%q,"options":{"faults":[%s]}}`, testAssay, pts)
+}
+
+// benchFleetThroughput measures cold-compile throughput through a gateway
+// over n single-worker cacheless replicas: ops requests from conc
+// concurrent clients, all keys distinct.
+func benchFleetThroughput(t *testing.T, n, ops, conc int) (opsPerSec float64, wall time.Duration) {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{Workers: 1, CacheBytes: -1}).Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	gw, err := New(Config{Replicas: urls, HealthEvery: -1, MaxInflight: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	// Warm every replica's block memo with one direct compile so the
+	// measured phase is uniform memo-warm work — otherwise the first
+	// request per replica is several times slower and the ring's key
+	// split decides the result more than the fleet size does.
+	for _, u := range urls {
+		if err := benchPost(u+"/v1/compile", benchKeyedBody(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	errs := make([]error, conc)
+	begin := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := range jobs {
+				if err := benchPost(ts.URL+"/v1/compile", benchKeyedBody(i)); err != nil {
+					errs[c] = fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < ops; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall = time.Since(begin)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return float64(ops) / wall.Seconds(), wall
+}
+
+func benchPost(url, body string) error {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// TestWriteBenchFleetJSON adds the replica-count scaling axis to the
+// BENCH_serve.json artifact (skipped unless BENCH_SERVE_OUT is set).
+func TestWriteBenchFleetJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_OUT")
+	if out == "" {
+		t.Skip("BENCH_SERVE_OUT not set")
+	}
+	const (
+		ops  = 18 // distinct-key cold compiles per fleet size
+		conc = 6  // concurrent clients offering load
+	)
+	type row struct {
+		Replicas  int     `json:"replicas"`
+		Ops       int     `json:"ops"`
+		Clients   int     `json:"clients"`
+		WallMs    float64 `json:"wallMs"`
+		OpsPerSec float64 `json:"opsPerSec"`
+		Speedup   float64 `json:"speedupVs1"`
+	}
+	var rows []row
+	var base float64
+	for n := 1; n <= 3; n++ {
+		opsPerSec, wall := benchFleetThroughput(t, n, ops, conc)
+		if n == 1 {
+			base = opsPerSec
+		}
+		rows = append(rows, row{
+			Replicas:  n,
+			Ops:       ops,
+			Clients:   conc,
+			WallMs:    float64(wall.Milliseconds()),
+			OpsPerSec: opsPerSec,
+			Speedup:   opsPerSec / base,
+		})
+		t.Logf("replicas=%d  %6.2f compiles/sec  (%.0f ms for %d, speedup %.2fx)",
+			n, opsPerSec, float64(wall.Milliseconds()), ops, opsPerSec/base)
+	}
+
+	// Merge into the serve benchmark document if it exists; otherwise
+	// start a fresh one. Decoding into a generic map preserves whatever
+	// sections other writers added.
+	doc := map[string]any{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("existing %s is not JSON: %v", out, err)
+		}
+	}
+	doc["fleet"] = map[string]any{
+		"workersPerReplica": 1,
+		// Replicas share this process's cores: scaling tops out at the
+		// core count, so record it alongside the curve.
+		"cpus":    runtime.NumCPU(),
+		"scaling": rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged fleet section into %s", out)
+}

@@ -1,0 +1,486 @@
+package fleet
+
+// Multi-replica end-to-end tests: real bfd replicas (in-process
+// serve.Server instances behind httptest), a real gateway routing over
+// them. Run with -race in CI; everything here is timing-independent —
+// failure injection is deterministic (closed listeners, armed abort
+// handlers), never sleep-and-hope.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"biocoder/internal/serve"
+)
+
+const testAssay = "Probabilistic PCR"
+
+func compileBody() string { return fmt.Sprintf(`{"assay":%q}`, testAssay) }
+
+// newFleet starts n real replicas and a gateway over them. The background
+// prober is disabled unless probeEvery > 0, so ejection tests are driven
+// by deterministic forwarding errors, not probe timing.
+func newFleet(t *testing.T, n int, probeEvery time.Duration, mutate func(*Config)) (*Gateway, *httptest.Server, []*serve.Server, []*httptest.Server) {
+	t.Helper()
+	servers := make([]*serve.Server, n)
+	backends := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		servers[i] = serve.New(serve.Config{})
+		backends[i] = httptest.NewServer(servers[i].Handler())
+		t.Cleanup(backends[i].Close)
+		urls[i] = backends[i].URL
+	}
+	if probeEvery <= 0 {
+		probeEvery = -1
+	}
+	cfg := Config{Replicas: urls, HealthEvery: probeEvery, FailAfter: 1}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+	return gw, ts, servers, backends
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestFleetCompileConsistent is the core routing guarantee: the gateway's
+// answer is byte-identical to every replica's direct answer, the repeated
+// request is a cache hit, and both land on the same (primary) replica.
+func TestFleetCompileConsistent(t *testing.T) {
+	_, ts, _, backends := newFleet(t, 3, 0, nil)
+
+	resp1, body1 := post(t, ts.URL+"/v1/compile", compileBody())
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("compile via gateway: %d %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Bfd-Cache"); got != "miss" {
+		t.Fatalf("first compile disposition = %q, want miss", got)
+	}
+	primary := resp1.Header.Get("X-Bfgate-Replica")
+	if primary == "" {
+		t.Fatal("no X-Bfgate-Replica header")
+	}
+
+	// Byte-identical no matter which replica answers.
+	for _, b := range backends {
+		_, direct := post(t, b.URL+"/v1/compile", compileBody())
+		if !bytes.Equal(body1, direct) {
+			t.Fatalf("replica %s answers differently from the gateway", b.URL)
+		}
+	}
+
+	// The repeat routes to the same replica and hits its cache.
+	resp2, body2 := post(t, ts.URL+"/v1/compile", compileBody())
+	if got := resp2.Header.Get("X-Bfgate-Replica"); got != primary {
+		t.Fatalf("repeat routed to %s, first to %s — routing is not sticky", got, primary)
+	}
+	if got := resp2.Header.Get("X-Bfd-Cache"); got != "hit" {
+		t.Fatalf("repeat disposition = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cached repeat is not byte-identical")
+	}
+}
+
+// TestFleetRequestIDPropagation: the ID a caller hands the gateway is the
+// ID the replica echoes back through it — one ID correlates gateway log,
+// replica log, and response.
+func TestFleetRequestIDPropagation(t *testing.T) {
+	_, ts, _, _ := newFleet(t, 2, 0, nil)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/compile", strings.NewReader(compileBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.HeaderRequestID, "fleet-corr-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// copyProxyHeaders relays the replica's echo, so this asserts the ID
+	// survived caller -> gateway -> replica -> gateway -> caller.
+	if got := resp.Header.Get("X-Bfd-Request"); got != "fleet-corr-42" {
+		t.Fatalf("request ID did not round-trip: %q", got)
+	}
+}
+
+// TestFleetFailoverDeadReplica kills the key's primary outright: the
+// gateway must eat the transport error, eject the replica, and answer
+// from the next one in ring order.
+func TestFleetFailoverDeadReplica(t *testing.T) {
+	gw, ts, _, backends := newFleet(t, 3, 0, nil)
+
+	resp1, body1 := post(t, ts.URL+"/v1/compile", compileBody())
+	primary := resp1.Header.Get("X-Bfgate-Replica")
+	for _, b := range backends {
+		if b.URL == primary {
+			b.Close()
+		}
+	}
+
+	resp2, body2 := post(t, ts.URL+"/v1/compile", compileBody())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("compile after killing primary: %d %s", resp2.StatusCode, body2)
+	}
+	secondary := resp2.Header.Get("X-Bfgate-Replica")
+	if secondary == primary || secondary == "" {
+		t.Fatalf("request still routed to dead primary %q", secondary)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("failover answer is not byte-identical")
+	}
+	snap := gw.snapshot()
+	if snap.Failovers == 0 || snap.UpstreamErrors == 0 {
+		t.Fatalf("failover not recorded: %+v", snap)
+	}
+	if st := snap.Replicas[primary]; st.Ready {
+		t.Fatal("dead primary was not ejected")
+	}
+
+	// With the primary ejected, the next request goes straight to the
+	// secondary — no retry needed.
+	before := gw.stats.Retries.Load()
+	resp3, _ := post(t, ts.URL+"/v1/compile", compileBody())
+	if got := resp3.Header.Get("X-Bfgate-Replica"); got != secondary {
+		t.Fatalf("post-ejection routing unstable: %q", got)
+	}
+	if got := gw.stats.Retries.Load(); got != before {
+		t.Fatalf("post-ejection request needed %d retries", got-before)
+	}
+}
+
+// TestFleetRoutesOnReadiness: a draining replica still answers liveness
+// 200 but readiness 503; the prober must eject it and the gateway must
+// route around it while it drains.
+func TestFleetRoutesOnReadiness(t *testing.T) {
+	gw, ts, servers, backends := newFleet(t, 3, 20*time.Millisecond, nil)
+
+	resp1, _ := post(t, ts.URL+"/v1/compile", compileBody())
+	primary := resp1.Header.Get("X-Bfgate-Replica")
+	var drained *serve.Server
+	for i, b := range backends {
+		if b.URL == primary {
+			drained = servers[i]
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := drained.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Liveness stays green on the draining replica...
+	hresp, err := http.Get(primary + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("draining replica healthz = %d, want 200", hresp.StatusCode)
+	}
+
+	// ...while the prober ejects it on readiness.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := gw.snapshot().Replicas[primary]; !st.Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never ejected the draining replica")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp2, body2 := post(t, ts.URL+"/v1/compile", compileBody())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("compile while primary drains: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Bfgate-Replica"); got == primary {
+		t.Fatal("gateway routed to the draining replica")
+	}
+}
+
+// readStream decodes a merged NDJSON response line by line.
+func readStream(t *testing.T, body io.Reader) []map[string]any {
+	t.Helper()
+	var recs []map[string]any
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func recsOfType(recs []map[string]any, typ string) []map[string]any {
+	var out []map[string]any
+	for _, r := range recs {
+		if r["type"] == typ {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestFleetBatchFanout: one compile, five seeds, three replicas, one
+// merged stream with exactly one result per seed.
+func TestFleetBatchFanout(t *testing.T) {
+	gw, ts, _, backends := newFleet(t, 3, 0, nil)
+
+	body := fmt.Sprintf(`{"assay":%q,"scenario":"early-exit","every":100000,"seeds":[1,2,3,4,5]}`, testAssay)
+	resp, data := post(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch simulate: %d %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Bfgate-Fanout"); got != "5" {
+		t.Fatalf("X-Bfgate-Fanout = %q, want 5", got)
+	}
+	recs := readStream(t, bytes.NewReader(data))
+
+	if starts := recsOfType(recs, "start"); len(starts) != 1 {
+		t.Fatalf("%d start records, want exactly 1 (per-replica starts must be dropped)", len(starts))
+	}
+	if assigns := recsOfType(recs, "assign"); len(assigns) != 5 {
+		t.Fatalf("%d assign records, want 5", len(assigns))
+	}
+	results := recsOfType(recs, "result")
+	seeds := map[float64]int{}
+	replicas := map[string]bool{}
+	for _, r := range results {
+		seed, _ := r["seed"].(float64)
+		seeds[seed]++
+		if rep, _ := r["replica"].(string); rep != "" {
+			replicas[rep] = true
+		}
+	}
+	for want := 1.0; want <= 5; want++ {
+		if seeds[want] != 1 {
+			t.Fatalf("seed %v has %d result records, want exactly 1 (all: %v)", want, seeds[want], seeds)
+		}
+	}
+	if len(replicas) < 2 {
+		t.Fatalf("all results came from %d replica(s); fan-out did not spread", len(replicas))
+	}
+	if done := recsOfType(recs, "done"); len(done) != 1 || done[0]["seeds"] != 5.0 {
+		t.Fatalf("done record wrong: %v", done)
+	}
+	if got := gw.stats.FanoutSeeds.Load(); got != 5 {
+		t.Fatalf("fanoutSeeds counter = %d, want 5", got)
+	}
+
+	// Exactly one backend compile across the whole fleet: the fan-out
+	// posts the executable, it never recompiles per seed.
+	totalCompiles := int64(0)
+	for _, b := range backends {
+		sresp, err := http.Get(b.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap serve.StatsSnapshot
+		if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		sresp.Body.Close()
+		totalCompiles += snap.Compiles
+	}
+	if totalCompiles != 1 {
+		t.Fatalf("fleet ran %d compiles for the batch, want 1", totalCompiles)
+	}
+}
+
+// abortingReplica wraps a real replica handler; the first armed simulate
+// request streams two NDJSON lines and then kills the connection, exactly
+// like a replica crashing mid-stream.
+type abortingReplica struct {
+	h     http.Handler
+	armed atomic.Bool
+}
+
+func (a *abortingReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/simulate" && a.armed.CompareAndSwap(true, false) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"type":"start","cache":"posted"}`+"\n")
+		io.WriteString(w, `{"type":"telemetry","cycle":1}`+"\n")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	a.h.ServeHTTP(w, r)
+}
+
+// TestFleetBatchFailoverMidStream: a replica dies after streaming partial
+// telemetry. The merged stream must carry a failover record for that seed
+// and still end with exactly one result per seed.
+func TestFleetBatchFailoverMidStream(t *testing.T) {
+	// Two honest replicas plus one that aborts its first simulate.
+	aborter := &abortingReplica{h: serve.New(serve.Config{}).Handler()}
+	aborter.armed.Store(true)
+	abortTS := httptest.NewServer(aborter)
+	t.Cleanup(abortTS.Close)
+
+	honest1 := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(honest1.Close)
+	honest2 := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(honest2.Close)
+
+	gw, err := New(Config{
+		Replicas:    []string{abortTS.URL, honest1.URL, honest2.URL},
+		HealthEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+
+	body := fmt.Sprintf(`{"assay":%q,"scenario":"early-exit","every":100000,"seeds":[1,2,3,4,5,6]}`, testAssay)
+	resp, data := post(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch simulate: %d %s", resp.StatusCode, data)
+	}
+	recs := readStream(t, bytes.NewReader(data))
+
+	failovers := recsOfType(recs, "failover")
+	if len(failovers) != 1 {
+		t.Fatalf("%d failover records, want exactly 1: %v", len(failovers), failovers)
+	}
+	if from, _ := failovers[0]["from"].(string); from != abortTS.URL {
+		t.Fatalf("failover left %q, want the aborting replica %q", from, abortTS.URL)
+	}
+	movedSeed := failovers[0]["seed"]
+
+	results := recsOfType(recs, "result")
+	seeds := map[float64]int{}
+	for _, r := range results {
+		seed, _ := r["seed"].(float64)
+		seeds[seed]++
+	}
+	for want := 1.0; want <= 6; want++ {
+		if seeds[want] != 1 {
+			t.Fatalf("seed %v has %d results, want exactly 1 despite the crash", want, seeds[want])
+		}
+	}
+	// The moved seed's result must come from a replica other than the one
+	// that died on it.
+	for _, r := range results {
+		if r["seed"] == movedSeed {
+			if rep, _ := r["replica"].(string); rep == abortTS.URL {
+				t.Fatalf("seed %v's result still credited to the crashed replica", movedSeed)
+			}
+		}
+	}
+	if done := recsOfType(recs, "done"); len(done) != 1 || done[0]["failovers"] != 1.0 {
+		t.Fatalf("done record wrong: %v", done)
+	}
+	if errs := recsOfType(recs, "error"); len(errs) != 0 {
+		t.Fatalf("unexpected error records: %v", errs)
+	}
+}
+
+// TestFleetLoadShedding: a gateway at max in-flight sheds with 429 and a
+// Retry-After hint instead of queueing.
+func TestFleetLoadShedding(t *testing.T) {
+	gw, ts, _, _ := newFleet(t, 1, 0, func(c *Config) { c.MaxInflight = 1 })
+	gw.sem <- struct{}{} // occupy the only admission slot
+	defer func() { <-gw.sem }()
+
+	resp, body := post(t, ts.URL+"/v1/compile", compileBody())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d %s, want 429", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want 1", got)
+	}
+	if gw.stats.Shed.Load() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+}
+
+// TestFleetReadyzAndMetrics: gateway readiness tracks the fleet, and the
+// metrics exposition carries the bfgate instruments.
+func TestFleetReadyzAndMetrics(t *testing.T) {
+	gw, ts, _, backends := newFleet(t, 1, 0, nil)
+	resp, _ := post(t, ts.URL+"/v1/compile", compileBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("warm-up compile failed")
+	}
+
+	r1, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r1.Body)
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with live replica = %d", r1.StatusCode)
+	}
+
+	// Kill the only replica; a failed forward ejects it, and gateway
+	// readiness must follow.
+	backends[0].Close()
+	post(t, ts.URL+"/v1/compile", compileBody()) // drives the ejection
+	r2, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with dead fleet = %d, want 503", r2.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"bfgate_requests_total", "bfgate_replicas_ready", "bfgate_upstream_errors_total"} {
+		if !bytes.Contains(mbody, []byte(want)) {
+			t.Fatalf("metrics exposition missing %s:\n%s", want, mbody)
+		}
+	}
+	_ = gw
+}

@@ -1,0 +1,734 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"biocoder"
+	"biocoder/internal/obs"
+	"biocoder/internal/serve"
+)
+
+// Config sizes the gateway. Zero values select the documented defaults.
+type Config struct {
+	// Replicas lists bfd base URLs, e.g. "http://10.0.0.7:8080". At least
+	// one is required.
+	Replicas []string
+	// Vnodes per replica on the consistent-hash ring (default 64).
+	Vnodes int
+	// HealthEvery is the readiness-probe period (default 1s). Negative
+	// disables the background prober entirely; forwarding errors still
+	// eject replicas, and the last-resort fallback still tries them.
+	HealthEvery time.Duration
+	// FailAfter ejects a replica after this many consecutive readiness
+	// probe failures (default 2). One successful probe re-admits it.
+	FailAfter int
+	// Retries caps extra attempts after the first forward fails with a
+	// transport error or a 503 (default 2). Each retry moves to the next
+	// replica in the key's ring order and reuses the original request ID.
+	Retries int
+	// RequestTimeout bounds each gateway request end to end, retries and
+	// backoff included (default 120s). A caller-supplied X-Bfd-Deadline-Ms
+	// clamps it further, and replicas are told only the remaining budget.
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrently admitted compile/simulate requests
+	// (default 256); excess load is shed immediately with 429 and a
+	// Retry-After hint rather than queued.
+	MaxInflight int
+	// MaxRequestBytes caps request bodies (default 1 MiB).
+	MaxRequestBytes int64
+	// Registry receives gateway metrics and backs GET /metrics; nil
+	// creates a private registry.
+	Registry *obs.Registry
+	// Logger, when non-nil, receives one record per proxied request.
+	Logger *slog.Logger
+	// Client overrides the upstream HTTP client (tests). The default has
+	// no overall timeout — per-request contexts bound every call.
+	Client *http.Client
+}
+
+// Gateway is the bfgate core: an http.Handler that routes compile and
+// simulate requests over a replica fleet. Create with New, serve
+// Handler(), and Close when done to stop the health prober.
+type Gateway struct {
+	cfg    Config
+	ring   *Ring
+	client *http.Client
+	reg    *obs.Registry
+	sem    chan struct{}
+	start  time.Time
+	log    *slog.Logger
+
+	stats gwStats
+
+	mu       sync.Mutex
+	replicas map[string]*replicaState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	probing  sync.WaitGroup
+}
+
+type replicaState struct {
+	ready     bool
+	fails     int // consecutive readiness failures
+	forwarded int64
+	errors    int64
+	ejections int64
+}
+
+// New builds a gateway over cfg.Replicas and starts the readiness prober
+// (unless HealthEvery < 0). Replicas start optimistically ready; the first
+// probe round or the first failed forward corrects that.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas configured")
+	}
+	if cfg.HealthEvery == 0 {
+		cfg.HealthEvery = time.Second
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 120 * time.Second
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 1 << 20
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Replicas, cfg.Vnodes),
+		client:   cfg.Client,
+		reg:      cfg.Registry,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		start:    time.Now(),
+		log:      cfg.Logger,
+		replicas: make(map[string]*replicaState, len(cfg.Replicas)),
+		stop:     make(chan struct{}),
+	}
+	for _, rep := range cfg.Replicas {
+		g.replicas[rep] = &replicaState{ready: true}
+	}
+	g.stats = newGwStats(g.reg)
+	g.registerDerived()
+	if cfg.HealthEvery > 0 {
+		g.probing.Add(1)
+		go g.probeLoop()
+	}
+	return g, nil
+}
+
+// Close stops the readiness prober. It does not wait for in-flight
+// proxied requests; stop accepting connections first.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.probing.Wait()
+}
+
+// Handler returns the gateway's HTTP surface: the replica-compatible
+// /v1/compile and /v1/simulate (the latter batched when "seeds" is set),
+// plus the gateway's own health, stats, and metrics endpoints.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", g.recovered(g.admitted(g.handleCompile)))
+	mux.HandleFunc("/v1/simulate", g.recovered(g.admitted(g.handleSimulate)))
+	mux.HandleFunc("/v1/stats", g.recovered(g.handleStats))
+	mux.HandleFunc("/v1/healthz", g.recovered(g.handleHealthz))
+	mux.HandleFunc("/v1/readyz", g.recovered(g.handleReadyz))
+	mux.HandleFunc("/metrics", g.recovered(g.handleMetrics))
+	return mux
+}
+
+// ---- middleware ----
+
+// recovered assigns (or adopts) the request ID, counts the request, and
+// turns handler panics into 500s.
+func (g *Gateway) recovered(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g.stats.Requests.Add(1)
+		id := r.Header.Get(serve.HeaderRequestID)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Bfd-Request", id)
+		r.Header.Set(serve.HeaderRequestID, id)
+		defer func() {
+			if p := recover(); p != nil {
+				g.stats.Panics.Add(1)
+				writeError(w, http.StatusInternalServerError, "gateway panic: %v", p)
+			}
+		}()
+		begin := time.Now()
+		next(w, r)
+		g.stats.Latency.Observe(time.Since(begin).Seconds())
+		if g.log != nil {
+			g.log.Info("bfgate.request", "id", id, "method", r.Method, "path", r.URL.Path,
+				"durMs", time.Since(begin).Milliseconds())
+		}
+	}
+}
+
+// admitted is load shedding: a full gateway answers 429 with a Retry-After
+// hint immediately instead of queueing — queueing at the gateway would
+// only hide replica saturation behind growing latency.
+func (g *Gateway) admitted(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case g.sem <- struct{}{}:
+			defer func() { <-g.sem }()
+			g.stats.InFlight.Add(1)
+			defer g.stats.InFlight.Add(-1)
+			next(w, r)
+		default:
+			g.stats.Shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "gateway at max in-flight (%d)", g.cfg.MaxInflight)
+		}
+	}
+}
+
+// ---- request handlers ----
+
+func (g *Gateway) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req serve.CompileRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	key := routingKey(&req, body)
+	ctx, cancel, deadline := g.requestContext(r)
+	defer cancel()
+	g.forward(ctx, w, r, "/v1/compile?"+r.URL.RawQuery, body, key, deadline)
+}
+
+func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	var breq BatchSimulateRequest
+	if err := json.Unmarshal(body, &breq); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ctx, cancel, deadline := g.requestContext(r)
+	defer cancel()
+	if len(breq.Seeds) > 0 {
+		g.handleBatch(ctx, w, r, &breq, deadline)
+		return
+	}
+	var key string
+	if breq.Executable != "" {
+		key = postedKey(breq.Executable)
+	} else {
+		key = routingKey(&breq.CompileRequest, body)
+	}
+	g.forward(ctx, w, r, "/v1/simulate", body, key, deadline)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports whether the gateway can do useful work: at least
+// one replica currently admitted by the prober.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if g.readyCount() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no ready replicas"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.snapshot())
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g.reg.WriteExposition(w)
+}
+
+// ---- forwarding core ----
+
+// requestContext bounds the whole request — retries and backoff included —
+// by the gateway's ceiling clamped to any caller-advertised budget.
+func (g *Gateway) requestContext(r *http.Request) (context.Context, context.CancelFunc, time.Time) {
+	timeout := g.cfg.RequestTimeout
+	if v := r.Header.Get(serve.HeaderDeadlineMs); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	return ctx, cancel, deadline
+}
+
+// candidates is the failover plan for a key: the key's full ring order,
+// ready replicas first (preserving ring order within each class). Ejected
+// replicas stay at the tail as a last resort — a fleet whose every replica
+// failed its probes is still worth one try over answering 503 outright.
+func (g *Gateway) candidates(key string) []string {
+	order := g.ring.Order(key)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ready := make([]string, 0, len(order))
+	down := make([]string, 0, 2)
+	for _, rep := range order {
+		if st := g.replicas[rep]; st != nil && !st.ready {
+			down = append(down, rep)
+		} else {
+			ready = append(ready, rep)
+		}
+	}
+	return append(ready, down...)
+}
+
+// upstream issues one attempt against a replica, propagating the request
+// ID and the budget that remains right now — a retry advertises a smaller
+// deadline than the first attempt did.
+func (g *Gateway) upstream(ctx context.Context, rep, pathAndQuery, reqID string, deadline time.Time, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep+pathAndQuery, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.HeaderRequestID, reqID)
+	remaining := time.Until(deadline).Milliseconds()
+	if remaining < 1 {
+		remaining = 1
+	}
+	req.Header.Set(serve.HeaderDeadlineMs, strconv.FormatInt(remaining, 10))
+	return g.client.Do(req)
+}
+
+// retryable reports whether a replica response is worth a failover: 503
+// means draining or saturated, 429 means shedding — another replica may
+// well accept. Every other status is authoritative for the request.
+func retryable(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
+
+// backoff sleeps a jittered exponential delay before retry attempt n
+// (1-based), bounded by ctx.
+func backoff(ctx context.Context, n int) {
+	base := 25 * time.Millisecond << uint(n-1)
+	if base > time.Second {
+		base = time.Second
+	}
+	d := base/2 + time.Duration(mrand.Int63n(int64(base)))
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}
+
+// forward proxies one request over the key's failover plan: unary compile
+// responses and NDJSON simulate streams alike relay chunk-by-chunk with a
+// flush, so replica backpressure survives the hop. Failover happens on
+// transport errors and retryable statuses, which replicas emit before any
+// payload byte; once a replica starts answering, the stream is committed
+// to it (the batched path recovers mid-stream per seed instead).
+func (g *Gateway) forward(ctx context.Context, w http.ResponseWriter, r *http.Request, pathAndQuery string, body []byte, key string, deadline time.Time) {
+	reqID := r.Header.Get(serve.HeaderRequestID)
+	reps := g.candidates(key)
+	attempts := g.cfg.Retries + 1
+	if attempts > len(reps) {
+		attempts = len(reps)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if i > 0 {
+			g.stats.Retries.Add(1)
+			backoff(ctx, i)
+		}
+		rep := reps[i]
+		resp, err := g.upstream(ctx, rep, pathAndQuery, reqID, deadline, body)
+		if err != nil {
+			lastErr = err
+			g.noteForwardError(rep)
+			continue
+		}
+		if retryable(resp.StatusCode) {
+			lastErr = fmt.Errorf("%s answered %d", rep, resp.StatusCode)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			continue
+		}
+		if i > 0 {
+			g.stats.Failovers.Add(1)
+		}
+		g.noteForwardOK(rep)
+		copyProxyHeaders(w, resp, rep)
+		w.WriteHeader(resp.StatusCode)
+		flushCopy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	g.stats.NoReplica.Add(1)
+	writeError(w, http.StatusServiceUnavailable, "no replica answered: %v", lastErr)
+}
+
+// flushCopy streams src to w flushing after every chunk, preserving the
+// replica's NDJSON backpressure through the gateway.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	f, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// copyProxyHeaders relays the replica's caching and identity headers.
+// X-Bfd-Request is deliberately the replica's echo, overwriting the
+// gateway's own: under correct ID propagation the two are identical, so
+// any divergence is visible to the caller rather than papered over.
+func copyProxyHeaders(w http.ResponseWriter, resp *http.Response, rep string) {
+	for _, h := range []string{"Content-Type", "X-Bfd-Cache", "X-Bfd-Key", "X-Bfd-Request"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Bfgate-Replica", rep)
+}
+
+// ---- replica state ----
+
+func (g *Gateway) noteForwardOK(rep string) {
+	g.mu.Lock()
+	if st := g.replicas[rep]; st != nil {
+		st.forwarded++
+	}
+	g.mu.Unlock()
+}
+
+// noteForwardError ejects a replica on a transport error immediately —
+// a connection refused mid-request is stronger evidence than a missed
+// probe, and the prober will re-admit it when /v1/readyz answers again.
+func (g *Gateway) noteForwardError(rep string) {
+	g.stats.UpstreamErrs.Add(1)
+	g.mu.Lock()
+	if st := g.replicas[rep]; st != nil {
+		st.errors++
+		if st.ready {
+			st.ejections++
+		}
+		st.ready = false
+		st.fails = g.cfg.FailAfter
+	}
+	g.mu.Unlock()
+}
+
+func (g *Gateway) readyCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, st := range g.replicas {
+		if st.ready {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- readiness prober ----
+
+func (g *Gateway) probeLoop() {
+	defer g.probing.Done()
+	t := time.NewTicker(g.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+// probeAll polls /v1/readyz on every replica. Readiness — not liveness —
+// drives routing: a draining bfd answers /v1/healthz 200 but /v1/readyz
+// 503, and the gateway must stop sending it new work while it finishes
+// the old.
+func (g *Gateway) probeAll() {
+	timeout := g.cfg.HealthEvery
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, rep := range g.ring.Replicas() {
+		wg.Add(1)
+		go func(rep string) {
+			defer wg.Done()
+			ok := g.probeOne(rep, timeout)
+			g.mu.Lock()
+			st := g.replicas[rep]
+			if st == nil {
+				g.mu.Unlock()
+				return
+			}
+			switch {
+			case ok:
+				if !st.ready && g.log != nil {
+					g.log.Info("bfgate.readmit", "replica", rep)
+				}
+				st.ready = true
+				st.fails = 0
+			default:
+				st.fails++
+				if st.fails >= g.cfg.FailAfter && st.ready {
+					st.ready = false
+					st.ejections++
+					if g.log != nil {
+						g.log.Warn("bfgate.eject", "replica", rep, "fails", st.fails)
+					}
+				}
+			}
+			g.mu.Unlock()
+		}(rep)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probeOne(rep string, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep+"/v1/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ---- helpers ----
+
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxRequestBytes))
+	if err != nil {
+		g.stats.Shed.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large (cap %d bytes)", g.cfg.MaxRequestBytes)
+		return nil, false
+	}
+	return body, true
+}
+
+// routingKey is the content-addressed compile cache key when the request
+// canonicalizes, else a hash of the raw body — malformed requests still
+// route deterministically, and the chosen replica produces the canonical
+// error response.
+func routingKey(req *serve.CompileRequest, raw []byte) string {
+	if key, err := serve.CacheKey(req); err == nil {
+		return key
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// postedKey mirrors the replica's key for posted executables: the hash of
+// the executable text itself.
+func postedKey(exe string) string {
+	sum := sha256.Sum256([]byte(exe))
+	return hex.EncodeToString(sum[:])
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("gw-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID mirrors the replica's rule (short, log-safe) so an ID the
+// gateway adopts is an ID every replica will adopt too.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ---- stats ----
+
+type gwStats struct {
+	Requests     *obs.Counter // bfgate_requests_total
+	Shed         *obs.Counter // bfgate_shed_total
+	Retries      *obs.Counter // bfgate_retries_total
+	Failovers    *obs.Counter // bfgate_failovers_total
+	UpstreamErrs *obs.Counter // bfgate_upstream_errors_total
+	NoReplica    *obs.Counter // bfgate_no_replica_total
+	FanoutSeeds  *obs.Counter // bfgate_fanout_seeds_total
+	Panics       *obs.Counter // bfgate_panics_total
+	InFlight     *obs.Gauge   // bfgate_in_flight
+	Latency      *obs.Histogram
+}
+
+func newGwStats(reg *obs.Registry) gwStats {
+	return gwStats{
+		Requests:     reg.Counter("bfgate_requests_total", "Requests accepted into a gateway handler."),
+		Shed:         reg.Counter("bfgate_shed_total", "Requests shed by admission control (429) or size caps."),
+		Retries:      reg.Counter("bfgate_retries_total", "Upstream attempts beyond the first."),
+		Failovers:    reg.Counter("bfgate_failovers_total", "Requests answered by a non-primary replica."),
+		UpstreamErrs: reg.Counter("bfgate_upstream_errors_total", "Transport-level upstream failures."),
+		NoReplica:    reg.Counter("bfgate_no_replica_total", "Requests no replica could answer (503 to the caller)."),
+		FanoutSeeds:  reg.Counter("bfgate_fanout_seeds_total", "Seeds dispatched by batched simulate fan-out."),
+		Panics:       reg.Counter("bfgate_panics_total", "Handler panics recovered by middleware."),
+		InFlight:     reg.Gauge("bfgate_in_flight", "Requests currently admitted."),
+		Latency: reg.Histogram("bfgate_request_seconds",
+			"Gateway request latency end to end, retries included.", obs.DefTimeBuckets),
+	}
+}
+
+func (g *Gateway) registerDerived() {
+	g.reg.GaugeFunc("bfgate_uptime_seconds", "Seconds since gateway start.",
+		func() float64 { return time.Since(g.start).Seconds() })
+	g.reg.GaugeFunc("bfgate_replicas", "Configured replica count.",
+		func() float64 { return float64(len(g.cfg.Replicas)) })
+	g.reg.GaugeFunc("bfgate_replicas_ready", "Replicas currently admitted by the readiness prober.",
+		func() float64 { return float64(g.readyCount()) })
+	for _, rep := range g.cfg.Replicas {
+		rep := rep
+		g.reg.GaugeFunc("bfgate_replica_ready", "Per-replica readiness (1 ready, 0 ejected).",
+			func() float64 {
+				g.mu.Lock()
+				defer g.mu.Unlock()
+				if st := g.replicas[rep]; st != nil && st.ready {
+					return 1
+				}
+				return 0
+			}, obs.L("replica", rep))
+	}
+}
+
+// StatsSnapshot is the JSON shape served at the gateway's /v1/stats.
+type StatsSnapshot struct {
+	UptimeSeconds  float64                  `json:"uptimeSeconds"`
+	Requests       int64                    `json:"requests"`
+	Shed           int64                    `json:"shed"`
+	Retries        int64                    `json:"retries"`
+	Failovers      int64                    `json:"failovers"`
+	UpstreamErrors int64                    `json:"upstreamErrors"`
+	NoReplica      int64                    `json:"noReplica"`
+	FanoutSeeds    int64                    `json:"fanoutSeeds"`
+	InFlight       int64                    `json:"inFlight"`
+	Replicas       map[string]ReplicaStatus `json:"replicas"`
+	Version        string                   `json:"version"`
+}
+
+// ReplicaStatus is one replica's view in the gateway stats.
+type ReplicaStatus struct {
+	Ready     bool  `json:"ready"`
+	Fails     int   `json:"consecutiveProbeFailures"`
+	Forwarded int64 `json:"forwarded"`
+	Errors    int64 `json:"errors"`
+	Ejections int64 `json:"ejections"`
+}
+
+func (g *Gateway) snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		UptimeSeconds:  time.Since(g.start).Seconds(),
+		Requests:       g.stats.Requests.Load(),
+		Shed:           g.stats.Shed.Load(),
+		Retries:        g.stats.Retries.Load(),
+		Failovers:      g.stats.Failovers.Load(),
+		UpstreamErrors: g.stats.UpstreamErrs.Load(),
+		NoReplica:      g.stats.NoReplica.Load(),
+		FanoutSeeds:    g.stats.FanoutSeeds.Load(),
+		InFlight:       g.stats.InFlight.Load(),
+		Replicas:       make(map[string]ReplicaStatus, len(g.cfg.Replicas)),
+		Version:        biocoder.Version,
+	}
+	g.mu.Lock()
+	for rep, st := range g.replicas {
+		snap.Replicas[rep] = ReplicaStatus{
+			Ready:     st.ready,
+			Fails:     st.fails,
+			Forwarded: st.forwarded,
+			Errors:    st.errors,
+			Ejections: st.ejections,
+		}
+	}
+	g.mu.Unlock()
+	return snap
+}

@@ -1,0 +1,107 @@
+// Package fleet turns N independent bfd replicas into one serving surface.
+//
+// The gateway (bfgate) routes every request by its content-addressed cache
+// key over a consistent-hash ring: the same compile lands on the same
+// replica no matter which gateway instance routes it, so each replica's
+// LRU and disk store stay hot for the slice of key space it owns, and
+// adding or removing a replica reshuffles only the keys adjacent to its
+// vnodes instead of the whole space.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultVnodes is how many virtual nodes each replica contributes to the
+// ring. More vnodes smooth the key-space split between replicas at the
+// cost of a larger (still tiny) sorted point table.
+const defaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over replica URLs. Build one
+// with NewRing; lookups are read-only and safe for concurrent use.
+type Ring struct {
+	replicas []string
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int // index into replicas
+}
+
+// NewRing hashes every replica into vnodes points on a 64-bit circle.
+// vnodes <= 0 selects the default. Replica order does not matter; the ring
+// is a pure function of the replica set.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{
+		replicas: append([]string(nil), replicas...),
+		points:   make([]ringPoint, 0, len(replicas)*vnodes),
+	}
+	for i, rep := range r.replicas {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("%s#%d", rep, v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on replica index so the ring is deterministic even in
+		// the astronomically unlikely event of a 64-bit collision.
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// Replicas returns the replica set the ring was built over.
+func (r *Ring) Replicas() []string { return append([]string(nil), r.replicas...) }
+
+// Primary returns the replica owning key: the first vnode clockwise from
+// the key's hash. Empty string on an empty ring.
+func (r *Ring) Primary(key string) string {
+	order := r.Order(key)
+	if len(order) == 0 {
+		return ""
+	}
+	return order[0]
+}
+
+// Order returns every replica exactly once, in failover-preference order
+// for key: the owner first, then each further replica in the order its
+// next vnode appears clockwise. A gateway walks this list when replicas
+// are ejected — the fallback choice is deterministic per key, so retried
+// requests from any gateway converge on the same secondary and its cache.
+func (r *Ring) Order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]string, 0, len(r.replicas))
+	seen := make([]bool, len(r.replicas))
+	for i := 0; i < len(r.points) && len(order) < len(r.replicas); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			order = append(order, r.replicas[p.replica])
+		}
+	}
+	return order
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256, the same family
+// the cache keys themselves use, so vnode placement is uniform and stable
+// across processes and platforms.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testReplicas(n int) []string {
+	reps := make([]string, n)
+	for i := range reps {
+		reps[i] = fmt.Sprintf("http://replica-%d:8077", i)
+	}
+	return reps
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(testReplicas(3), 64)
+	b := NewRing(testReplicas(3), 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if !reflect.DeepEqual(a.Order(key), b.Order(key)) {
+			t.Fatalf("two rings over the same replicas disagree on %q", key)
+		}
+	}
+	// Replica declaration order must not matter: routing is a pure
+	// function of the replica set.
+	shuffled := []string{"http://replica-2:8077", "http://replica-0:8077", "http://replica-1:8077"}
+	c := NewRing(shuffled, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Primary(key) != c.Primary(key) {
+			t.Fatalf("replica order changed the owner of %q", key)
+		}
+	}
+}
+
+func TestRingOrderCoversAllReplicas(t *testing.T) {
+	r := NewRing(testReplicas(5), 16)
+	for i := 0; i < 50; i++ {
+		order := r.Order(fmt.Sprintf("key-%d", i))
+		if len(order) != 5 {
+			t.Fatalf("order has %d entries, want 5: %v", len(order), order)
+		}
+		seen := map[string]bool{}
+		for _, rep := range order {
+			if seen[rep] {
+				t.Fatalf("replica %s appears twice in %v", rep, order)
+			}
+			seen[rep] = true
+		}
+		if order[0] != r.Primary(fmt.Sprintf("key-%d", i)) {
+			t.Fatal("Primary disagrees with Order[0]")
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	const keys = 10000
+	r := NewRing(testReplicas(3), 0) // default vnodes
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Primary(fmt.Sprintf("key-%d", i))]++
+	}
+	for rep, n := range counts {
+		// A perfect split is ~3333; 64 vnodes keeps every replica within
+		// a loose band — the point is no replica is starved or doubled.
+		if n < keys/6 || n > keys/2 {
+			t.Fatalf("replica %s owns %d of %d keys — ring is badly skewed: %v", rep, n, keys, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	const keys = 2000
+	full := NewRing(testReplicas(4), 64)
+	// Remove replica-3: keys it owned must move, keys it didn't must not.
+	reduced := NewRing(testReplicas(3), 64)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, now := full.Primary(key), reduced.Primary(key)
+		if was == "http://replica-3:8077" {
+			continue // orphaned keys must land somewhere else; any owner is fine
+		}
+		if was != now {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed replica changed owner", moved)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 8)
+	if got := empty.Order("k"); got != nil {
+		t.Fatalf("empty ring order = %v", got)
+	}
+	if got := empty.Primary("k"); got != "" {
+		t.Fatalf("empty ring primary = %q", got)
+	}
+	one := NewRing([]string{"http://only:1"}, 8)
+	if got := one.Primary("anything"); got != "http://only:1" {
+		t.Fatalf("single-replica primary = %q", got)
+	}
+}

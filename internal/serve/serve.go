@@ -9,8 +9,10 @@
 //	                   chip configuration and compiler options, to a DMFB
 //	                   executable with verifier diagnostics.
 //	POST /v1/simulate  The same compile inputs plus seed/scenario/ranges;
-//	                   streams per-cycle telemetry as NDJSON.
-//	GET  /v1/healthz   Liveness (503 while draining).
+//	                   streams per-cycle telemetry as NDJSON. A posted
+//	                   precompiled executable skips compilation entirely.
+//	GET  /v1/healthz   Liveness (always 200 while the process serves).
+//	GET  /v1/readyz    Readiness (503 while draining; gateways route on it).
 //	GET  /v1/stats     Request, cache, and worker-pool counters (JSON).
 //	GET  /metrics      The same counters plus latency/recovery histograms
 //	                   in Prometheus text exposition format.
@@ -38,6 +40,7 @@ import (
 	"context"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/gob"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -47,6 +50,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -58,7 +62,21 @@ import (
 	"biocoder/internal/cfg"
 	"biocoder/internal/obs"
 	"biocoder/internal/sensor"
+	"biocoder/internal/store"
 	"biocoder/internal/verify"
+)
+
+// Request-propagation headers: a fronting bfgate (internal/fleet) stamps
+// these on replica requests so one request ID correlates gateway and
+// replica logs/spans, and so retries honor the client's remaining
+// deadline instead of resetting it per attempt.
+const (
+	// HeaderRequestID carries the caller-assigned request ID; the daemon
+	// adopts it (when well-formed) instead of minting its own.
+	HeaderRequestID = "X-Bfd-Request-Id"
+	// HeaderDeadlineMs carries the caller's remaining per-request budget
+	// in milliseconds; the daemon clamps its own RequestTimeout to it.
+	HeaderDeadlineMs = "X-Bfd-Deadline-Ms"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -89,6 +107,15 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
 	// because profiles expose internals and cost CPU when scraped.
 	EnablePprof bool
+	// CacheStore, when non-nil, persists compile responses beneath the
+	// in-memory LRU: an LRU miss consults the disk before compiling
+	// (X-Bfd-Cache: disk), and every fresh compile is written through, so
+	// a restarted daemon answers repeated keys without recompiling. Keys
+	// embed biocoder.Version, so entries can never be served stale.
+	CacheStore *store.Store
+	// MemoStore, when non-nil, persists the per-block synthesis memo the
+	// same way (fingerprints are version-keyed too).
+	MemoStore *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +143,7 @@ type Server struct {
 	stats   Stats
 	cache   *lruCache
 	memo    *biocoder.Memo // process-wide block memo shared by every backend compile
+	disk    *store.Store   // nil-safe persistent layer beneath the LRU
 	flights flightGroup
 	sem     chan struct{}
 
@@ -143,7 +171,11 @@ func New(cfg Config) *Server {
 		stats:  newStats(reg, time.Now()),
 		cache:  newLRUCache(cfg.CacheBytes),
 		memo:   biocoder.NewMemo(),
+		disk:   cfg.CacheStore,
 		sem:    make(chan struct{}, cfg.Workers),
+	}
+	if cfg.MemoStore != nil {
+		s.memo.SetPersist(cfg.MemoStore)
 	}
 	s.registerDerived()
 	return s
@@ -156,6 +188,7 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/compile", s.heavy(s.handleCompile))
 	mux.HandleFunc("/v1/simulate", s.heavy(s.handleSimulate))
@@ -170,11 +203,12 @@ func (s *Server) Handler() http.Handler {
 	return s.recovered(mux)
 }
 
-// Drain switches the server to lame-duck mode: /v1/healthz turns 503 (so
-// load balancers stop routing here), new compile/simulate requests are
-// refused with 503, and Drain blocks until every in-flight request has
-// finished or ctx expires. Call it before http.Server.Shutdown so the
-// connection-level drain finds no active handlers.
+// Drain switches the server to lame-duck mode: /v1/readyz turns 503 (so
+// gateways and load balancers stop routing here; liveness at /v1/healthz
+// stays 200), new compile/simulate requests are refused with 503, and
+// Drain blocks until every in-flight request has finished or ctx expires.
+// Call it before http.Server.Shutdown so the connection-level drain finds
+// no active handlers.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -270,6 +304,24 @@ func newRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// validRequestID accepts caller-supplied IDs (HeaderRequestID) that are
+// short and log-safe; anything else is replaced by a fresh ID so a hostile
+// client can't inject log or header content.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // RequestID returns the ID assigned to this request by the middleware, or
 // "" outside a request. Handlers stamp it on their trace root span so one
 // ID correlates the log line, the span tree, and the response headers.
@@ -284,7 +336,10 @@ func RequestID(ctx context.Context) string {
 func (s *Server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := newRequestID()
+		id := r.Header.Get(HeaderRequestID)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
 		w.Header().Set("X-Bfd-Request", id)
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
 		s.stats.Requests.Add(1)
@@ -357,7 +412,18 @@ func (s *Server) heavy(next func(http.ResponseWriter, *http.Request)) http.Handl
 		defer s.leave()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		// A fronting gateway forwards the client's remaining budget; honor
+		// it when it is tighter than our own ceiling, so a retried request
+		// spends what the client has left rather than a full fresh window.
+		timeout := s.cfg.RequestTimeout
+		if v := r.Header.Get(HeaderDeadlineMs); v != "" {
+			if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+				if d := time.Duration(ms) * time.Millisecond; d < timeout {
+					timeout = d
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		wait := time.Now()
 		select {
@@ -378,7 +444,18 @@ func (s *Server) heavy(next func(http.ResponseWriter, *http.Request)) http.Handl
 	}
 }
 
+// handleHealthz is pure liveness: 200 for as long as the process can
+// answer HTTP at all — including during a graceful drain, when the
+// process is healthy but refusing new work. Routing decisions belong to
+// readiness below.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while draining, so a fronting bfgate (or
+// any load balancer probing it) stops routing new work here while
+// in-flight requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -386,7 +463,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -445,11 +522,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 // resolve turns compile inputs into a cache entry: canonicalize, hash,
-// then serve from the LRU, join an in-flight compile, or lead a new one.
-// The disposition is "hit", "coalesced", or "miss".
+// then serve from the LRU, the persistent disk store, an in-flight
+// compile, or lead a new one. The disposition is "hit", "disk",
+// "coalesced", or "miss".
 func (s *Server) resolve(ctx context.Context, tr *obs.Tracer, req *CompileRequest) (*entry, string, error) {
 	sp := tr.Start("canonicalize")
-	g, _, chip, key, err := s.canonicalize(req)
+	g, _, chip, key, err := canonicalize(req)
 	sp.End()
 	if err != nil {
 		return nil, "", err
@@ -461,6 +539,9 @@ func (s *Server) resolve(ctx context.Context, tr *obs.Tracer, req *CompileReques
 	if ok {
 		s.stats.CacheHits.Add(1)
 		return e, "hit", nil
+	}
+	if e, ok := s.diskLookup(tr, key); ok {
+		return e, "disk", nil
 	}
 
 	e, err, shared := s.flights.do(ctx, key, func() (*entry, error) {
@@ -477,6 +558,31 @@ func (s *Server) resolve(ctx context.Context, tr *obs.Tracer, req *CompileReques
 	}
 	s.stats.CacheMisses.Add(1)
 	return e, "miss", err
+}
+
+// diskLookup consults the persistent store after an LRU miss and promotes
+// a verified entry back into the LRU. The store re-verifies the payload's
+// SHA-256 on read, so a promoted entry is byte-for-byte what an earlier
+// process compiled (and verify-gated) under the same content key.
+func (s *Server) diskLookup(tr *obs.Tracer, key string) (*entry, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	sp := tr.Start("disk.lookup")
+	defer sp.End()
+	blob, ok := s.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	e, err := decodeDiskEntry(key, blob)
+	if err != nil {
+		// Structurally invalid despite an intact hash: written by an
+		// incompatible format revision. Treat as a miss.
+		return nil, false
+	}
+	s.stats.DiskHits.Add(1)
+	s.cache.put(e)
+	return e, true
 }
 
 // compileEntry is the backend compile: it runs under a server-scoped
@@ -549,13 +655,63 @@ func (s *Server) compileEntry(tr *obs.Tracer, key string, g *cfg.Graph, chip *ar
 	}
 	e := &entry{key: key, body: body, exe: exeBuf.Bytes()}
 	s.cache.put(e)
+	if s.disk != nil {
+		if blob, err := encodeDiskEntry(e); err == nil {
+			// Best-effort write-through: a failed write costs the next
+			// process a recompile, never a wrong answer (the store counts
+			// its own write errors for /metrics).
+			s.disk.Put(key, blob)
+		}
+	}
 	return e, nil
+}
+
+// cacheFormatTag versions the on-disk cache-entry encoding (inside
+// internal/store's integrity envelope). Bump on any change to diskEntry.
+const cacheFormatTag = "bfdcache1"
+
+// diskEntry is the persisted form of one compile-cache entry.
+type diskEntry struct {
+	Tag  string
+	Key  string
+	Body []byte
+	Exe  []byte
+}
+
+func encodeDiskEntry(e *entry) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&diskEntry{Tag: cacheFormatTag, Key: e.key, Body: e.body, Exe: e.exe})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeDiskEntry(key string, blob []byte) (*entry, error) {
+	var d diskEntry
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&d); err != nil {
+		return nil, err
+	}
+	if d.Tag != cacheFormatTag || d.Key != key {
+		return nil, fmt.Errorf("disk entry tag/key mismatch")
+	}
+	return &entry{key: key, body: d.Body, exe: d.Exe}, nil
+}
+
+// CacheKey computes the content-addressed compile cache key for req: a
+// hash of the canonical (pre-SSI) IR, the chip configuration, the option
+// set, and biocoder.Version. Exported for the fleet gateway
+// (internal/fleet), which consistent-hashes replicas on the same key the
+// replicas cache on — so repeated requests land where their entry lives.
+func CacheKey(req *CompileRequest) (string, error) {
+	_, _, _, key, err := canonicalize(req)
+	return key, err
 }
 
 // canonicalize builds the pre-SSI CFG and the chip, and derives the
 // content-addressed cache key from their canonical text forms plus the
 // option set and the compiler version.
-func (s *Server) canonicalize(req *CompileRequest) (*cfg.Graph, *assays.Assay, *arch.Chip, string, error) {
+func canonicalize(req *CompileRequest) (*cfg.Graph, *assays.Assay, *arch.Chip, string, error) {
 	var (
 		g     *cfg.Graph
 		assay *assays.Assay
@@ -769,13 +925,37 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		req.Every = 1000
 	}
 
-	e, disposition, err := s.resolve(r.Context(), tr, &req.CompileRequest)
-	if err != nil {
-		s.writeResolveError(w, err)
-		return
+	// Two ways to name the program: compile inputs resolved through the
+	// cache, or a precompiled executable posted directly (the fleet
+	// gateway's fan-out path: one compile, M seeds across M replicas).
+	var (
+		exe         []byte
+		key         string
+		disposition string
+	)
+	if req.Executable != "" {
+		if req.Source != "" || req.Chip != "" {
+			writeError(w, http.StatusBadRequest, nil, "bad request: executable excludes source and chip (assay may name scenarios)")
+			return
+		}
+		if req.Assay != "" && assays.ByName(req.Assay) == nil {
+			writeError(w, http.StatusBadRequest, nil, "bad request: unknown assay %q", req.Assay)
+			return
+		}
+		exe = []byte(req.Executable)
+		sum := sha256.Sum256(exe)
+		key = hex.EncodeToString(sum[:])
+		disposition = "posted"
+	} else {
+		e, disp, err := s.resolve(r.Context(), tr, &req.CompileRequest)
+		if err != nil {
+			s.writeResolveError(w, err)
+			return
+		}
+		exe, key, disposition = e.exe, e.key, disp
 	}
 	// The assay (for ranges and scenarios) comes from the request, not
-	// the cache entry; resolve validated the name already.
+	// the cache entry; the name was validated above either way.
 	var assay *assays.Assay
 	if req.Assay != "" {
 		assay = assays.ByName(req.Assay)
@@ -787,16 +967,32 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sp := tr.Start("decode.executable")
-	prog, err := biocoder.Load(bytes.NewReader(e.exe))
+	prog, err := biocoder.Load(bytes.NewReader(exe))
 	sp.End()
 	if err != nil {
+		if disposition == "posted" {
+			writeError(w, http.StatusBadRequest, nil, "bad request: decoding posted executable: %v", err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, nil, "decoding cached executable: %v", err)
 		return
+	}
+	if disposition == "posted" {
+		// The verify gate holds for posted executables too: nothing runs
+		// on this daemon that the static verifier hasn't passed.
+		sp := tr.Start("verify")
+		rep := verify.Run(&verify.Unit{Graph: prog.Graph, Exec: prog.Executable})
+		sp.SetInt("diags", len(rep.Diags))
+		sp.End()
+		if rep.HasErrors() {
+			writeError(w, http.StatusUnprocessableEntity, diagsJSON(rep), "posted executable failed verification with %d error(s)", rep.Count(verify.Error))
+			return
+		}
 	}
 
 	s.stats.Simulates.Add(1)
 	w.Header().Set("X-Bfd-Cache", disposition)
-	w.Header().Set("X-Bfd-Key", e.key)
+	w.Header().Set("X-Bfd-Key", key)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 
@@ -810,7 +1006,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	emit(&SimRecord{
 		Type:            "start",
-		Key:             e.key,
+		Key:             key,
 		CompilerVersion: biocoder.Version,
 		Cache:           disposition,
 	})

@@ -240,21 +240,32 @@ func TestDrain(t *testing.T) {
 		drainDone <- s.Drain(ctx)
 	}()
 
-	// Draining must become observable before the in-flight compile ends.
+	// Draining must become observable (on readiness, not liveness) before
+	// the in-flight compile ends.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		resp, err := http.Get(ts.URL + "/v1/healthz")
+		resp, err := http.Get(ts.URL + "/v1/readyz")
 		if err != nil {
-			t.Fatalf("healthz: %v", err)
+			t.Fatalf("readyz: %v", err)
 		}
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("healthz never flipped to 503 while draining")
+			t.Fatal("readyz never flipped to 503 while draining")
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// Liveness must hold through the drain: the process is healthy, it is
+	// just refusing new work.
+	if resp, err := http.Get(ts.URL + "/v1/healthz"); err != nil {
+		t.Fatalf("healthz during drain: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz during drain = %d, want 200", resp.StatusCode)
+		}
 	}
 
 	resp, body := postJSON(t, ts.URL+"/v1/compile", compileBody(testAssay))
@@ -473,17 +484,20 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
 	}
+	resp, body = getJSON(t, ts.URL+"/v1/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("readyz: %d %s", resp.StatusCode, body)
+	}
 }
 
 // TestCacheKeySensitivity asserts that every compile input participates in
 // the content address: different options or chips must never share a key.
 func TestCacheKeySensitivity(t *testing.T) {
-	s := New(Config{})
 	keyOf := func(req CompileRequest) string {
 		t.Helper()
-		_, _, _, key, err := s.canonicalize(&req)
+		key, err := CacheKey(&req)
 		if err != nil {
-			t.Fatalf("canonicalize(%+v): %v", req, err)
+			t.Fatalf("CacheKey(%+v): %v", req, err)
 		}
 		return key
 	}

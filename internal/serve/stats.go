@@ -21,6 +21,7 @@ type Stats struct {
 	Simulates   *obs.Counter // bfd_simulates_total
 	CacheHits   *obs.Counter // bfd_cache_hits_total
 	CacheMisses *obs.Counter // bfd_cache_misses_total
+	DiskHits    *obs.Counter // bfd_disk_hits_total
 	Coalesced   *obs.Counter // bfd_coalesced_total
 	Rejected    *obs.Counter // bfd_rejected_total
 	Panics      *obs.Counter // bfd_panics_total
@@ -43,6 +44,7 @@ func newStats(reg *obs.Registry, start time.Time) Stats {
 		Simulates:   reg.Counter("bfd_simulates_total", "Simulate runs executed."),
 		CacheHits:   reg.Counter("bfd_cache_hits_total", "Compile requests served from the LRU."),
 		CacheMisses: reg.Counter("bfd_cache_misses_total", "Compile requests that went to the backend."),
+		DiskHits:    reg.Counter("bfd_disk_hits_total", "Compile requests served from the persistent disk store."),
 		Coalesced:   reg.Counter("bfd_coalesced_total", "Requests that piggybacked on an in-flight compile."),
 		Rejected:    reg.Counter("bfd_rejected_total", "Requests refused (overload, draining, too large)."),
 		Panics:      reg.Counter("bfd_panics_total", "Handler panics recovered by middleware."),
@@ -79,6 +81,20 @@ func (s *Server) registerDerived() {
 		func() int64 { _, _, evicted := s.cache.stats(); return evicted })
 	reg.GaugeFunc("bfd_cache_budget_bytes", "Byte budget of the compile-response LRU.",
 		func() float64 { return float64(s.cfg.CacheBytes) })
+	if s.disk != nil || s.cfg.MemoStore != nil {
+		// Persistent-store health, summed over the cache and memo stores
+		// (s.disk / MemoStore are nil-safe to snapshot).
+		reg.CounterFunc("bfd_disk_corrupt_total", "Disk-store entries that failed SHA-256 verification.",
+			func() int64 { return s.disk.Stats().Corrupt + s.cfg.MemoStore.Stats().Corrupt })
+		reg.CounterFunc("bfd_disk_writes_total", "Entries written through to the disk stores.",
+			func() int64 { return s.disk.Stats().Writes + s.cfg.MemoStore.Stats().Writes })
+		reg.CounterFunc("bfd_disk_evictions_total", "Disk-store entries deleted by the byte-budget GC.",
+			func() int64 { return s.disk.Stats().Evicted + s.cfg.MemoStore.Stats().Evicted })
+		reg.GaugeFunc("bfd_disk_bytes", "Bytes resident across the disk stores.",
+			func() float64 { return float64(s.disk.Stats().Bytes + s.cfg.MemoStore.Stats().Bytes) })
+		reg.CounterFunc("bfd_block_memo_disk_hits_total", "Block-memo misses answered by the persistent store.",
+			func() int64 { return s.memo.Stats().DiskHits })
+	}
 }
 
 // StatsSnapshot is the JSON shape served at /v1/stats.
@@ -99,6 +115,16 @@ type StatsSnapshot struct {
 	CacheBytes    int64   `json:"cacheBytes"`
 	CacheBudget   int64   `json:"cacheBudgetBytes"`
 	CacheEvicted  int64   `json:"cacheEvictions"`
+	// Persistent-store disposition (zero when no -cache-dir/-memo-dir):
+	// DiskHits counts compile responses served from the disk store after
+	// an LRU miss; DiskCorrupt sums entries (cache and memo stores) that
+	// failed SHA-256 verification and were quarantined.
+	DiskHits     int64 `json:"diskHits"`
+	DiskCorrupt  int64 `json:"diskCorrupt"`
+	DiskWrites   int64 `json:"diskWrites"`
+	DiskBytes    int64 `json:"diskBytes"`
+	DiskEntries  int64 `json:"diskEntries"`
+	MemoDiskHits int64 `json:"blockMemoDiskHits"`
 	// Block-memo disposition: per-block synthesis reuse across backend
 	// compiles, keyed by content-addressed block fingerprints. Distinct
 	// from the response LRU above, which caches whole compile responses.
@@ -137,6 +163,13 @@ func (s *Server) snapshotStats() StatsSnapshot {
 	ms := s.memo.Stats()
 	snap.MemoHits, snap.MemoMisses, snap.MemoRejected = ms.Hits, ms.Misses, ms.Rejected
 	snap.MemoEntries = ms.Entries
+	snap.MemoDiskHits = ms.DiskHits
+	snap.DiskHits = s.stats.DiskHits.Load()
+	ds, ms2 := s.disk.Stats(), s.cfg.MemoStore.Stats()
+	snap.DiskCorrupt = ds.Corrupt + ms2.Corrupt
+	snap.DiskWrites = ds.Writes + ms2.Writes
+	snap.DiskBytes = ds.Bytes + ms2.Bytes
+	snap.DiskEntries = ds.Entries + ms2.Entries
 	s.mu.Lock()
 	snap.Draining = s.draining
 	s.mu.Unlock()

@@ -119,6 +119,13 @@ func (r jsonRaw) MarshalJSON() ([]byte, error) {
 // parameters. The response is an NDJSON stream of SimRecord lines.
 type SimulateRequest struct {
 	CompileRequest
+	// Executable, when set, is a precompiled program in the text format
+	// of CompileResponse.Executable: the daemon verify-gates and runs it
+	// directly, skipping compilation entirely (X-Bfd-Cache: posted).
+	// Excludes Source and Chip; Assay may still name the assay whose
+	// scenarios and sensor ranges apply. This is the fleet gateway's
+	// fan-out path — one compile, many seeds across many replicas.
+	Executable string `json:"executable,omitempty"`
 	// Seed seeds the pseudo-random sensor model.
 	Seed int64 `json:"seed,omitempty"`
 	// Scenario names a scripted sensor scenario (benchmark assays only).
@@ -144,7 +151,7 @@ type SimRecord struct {
 	// start
 	Key             string `json:"key,omitempty"`
 	CompilerVersion string `json:"compilerVersion,omitempty"`
-	Cache           string `json:"cache,omitempty"` // hit|miss|coalesced
+	Cache           string `json:"cache,omitempty"` // hit|disk|miss|coalesced|posted
 
 	// telemetry (cumulative counters as of Cycle)
 	Cycle       int `json:"cycle,omitempty"`
